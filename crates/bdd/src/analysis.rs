@@ -1,0 +1,266 @@
+//! Function analysis: evaluation, satisfying-assignment counting and
+//! enumeration.
+//!
+//! `sat_count` is what turns the `Reached` BDD of the symbolic traversal into
+//! the "# of states" column of the paper's Table 1.
+
+use std::collections::HashMap;
+
+use crate::manager::BddManager;
+use crate::node::{Bdd, Literal};
+
+impl BddManager {
+    /// Evaluates `f` under a total assignment, indexed by variable
+    /// creation order ([`crate::Var::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is shorter than the number of declared
+    /// variables that `f` depends on.
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut g = f;
+        while !g.is_terminal() {
+            let n = self.node(g);
+            let v = self.var_at(n.level as usize);
+            g = if assignment[v.index()] { n.hi } else { n.lo };
+        }
+        g.is_true()
+    }
+
+    /// Number of satisfying assignments of `f` over all declared variables.
+    ///
+    /// Saturates at `u128::MAX` (relevant only beyond 2¹²⁸ states).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stgcheck_bdd::BddManager;
+    /// let mut m = BddManager::new();
+    /// let x = m.new_var("x");
+    /// let y = m.new_var("y");
+    /// let (vx, vy) = (m.var(x), m.var(y));
+    /// let f = m.or(vx, vy);
+    /// assert_eq!(m.sat_count(f), 3);
+    /// ```
+    pub fn sat_count(&self, f: Bdd) -> u128 {
+        let nvars = self.num_vars() as u32;
+        let mut memo: HashMap<Bdd, u128> = HashMap::new();
+        let top_gap = self.level_norm(f, nvars);
+        let c = self.sat_count_rec(f, nvars, &mut memo);
+        c.saturating_mul(pow2(top_gap))
+    }
+
+    /// Number of satisfying assignments restricted to `nvars` leading
+    /// variables of the order (useful when trailing variables are scratch).
+    pub fn sat_count_over(&self, f: Bdd, nvars: usize) -> u128 {
+        let nvars = nvars as u32;
+        debug_assert!(
+            self.support(f).iter().all(|v| self.level_of(*v) < nvars as usize),
+            "function depends on variables outside the counted prefix"
+        );
+        let mut memo: HashMap<Bdd, u128> = HashMap::new();
+        let top_gap = self.level_norm(f, nvars);
+        let c = self.sat_count_rec(f, nvars, &mut memo);
+        c.saturating_mul(pow2(top_gap))
+    }
+
+    /// Level of `f` clamped so terminals sit just below the last counted
+    /// variable.
+    fn level_norm(&self, f: Bdd, nvars: u32) -> u32 {
+        if f.is_terminal() {
+            nvars
+        } else {
+            self.node(f).level.min(nvars)
+        }
+    }
+
+    fn sat_count_rec(&self, f: Bdd, nvars: u32, memo: &mut HashMap<Bdd, u128>) -> u128 {
+        if f.is_false() {
+            return 0;
+        }
+        if f.is_true() {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let n = self.node(f);
+        let lo_gap = self.level_norm(n.lo, nvars) - n.level - 1;
+        let hi_gap = self.level_norm(n.hi, nvars) - n.level - 1;
+        let lo = self.sat_count_rec(n.lo, nvars, memo).saturating_mul(pow2(lo_gap));
+        let hi = self.sat_count_rec(n.hi, nvars, memo).saturating_mul(pow2(hi_gap));
+        let c = lo.saturating_add(hi);
+        memo.insert(f, c);
+        c
+    }
+
+    /// One satisfying partial assignment (a cube), or `None` if `f` is
+    /// unsatisfiable. Variables not mentioned are "don't care".
+    pub fn pick_cube(&self, f: Bdd) -> Option<Vec<Literal>> {
+        if f.is_false() {
+            return None;
+        }
+        let mut lits = Vec::new();
+        let mut g = f;
+        while !g.is_terminal() {
+            let n = self.node(g);
+            let v = self.var_at(n.level as usize);
+            // Prefer the low branch when both lead to TRUE-reachable parts;
+            // any non-FALSE branch works because the BDD is reduced.
+            if !n.lo.is_false() {
+                lits.push(Literal::negative(v));
+                g = n.lo;
+            } else {
+                lits.push(Literal::positive(v));
+                g = n.hi;
+            }
+        }
+        Some(lits)
+    }
+
+    /// Iterator over all cubes (paths to `TRUE`) of `f`.
+    ///
+    /// Each cube is a conflict-free list of literals ordered top-down by
+    /// level; variables skipped on the path are "don't care".
+    pub fn cubes(&self, f: Bdd) -> Cubes<'_> {
+        let stack = if f.is_false() { Vec::new() } else { vec![(f, Vec::new())] };
+        Cubes { manager: self, stack }
+    }
+}
+
+#[inline]
+fn pow2(e: u32) -> u128 {
+    if e >= 128 {
+        u128::MAX
+    } else {
+        1u128 << e
+    }
+}
+
+/// Iterator over the cubes of a function; see [`BddManager::cubes`].
+pub struct Cubes<'a> {
+    manager: &'a BddManager,
+    stack: Vec<(Bdd, Vec<Literal>)>,
+}
+
+impl Iterator for Cubes<'_> {
+    type Item = Vec<Literal>;
+
+    fn next(&mut self) -> Option<Vec<Literal>> {
+        while let Some((f, path)) = self.stack.pop() {
+            if f.is_true() {
+                return Some(path);
+            }
+            if f.is_false() {
+                continue;
+            }
+            let n = self.manager.node(f);
+            let v = self.manager.var_at(n.level as usize);
+            if !n.hi.is_false() {
+                let mut p = path.clone();
+                p.push(Literal::positive(v));
+                self.stack.push((n.hi, p));
+            }
+            if !n.lo.is_false() {
+                let mut p = path;
+                p.push(Literal::negative(v));
+                self.stack.push((n.lo, p));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let (vx, vy) = (m.var(x), m.var(y));
+        let f = m.xor(vx, vy);
+        assert!(!m.eval(f, &[false, false]));
+        assert!(m.eval(f, &[true, false]));
+        assert!(m.eval(f, &[false, true]));
+        assert!(!m.eval(f, &[true, true]));
+    }
+
+    #[test]
+    fn sat_count_basics() {
+        let mut m = BddManager::new();
+        let _x = m.new_var("x");
+        let _y = m.new_var("y");
+        let _z = m.new_var("z");
+        assert_eq!(m.sat_count(m.one()), 8);
+        assert_eq!(m.sat_count(m.zero()), 0);
+        let vx = m.var(Literal::positive(crate::Var::from_index(0)).var());
+        assert_eq!(m.sat_count(vx), 4);
+    }
+
+    #[test]
+    fn sat_count_xor_chain() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars("x", 10);
+        let mut f = m.zero();
+        for &v in &vars {
+            let lv = m.var(v);
+            f = m.xor(f, lv);
+        }
+        // Odd parity: exactly half of 2^10 assignments.
+        assert_eq!(m.sat_count(f), 512);
+    }
+
+    #[test]
+    fn sat_count_over_prefix() {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let _scratch = m.new_vars("s", 5);
+        let vx = m.var(x);
+        assert_eq!(m.sat_count_over(vx, 1), 1);
+        assert_eq!(m.sat_count(vx), 32);
+    }
+
+    #[test]
+    fn pick_cube_satisfies() {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let z = m.new_var("z");
+        let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
+        let xy = m.and(vx, vy);
+        let nz = m.not(vz);
+        let f = m.or(xy, nz);
+        let cube = m.pick_cube(f).expect("satisfiable");
+        let mut assignment = vec![false; 3];
+        for l in &cube {
+            assignment[l.var().index()] = l.is_positive();
+        }
+        assert!(m.eval(f, &assignment));
+        assert_eq!(m.pick_cube(m.zero()), None);
+        assert_eq!(m.pick_cube(m.one()), Some(vec![]));
+    }
+
+    #[test]
+    fn cube_enumeration_covers_function() {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let z = m.new_var("z");
+        let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
+        let xy = m.and(vx, vy);
+        let f = m.or(xy, vz);
+        // Rebuild the function from its cubes.
+        let mut rebuilt = m.zero();
+        let cubes: Vec<_> = m.cubes(f).collect();
+        for c in &cubes {
+            let cb = m.cube(c);
+            rebuilt = m.or(rebuilt, cb);
+        }
+        assert_eq!(rebuilt, f);
+        assert!(m.cubes(m.zero()).next().is_none());
+        assert_eq!(m.cubes(m.one()).collect::<Vec<_>>(), vec![Vec::new()]);
+    }
+}

@@ -1,0 +1,598 @@
+//! The BDD manager: node arena, hash-consing unique tables, variable order,
+//! garbage collection and statistics.
+
+use std::collections::HashMap;
+
+use crate::node::{Bdd, Level, Literal, Node, Var, DEAD_LEVEL, TERMINAL_LEVEL};
+
+/// Operation codes for the binary-operation cache.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum BinOp {
+    And,
+    Or,
+    Xor,
+    Exists,
+    Forall,
+    CofactorCube,
+}
+
+/// Memoisation caches for the recursive algorithms.
+///
+/// All caches are cleared on garbage collection (entries may refer to dead
+/// nodes) and on rebuild.
+#[derive(Default)]
+pub(crate) struct OpCaches {
+    pub not: HashMap<Bdd, Bdd>,
+    pub bin: HashMap<(BinOp, Bdd, Bdd), Bdd>,
+    pub ite: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    pub and_exists: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+}
+
+impl OpCaches {
+    fn clear(&mut self) {
+        self.not.clear();
+        self.bin.clear();
+        self.ite.clear();
+        self.and_exists.clear();
+    }
+}
+
+/// Statistics snapshot of a [`BddManager`].
+///
+/// `peak_live_nodes` is the high-water mark of simultaneously live decision
+/// nodes — the quantity reported as "BDD size: peak" in the paper's Table 1.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct ManagerStats {
+    /// Number of live decision nodes right now (terminals excluded).
+    pub live_nodes: usize,
+    /// High-water mark of live decision nodes since creation.
+    pub peak_live_nodes: usize,
+    /// Number of garbage collections performed.
+    pub gc_runs: usize,
+    /// Total nodes reclaimed by garbage collection.
+    pub gc_reclaimed: usize,
+    /// Number of declared variables.
+    pub num_vars: usize,
+}
+
+/// A manager for Reduced Ordered Binary Decision Diagrams.
+///
+/// The manager owns every node; [`Bdd`] handles index into it. Functions are
+/// kept canonical by hash-consing: for a given variable order, structurally
+/// equal functions always receive the same handle, so equality of functions
+/// is `==` on handles.
+///
+/// # Examples
+///
+/// ```
+/// use stgcheck_bdd::BddManager;
+/// let mut m = BddManager::new();
+/// let x = m.new_var("x");
+/// let y = m.new_var("y");
+/// let (vx, vy) = (m.var(x), m.var(y));
+/// let f = m.and(vx, vy);
+/// let g = m.and(vy, vx);
+/// assert_eq!(f, g); // canonicity
+/// ```
+pub struct BddManager {
+    pub(crate) nodes: Vec<Node>,
+    free: Vec<u32>,
+    /// One unique table per level: `(lo, hi) -> node`.
+    subtables: Vec<HashMap<(Bdd, Bdd), Bdd>>,
+    var_names: Vec<String>,
+    var_at_level: Vec<Var>,
+    level_of_var: Vec<Level>,
+    pub(crate) caches: OpCaches,
+    live: usize,
+    peak_live: usize,
+    gc_runs: usize,
+    gc_reclaimed: usize,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BddManager")
+            .field("num_vars", &self.num_vars())
+            .field("live_nodes", &self.live)
+            .field("peak_live_nodes", &self.peak_live)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BddManager {
+    /// Creates an empty manager with no variables.
+    pub fn new() -> BddManager {
+        BddManager {
+            // Slots 0 and 1 are the terminals; their `Node` content is a
+            // placeholder that is never interpreted.
+            nodes: vec![Node::terminal(), Node::terminal()],
+            free: Vec::new(),
+            subtables: Vec::new(),
+            var_names: Vec::new(),
+            var_at_level: Vec::new(),
+            level_of_var: Vec::new(),
+            caches: OpCaches::default(),
+            live: 0,
+            peak_live: 0,
+            gc_runs: 0,
+            gc_reclaimed: 0,
+        }
+    }
+
+    /// Declares a fresh variable placed at the bottom of the current order.
+    ///
+    /// The name is used only for diagnostics and DOT export; it need not be
+    /// unique.
+    pub fn new_var(&mut self, name: impl Into<String>) -> Var {
+        let v = Var(self.var_names.len() as u32);
+        self.var_names.push(name.into());
+        self.level_of_var.push(self.var_at_level.len() as Level);
+        self.var_at_level.push(v);
+        self.subtables.push(HashMap::new());
+        v
+    }
+
+    /// Declares `n` fresh variables named `prefix0..prefix{n-1}`.
+    pub fn new_vars(&mut self, prefix: &str, n: usize) -> Vec<Var> {
+        (0..n).map(|i| self.new_var(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The name given to `v` at declaration time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this manager.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Current level (position in the order, `0` = top) of variable `v`.
+    pub fn level_of(&self, v: Var) -> usize {
+        self.level_of_var[v.index()] as usize
+    }
+
+    /// The variable currently placed at `level`.
+    pub fn var_at(&self, level: usize) -> Var {
+        self.var_at_level[level]
+    }
+
+    /// Current variable order, from top level to bottom.
+    pub fn order(&self) -> Vec<Var> {
+        self.var_at_level.clone()
+    }
+
+    /// The constant-false function.
+    #[inline]
+    pub fn zero(&self) -> Bdd {
+        Bdd::FALSE
+    }
+
+    /// The constant-true function.
+    #[inline]
+    pub fn one(&self) -> Bdd {
+        Bdd::TRUE
+    }
+
+    /// The function of the single positive literal `v`.
+    pub fn var(&mut self, v: Var) -> Bdd {
+        let level = self.level_of_var[v.index()];
+        self.mk(level, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The function of the single negative literal `¬v`.
+    pub fn nvar(&mut self, v: Var) -> Bdd {
+        let level = self.level_of_var[v.index()];
+        self.mk(level, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// The function of a single [`Literal`].
+    pub fn literal(&mut self, lit: Literal) -> Bdd {
+        if lit.is_positive() {
+            self.var(lit.var())
+        } else {
+            self.nvar(lit.var())
+        }
+    }
+
+    /// Hash-consing constructor — the only way nodes are created.
+    pub(crate) fn mk(&mut self, level: Level, lo: Bdd, hi: Bdd) -> Bdd {
+        debug_assert!(!self.node(lo).is_dead() && !self.node(hi).is_dead());
+        debug_assert!(self.level(lo) > level && self.level(hi) > level);
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&found) = self.subtables[level as usize].get(&(lo, hi)) {
+            return found;
+        }
+        let node = Node { level, lo, hi };
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = node;
+                Bdd(slot)
+            }
+            None => {
+                let slot = self.nodes.len() as u32;
+                self.nodes.push(node);
+                Bdd(slot)
+            }
+        };
+        self.subtables[level as usize].insert((lo, hi), id);
+        self.live += 1;
+        if self.live > self.peak_live {
+            self.peak_live = self.live;
+        }
+        id
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, f: Bdd) -> &Node {
+        &self.nodes[f.index()]
+    }
+
+    /// Level of the root node of `f` (terminals are below every variable).
+    #[inline]
+    pub(crate) fn level(&self, f: Bdd) -> Level {
+        if f.is_terminal() {
+            TERMINAL_LEVEL
+        } else {
+            self.nodes[f.index()].level
+        }
+    }
+
+    /// The decision variable at the root of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn root_var(&self, f: Bdd) -> Var {
+        assert!(!f.is_terminal(), "terminals have no root variable");
+        self.var_at_level[self.node(f).level as usize]
+    }
+
+    /// Low (else) child of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn low(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_terminal(), "terminals have no children");
+        self.node(f).lo
+    }
+
+    /// High (then) child of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn high(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_terminal(), "terminals have no children");
+        self.node(f).hi
+    }
+
+    /// Cofactors of `f` with respect to the variable at `level`, i.e.
+    /// `(f|level=0, f|level=1)`. If the root of `f` is below `level` both
+    /// cofactors are `f` itself.
+    #[inline]
+    pub(crate) fn cofactors_at(&self, f: Bdd, level: Level) -> (Bdd, Bdd) {
+        if self.level(f) == level {
+            let n = self.node(f);
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Number of decision nodes in the subgraph rooted at `f` (terminals not
+    /// counted). The quantity reported as "BDD size: final" in Table 1.
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(g) = stack.pop() {
+            if g.is_terminal() || !seen.insert(g) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(g);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// Number of decision nodes in the union of the subgraphs rooted at
+    /// `roots` (shared nodes counted once).
+    pub fn size_many(&self, roots: &[Bdd]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<Bdd> = roots.to_vec();
+        let mut count = 0;
+        while let Some(g) = stack.pop() {
+            if g.is_terminal() || !seen.insert(g) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(g);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// The set of variables the function `f` actually depends on.
+    pub fn support(&self, f: Bdd) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut levels = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(g) = stack.pop() {
+            if g.is_terminal() || !seen.insert(g) {
+                continue;
+            }
+            let n = self.node(g);
+            levels.insert(n.level);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        levels.into_iter().map(|l| self.var_at_level[l as usize]).collect()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ManagerStats {
+        ManagerStats {
+            live_nodes: self.live,
+            peak_live_nodes: self.peak_live,
+            gc_runs: self.gc_runs,
+            gc_reclaimed: self.gc_reclaimed,
+            num_vars: self.num_vars(),
+        }
+    }
+
+    /// Number of live decision nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.live
+    }
+
+    /// High-water mark of live decision nodes.
+    pub fn peak_live_nodes(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Resets the peak-node counter to the current live count.
+    pub fn reset_peak(&mut self) {
+        self.peak_live = self.live;
+    }
+
+    /// Forces the peak counter to at least `peak` (used when merging
+    /// statistics across a rebuild).
+    pub(crate) fn force_peak(&mut self, peak: usize) {
+        if peak > self.peak_live {
+            self.peak_live = peak;
+        }
+    }
+
+    /// Moves variable `v` to `level`. Only legal while the manager holds no
+    /// decision nodes (used by the rebuild-based reorder).
+    pub(crate) fn set_var_level(&mut self, v: Var, level: usize) {
+        assert_eq!(self.live, 0, "cannot re-level variables of a non-empty manager");
+        self.level_of_var[v.index()] = level as Level;
+        self.var_at_level[level] = v;
+    }
+
+    /// Mark-and-sweep garbage collection.
+    ///
+    /// Every node not reachable from `roots` is reclaimed and its slot
+    /// recycled; all operation caches are cleared. Handles other than the
+    /// ones transitively reachable from `roots` become dangling — callers
+    /// must treat them as invalidated.
+    ///
+    /// Returns the number of reclaimed nodes.
+    pub fn gc(&mut self, roots: &[Bdd]) -> usize {
+        let mut marked = vec![false; self.nodes.len()];
+        marked[0] = true;
+        marked[1] = true;
+        let mut stack: Vec<Bdd> = roots.to_vec();
+        while let Some(f) = stack.pop() {
+            let i = f.index();
+            if marked[i] {
+                continue;
+            }
+            marked[i] = true;
+            let n = self.nodes[i];
+            debug_assert!(!n.is_dead(), "root set references a dead node");
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        let mut reclaimed = 0;
+        for i in 2..self.nodes.len() {
+            if marked[i] || self.nodes[i].is_dead() {
+                continue;
+            }
+            let n = self.nodes[i];
+            self.subtables[n.level as usize].remove(&(n.lo, n.hi));
+            self.nodes[i].level = DEAD_LEVEL;
+            self.free.push(i as u32);
+            reclaimed += 1;
+        }
+        self.live -= reclaimed;
+        self.gc_runs += 1;
+        self.gc_reclaimed += reclaimed;
+        self.caches.clear();
+        reclaimed
+    }
+
+    /// Runs [`BddManager::gc`] only when the live-node count exceeds
+    /// `threshold`. Returns the number of reclaimed nodes (0 if no GC ran).
+    pub fn gc_if_above(&mut self, threshold: usize, roots: &[Bdd]) -> usize {
+        if self.live > threshold {
+            self.gc(roots)
+        } else {
+            0
+        }
+    }
+
+    /// Verifies internal invariants (canonicity, ordering, table
+    /// consistency). Intended for tests; O(nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn check_invariants(&self) {
+        for (i, n) in self.nodes.iter().enumerate().skip(2) {
+            if n.is_dead() {
+                continue;
+            }
+            assert!(n.lo != n.hi, "node {i} is redundant");
+            assert!(
+                self.level(n.lo) > n.level && self.level(n.hi) > n.level,
+                "node {i} violates variable order"
+            );
+            assert_eq!(
+                self.subtables[n.level as usize].get(&(n.lo, n.hi)),
+                Some(&Bdd(i as u32)),
+                "node {i} missing from its unique table"
+            );
+        }
+        let live_in_tables: usize = self.subtables.iter().map(|t| t.len()).sum();
+        assert_eq!(live_in_tables, self.live, "live count out of sync");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_creation_and_order() {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.var_name(x), "x");
+        assert_eq!(m.level_of(x), 0);
+        assert_eq!(m.level_of(y), 1);
+        assert_eq!(m.var_at(0), x);
+        assert_eq!(m.order(), vec![x, y]);
+    }
+
+    #[test]
+    fn hash_consing_canonicity() {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let a = m.var(x);
+        let b = m.var(x);
+        assert_eq!(a, b);
+        assert_eq!(m.live_nodes(), 1);
+    }
+
+    #[test]
+    fn literal_nodes() {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let pos = m.var(x);
+        let neg = m.nvar(x);
+        assert_ne!(pos, neg);
+        assert_eq!(m.low(pos), Bdd::FALSE);
+        assert_eq!(m.high(pos), Bdd::TRUE);
+        assert_eq!(m.low(neg), Bdd::TRUE);
+        assert_eq!(m.high(neg), Bdd::FALSE);
+        assert_eq!(m.root_var(pos), x);
+        let lp = m.literal(Literal::positive(x));
+        let ln = m.literal(Literal::negative(x));
+        assert_eq!(lp, pos);
+        assert_eq!(ln, neg);
+    }
+
+    #[test]
+    fn redundant_node_elimination() {
+        let mut m = BddManager::new();
+        let _x = m.new_var("x");
+        let r = m.mk(0, Bdd::TRUE, Bdd::TRUE);
+        assert_eq!(r, Bdd::TRUE);
+        assert_eq!(m.live_nodes(), 0);
+    }
+
+    #[test]
+    fn size_and_support() {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let z = m.new_var("z");
+        let (vx, vy) = (m.var(x), m.var(y));
+        let f = m.and(vx, vy);
+        assert_eq!(m.size(f), 2);
+        assert_eq!(m.support(f), vec![x, y]);
+        assert!(!m.support(f).contains(&z));
+        assert_eq!(m.size(Bdd::TRUE), 0);
+        // f's subgraph (2 nodes) plus the distinct literal node for x.
+        assert_eq!(m.size_many(&[f, vx]), 3);
+    }
+
+    #[test]
+    fn gc_reclaims_garbage_and_keeps_roots() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars("x", 8);
+        let mut f = m.one();
+        for &v in &vars {
+            let lv = m.var(v);
+            f = m.and(f, lv);
+        }
+        // Build garbage.
+        for i in 0..4 {
+            let a = m.var(vars[i]);
+            let b = m.nvar(vars[i + 1]);
+            let _garbage = m.xor(a, b);
+        }
+        let live_before = m.live_nodes();
+        let reclaimed = m.gc(&[f]);
+        assert!(reclaimed > 0);
+        assert_eq!(m.live_nodes(), live_before - reclaimed);
+        // The kept function still has all 8 conjuncts.
+        assert_eq!(m.size(f), 8);
+        m.check_invariants();
+        // Slots are recycled.
+        let before_realloc = m.nodes.len();
+        let a = m.var(vars[0]);
+        let b = m.var(vars[2]);
+        let _g = m.or(a, b);
+        assert_eq!(m.nodes.len(), before_realloc);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars("x", 6);
+        let mut f = m.zero();
+        for &v in &vars {
+            let lv = m.var(v);
+            f = m.or(f, lv);
+        }
+        let peak = m.peak_live_nodes();
+        assert!(peak >= m.live_nodes());
+        m.gc(&[f]);
+        assert!(m.peak_live_nodes() >= m.live_nodes());
+        m.reset_peak();
+        assert_eq!(m.peak_live_nodes(), m.live_nodes());
+    }
+
+    #[test]
+    fn gc_if_above_threshold() {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let (a, b) = (m.var(x), m.var(y));
+        let _g = m.xor(a, b);
+        assert_eq!(m.gc_if_above(1_000_000, &[]), 0);
+        assert!(m.gc_if_above(0, &[]) > 0);
+        assert_eq!(m.live_nodes(), 0);
+    }
+}

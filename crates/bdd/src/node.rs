@@ -1,0 +1,204 @@
+//! Node-level types for the BDD manager.
+//!
+//! A BDD is a directed acyclic graph of decision [`Node`]s plus the two
+//! terminal nodes `FALSE` and `TRUE`. Nodes are stored in a single arena
+//! inside [`crate::BddManager`] and referenced by [`Bdd`] handles (plain
+//! indices). A [`Var`] names a boolean variable independently of its current
+//! position (level) in the variable order.
+
+use std::fmt;
+
+/// Handle to a BDD node (a boolean function rooted at that node).
+///
+/// `Bdd` values are plain indices into the owning [`crate::BddManager`]'s
+/// node arena. They are only meaningful together with the manager that
+/// created them; mixing handles across managers is a logic error that the
+/// manager detects in debug builds.
+///
+/// # Examples
+///
+/// ```
+/// use stgcheck_bdd::BddManager;
+/// let mut m = BddManager::new();
+/// let x = m.new_var("x");
+/// let f = m.var(x);
+/// assert!(f != m.zero() && f != m.one());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant-false terminal.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true terminal.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Returns `true` if this handle is one of the two terminal nodes.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Returns `true` if this handle is the constant-false terminal.
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    /// Returns `true` if this handle is the constant-true terminal.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    /// Raw arena index of this node. Exposed for diagnostics and DOT export.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Bdd::FALSE => write!(f, "Bdd(FALSE)"),
+            Bdd::TRUE => write!(f, "Bdd(TRUE)"),
+            Bdd(i) => write!(f, "Bdd({i})"),
+        }
+    }
+}
+
+/// A boolean variable, identified independently of its level in the order.
+///
+/// Variables are created with [`crate::BddManager::new_var`] and keep their
+/// identity when the manager is rebuilt under a different order.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Zero-based index of the variable in creation order.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a variable from a raw creation-order index.
+    ///
+    /// Only meaningful for indices previously returned by
+    /// [`crate::BddManager::new_var`] on the same manager.
+    #[inline]
+    pub fn from_index(i: usize) -> Var {
+        Var(i as u32)
+    }
+}
+
+/// Level of a node in the variable order: `0` is the topmost level.
+pub(crate) type Level = u32;
+
+/// Sentinel level for the two terminal nodes (below every variable).
+pub(crate) const TERMINAL_LEVEL: Level = u32::MAX;
+
+/// Sentinel level marking a node slot as dead (on the free list).
+pub(crate) const DEAD_LEVEL: Level = u32::MAX - 1;
+
+/// Internal decision node: "if `var(level)` then `hi` else `lo`".
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) struct Node {
+    pub level: Level,
+    pub lo: Bdd,
+    pub hi: Bdd,
+}
+
+impl Node {
+    pub(crate) const fn terminal() -> Node {
+        Node { level: TERMINAL_LEVEL, lo: Bdd::FALSE, hi: Bdd::TRUE }
+    }
+
+    #[inline]
+    pub(crate) fn is_dead(&self) -> bool {
+        self.level == DEAD_LEVEL
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Used to build cubes and to report satisfying assignments.
+///
+/// # Examples
+///
+/// ```
+/// use stgcheck_bdd::{BddManager, Literal};
+/// let mut m = BddManager::new();
+/// let x = m.new_var("x");
+/// let lit = Literal::positive(x);
+/// assert_eq!(lit.var(), x);
+/// assert!(lit.is_positive());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Literal {
+    var: Var,
+    positive: bool,
+}
+
+impl Literal {
+    /// Creates the positive literal `v`.
+    pub fn positive(var: Var) -> Literal {
+        Literal { var, positive: true }
+    }
+
+    /// Creates the negative literal `¬v`.
+    pub fn negative(var: Var) -> Literal {
+        Literal { var, positive: false }
+    }
+
+    /// Creates a literal with an explicit polarity.
+    pub fn new(var: Var, positive: bool) -> Literal {
+        Literal { var, positive }
+    }
+
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        self.var
+    }
+
+    /// `true` for `v`, `false` for `¬v`.
+    pub fn is_positive(self) -> bool {
+        self.positive
+    }
+
+    /// The same variable with the opposite polarity.
+    pub fn negated(self) -> Literal {
+        Literal { var: self.var, positive: !self.positive }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_predicates() {
+        assert!(Bdd::FALSE.is_terminal());
+        assert!(Bdd::TRUE.is_terminal());
+        assert!(Bdd::FALSE.is_false());
+        assert!(Bdd::TRUE.is_true());
+        assert!(!Bdd(5).is_terminal());
+    }
+
+    #[test]
+    fn literal_roundtrip() {
+        let v = Var(3);
+        let l = Literal::negative(v);
+        assert_eq!(l.var(), v);
+        assert!(!l.is_positive());
+        assert_eq!(l.negated(), Literal::positive(v));
+        assert_eq!(l.negated().negated(), l);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Bdd::FALSE), "Bdd(FALSE)");
+        assert_eq!(format!("{:?}", Bdd::TRUE), "Bdd(TRUE)");
+        assert_eq!(format!("{:?}", Bdd(7)), "Bdd(7)");
+    }
+}

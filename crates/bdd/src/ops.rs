@@ -1,0 +1,375 @@
+//! Boolean operations on BDDs: negation, the binary connectives and `ite`.
+//!
+//! All operations are memoised in the manager's operation caches, so repeated
+//! sub-problems cost a hash lookup. Results are canonical: two calls that
+//! compute the same function return the same handle.
+
+use crate::manager::{BddManager, BinOp};
+use crate::node::Bdd;
+
+impl BddManager {
+    /// Logical negation `¬f`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stgcheck_bdd::BddManager;
+    /// let mut m = BddManager::new();
+    /// let x = m.new_var("x");
+    /// let f = m.var(x);
+    /// let nf = m.not(f);
+    /// assert_eq!(nf, m.nvar(x));
+    /// assert_eq!(m.not(nf), f);
+    /// ```
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        if f.is_false() {
+            return Bdd::TRUE;
+        }
+        if f.is_true() {
+            return Bdd::FALSE;
+        }
+        if let Some(&r) = self.caches.not.get(&f) {
+            return r;
+        }
+        let n = *self.node(f);
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.mk(n.level, lo, hi);
+        self.caches.not.insert(f, r);
+        self.caches.not.insert(r, f);
+        r
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        // Terminal and trivial cases.
+        if f.is_false() || g.is_false() {
+            return Bdd::FALSE;
+        }
+        if f.is_true() {
+            return g;
+        }
+        if g.is_true() || f == g {
+            return f;
+        }
+        let key = (BinOp::And, f.min(g), f.max(g));
+        if let Some(&r) = self.caches.bin.get(&key) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let lo = self.and(f0, g0);
+        let hi = self.and(f1, g1);
+        let r = self.mk(top, lo, hi);
+        self.caches.bin.insert(key, r);
+        r
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        if f.is_true() || g.is_true() {
+            return Bdd::TRUE;
+        }
+        if f.is_false() {
+            return g;
+        }
+        if g.is_false() || f == g {
+            return f;
+        }
+        let key = (BinOp::Or, f.min(g), f.max(g));
+        if let Some(&r) = self.caches.bin.get(&key) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let lo = self.or(f0, g0);
+        let hi = self.or(f1, g1);
+        let r = self.mk(top, lo, hi);
+        self.caches.bin.insert(key, r);
+        r
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        if f == g {
+            return Bdd::FALSE;
+        }
+        if f.is_false() {
+            return g;
+        }
+        if g.is_false() {
+            return f;
+        }
+        if f.is_true() {
+            return self.not(g);
+        }
+        if g.is_true() {
+            return self.not(f);
+        }
+        let key = (BinOp::Xor, f.min(g), f.max(g));
+        if let Some(&r) = self.caches.bin.get(&key) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let lo = self.xor(f0, g0);
+        let hi = self.xor(f1, g1);
+        let r = self.mk(top, lo, hi);
+        self.caches.bin.insert(key, r);
+        r
+    }
+
+    /// Set difference `f ∧ ¬g` — the idiom used throughout the traversal
+    /// algorithms (`New = From − Reached`).
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let nf = self.not(f);
+        self.or(nf, g)
+    }
+
+    /// Biconditional `f ↔ g`.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// If-then-else `(f ∧ g) ∨ (¬f ∧ h)`, the universal connective.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        if g.is_false() && h.is_true() {
+            return self.not(f);
+        }
+        if let Some(&r) = self.caches.ite.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.caches.ite.insert((f, g, h), r);
+        r
+    }
+
+    /// Functional composition: substitutes `g` for variable `v` in `f`
+    /// (`f[v := g]`), by Shannon expansion `ite(g, f|ᵥ₌₁, f|ᵥ₌₀)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stgcheck_bdd::BddManager;
+    /// let mut m = BddManager::new();
+    /// let x = m.new_var("x");
+    /// let y = m.new_var("y");
+    /// let z = m.new_var("z");
+    /// let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
+    /// let f = m.and(vx, vy);
+    /// let g = m.or(vy, vz);
+    /// let h = m.compose(f, x, g); // (y∨z) ∧ y = y
+    /// assert_eq!(h, vy);
+    /// ```
+    pub fn compose(&mut self, f: Bdd, v: crate::Var, g: Bdd) -> Bdd {
+        let f1 = self.restrict(f, v, true);
+        let f0 = self.restrict(f, v, false);
+        self.ite(g, f1, f0)
+    }
+
+    /// Conjunction of many functions. Returns `TRUE` for an empty slice.
+    pub fn and_many(&mut self, fs: &[Bdd]) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for &f in fs {
+            acc = self.and(acc, f);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of many functions. Returns `FALSE` for an empty slice.
+    pub fn or_many(&mut self, fs: &[Bdd]) -> Bdd {
+        let mut acc = Bdd::FALSE;
+        for &f in fs {
+            acc = self.or(acc, f);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Tests whether `f ∧ g` is satisfiable without necessarily building the
+    /// full conjunction (set-intersection emptiness test).
+    pub fn intersects(&mut self, f: Bdd, g: Bdd) -> bool {
+        // The conjunction is memoised anyway; building it is the simplest
+        // correct implementation and the caches keep it cheap.
+        !self.and(f, g).is_false()
+    }
+
+    /// Tests language inclusion `f ⊆ g` (i.e. `f → g` is a tautology).
+    pub fn is_subset(&mut self, f: Bdd, g: Bdd) -> bool {
+        self.diff(f, g).is_false()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BddManager, Bdd, Bdd, Bdd) {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let z = m.new_var("z");
+        let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
+        (m, vx, vy, vz)
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut m, x, y, _) = setup();
+        let lhs0 = m.and(x, y);
+        let lhs = m.not(lhs0);
+        let (nx, ny) = (m.not(x), m.not(y));
+        let rhs = m.or(nx, ny);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn double_negation() {
+        let (mut m, x, y, _) = setup();
+        let f = m.xor(x, y);
+        let nf = m.not(f);
+        assert_eq!(m.not(nf), f);
+    }
+
+    #[test]
+    fn and_or_absorption() {
+        let (mut m, x, y, _) = setup();
+        let xy = m.and(x, y);
+        assert_eq!(m.or(x, xy), x);
+        let x_or_y = m.or(x, y);
+        assert_eq!(m.and(x, x_or_y), x);
+    }
+
+    #[test]
+    fn xor_properties() {
+        let (mut m, x, y, _) = setup();
+        assert_eq!(m.xor(x, x), Bdd::FALSE);
+        let t = m.one();
+        let nx = m.not(x);
+        assert_eq!(m.xor(x, t), nx);
+        let a = m.xor(x, y);
+        let b = m.xor(y, x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ite_equals_definition() {
+        let (mut m, f, g, h) = setup();
+        let ite = m.ite(f, g, h);
+        let fg = m.and(f, g);
+        let nf = m.not(f);
+        let nfh = m.and(nf, h);
+        let by_def = m.or(fg, nfh);
+        assert_eq!(ite, by_def);
+    }
+
+    #[test]
+    fn implies_and_iff() {
+        let (mut m, x, y, _) = setup();
+        let imp = m.implies(x, y);
+        let nx = m.not(x);
+        let expected = m.or(nx, y);
+        assert_eq!(imp, expected);
+        let iff = m.iff(x, x);
+        assert!(iff.is_true());
+        let iff_xy = m.iff(x, y);
+        let xnor0 = m.xor(x, y);
+        let xnor = m.not(xnor0);
+        assert_eq!(iff_xy, xnor);
+    }
+
+    #[test]
+    fn diff_is_relative_complement() {
+        let (mut m, x, y, _) = setup();
+        let d = m.diff(x, y);
+        let ny = m.not(y);
+        let expected = m.and(x, ny);
+        assert_eq!(d, expected);
+        assert!(m.is_subset(d, x));
+        assert!(!m.intersects(d, y));
+    }
+
+    #[test]
+    fn many_variants() {
+        let (mut m, x, y, z) = setup();
+        let all = m.and_many(&[x, y, z]);
+        let xy = m.and(x, y);
+        let expected = m.and(xy, z);
+        assert_eq!(all, expected);
+        assert_eq!(m.and_many(&[]), Bdd::TRUE);
+        let any = m.or_many(&[x, y, z]);
+        let xoy = m.or(x, y);
+        let expected = m.or(xoy, z);
+        assert_eq!(any, expected);
+        assert_eq!(m.or_many(&[]), Bdd::FALSE);
+    }
+
+    #[test]
+    fn compose_laws() {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let z = m.new_var("z");
+        let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
+        let f = m.xor(vx, vy);
+        // Identity substitution.
+        assert_eq!(m.compose(f, x, vx), f);
+        // Constant substitution equals restriction.
+        let t = m.one();
+        let composed = m.compose(f, x, t);
+        let restricted = m.restrict(f, x, true);
+        assert_eq!(composed, restricted);
+        // Substituting z for x: x⊕y becomes z⊕y.
+        let h = m.compose(f, x, vz);
+        let expected = m.xor(vz, vy);
+        assert_eq!(h, expected);
+        // Variables not in the support are untouched.
+        assert_eq!(m.compose(f, z, vy), f);
+    }
+
+    #[test]
+    fn subset_and_intersection() {
+        let (mut m, x, y, _) = setup();
+        let xy = m.and(x, y);
+        assert!(m.is_subset(xy, x));
+        assert!(m.is_subset(xy, y));
+        assert!(!m.is_subset(x, xy));
+        assert!(m.intersects(x, y));
+        let nx = m.not(x);
+        assert!(!m.intersects(x, nx));
+    }
+}

@@ -1,0 +1,438 @@
+//! Quantification and cofactors: the workhorses of symbolic traversal.
+//!
+//! The paper's transition function (Section 4) is computed entirely from
+//! *cube cofactors* (`f_c`: restrict `f` by the literals of a cube `c` and
+//! drop those variables) and products. Reachability additionally needs
+//! existential abstraction `∃x.f` and the fused relational product
+//! [`BddManager::and_exists`].
+
+use crate::manager::{BddManager, BinOp};
+use crate::node::{Bdd, Literal, Var};
+
+impl BddManager {
+    /// Builds the cube (conjunction of literals) `∧ lits`.
+    ///
+    /// Duplicate literals are allowed; contradictory literals yield `FALSE`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stgcheck_bdd::{BddManager, Literal};
+    /// let mut m = BddManager::new();
+    /// let x = m.new_var("x");
+    /// let y = m.new_var("y");
+    /// let c = m.cube(&[Literal::positive(x), Literal::negative(y)]);
+    /// let vx = m.var(x);
+    /// let ny = m.nvar(y);
+    /// assert_eq!(c, m.and(vx, ny));
+    /// ```
+    pub fn cube(&mut self, lits: &[Literal]) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        // Conjoin bottom-up (deepest level first) so each `and` is O(1)-ish.
+        let mut sorted: Vec<Literal> = lits.to_vec();
+        sorted.sort_by_key(|l| std::cmp::Reverse(self.level_of(l.var())));
+        for l in sorted {
+            let lit = self.literal(l);
+            acc = self.and(lit, acc);
+        }
+        acc
+    }
+
+    /// Builds the positive cube `∧ vars`, the usual quantification prefix.
+    pub fn vars_cube(&mut self, vars: &[Var]) -> Bdd {
+        let lits: Vec<Literal> = vars.iter().map(|&v| Literal::positive(v)).collect();
+        self.cube(&lits)
+    }
+
+    /// Returns `true` if `f` is a cube: a single path to `TRUE`.
+    pub fn is_cube(&self, f: Bdd) -> bool {
+        let mut g = f;
+        if g.is_false() {
+            return false;
+        }
+        while !g.is_terminal() {
+            let n = self.node(g);
+            match (n.lo.is_false(), n.hi.is_false()) {
+                (true, false) => g = n.hi,
+                (false, true) => g = n.lo,
+                _ => return false,
+            }
+        }
+        g.is_true()
+    }
+
+    /// Decomposes a cube into its literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a cube (see [`BddManager::is_cube`]).
+    pub fn cube_literals(&self, f: Bdd) -> Vec<Literal> {
+        assert!(self.is_cube(f), "cube_literals called on a non-cube");
+        let mut lits = Vec::new();
+        let mut g = f;
+        while !g.is_terminal() {
+            let n = self.node(g);
+            let v = self.var_at(n.level as usize);
+            if n.lo.is_false() {
+                lits.push(Literal::positive(v));
+                g = n.hi;
+            } else {
+                lits.push(Literal::negative(v));
+                g = n.lo;
+            }
+        }
+        lits
+    }
+
+    /// Restricts `f` by `v = value` (Shannon cofactor w.r.t. one literal).
+    pub fn restrict(&mut self, f: Bdd, v: Var, value: bool) -> Bdd {
+        let lit = Literal::new(v, value);
+        let c = self.literal(lit);
+        self.cofactor_cube(f, c)
+    }
+
+    /// Generalised cofactor `f_c` of `f` with respect to a cube `c`
+    /// (Section 4 of the paper): every variable of `c` is fixed to its
+    /// polarity in `c` and *removed* from the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `c` is not a cube.
+    pub fn cofactor_cube(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        debug_assert!(self.is_cube(c), "cofactor requires a cube");
+        self.cofactor_rec(f, c)
+    }
+
+    fn cofactor_rec(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        if c.is_true() || f.is_terminal() {
+            return f;
+        }
+        let key = (BinOp::CofactorCube, f, c);
+        if let Some(&r) = self.caches.bin.get(&key) {
+            return r;
+        }
+        let fl = self.level(f);
+        let cl = self.level(c);
+        let r = if cl < fl {
+            // `f` does not depend on the cube's top variable: skip it.
+            let cn = *self.node(c);
+            let next = if cn.lo.is_false() { cn.hi } else { cn.lo };
+            self.cofactor_rec(f, next)
+        } else if cl == fl {
+            let fn_ = *self.node(f);
+            let cn = *self.node(c);
+            if cn.lo.is_false() {
+                self.cofactor_rec(fn_.hi, cn.hi)
+            } else {
+                self.cofactor_rec(fn_.lo, cn.lo)
+            }
+        } else {
+            let fn_ = *self.node(f);
+            let lo = self.cofactor_rec(fn_.lo, c);
+            let hi = self.cofactor_rec(fn_.hi, c);
+            self.mk(fl, lo, hi)
+        };
+        self.caches.bin.insert(key, r);
+        r
+    }
+
+    /// Existential abstraction `∃ vars(c) . f` where `c` is a (positive)
+    /// cube listing the variables to abstract.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stgcheck_bdd::BddManager;
+    /// let mut m = BddManager::new();
+    /// let x = m.new_var("x");
+    /// let y = m.new_var("y");
+    /// let (vx, vy) = (m.var(x), m.var(y));
+    /// let f = m.and(vx, vy);
+    /// let cube = m.vars_cube(&[x]);
+    /// assert_eq!(m.exists(f, cube), vy); // ∃x. x∧y = y
+    /// ```
+    pub fn exists(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        debug_assert!(self.is_cube(c), "quantification prefix must be a cube");
+        self.exists_rec(f, c)
+    }
+
+    fn exists_rec(&mut self, f: Bdd, mut c: Bdd) -> Bdd {
+        if f.is_terminal() {
+            return f;
+        }
+        // Skip cube variables above the root of f.
+        while !c.is_terminal() && self.level(c) < self.level(f) {
+            let n = self.node(c);
+            c = if n.lo.is_false() { n.hi } else { n.lo };
+        }
+        if c.is_true() {
+            return f;
+        }
+        let key = (BinOp::Exists, f, c);
+        if let Some(&r) = self.caches.bin.get(&key) {
+            return r;
+        }
+        let fl = self.level(f);
+        let cl = self.level(c);
+        let fn_ = *self.node(f);
+        let r = if cl == fl {
+            let cn = *self.node(c);
+            let next = if cn.lo.is_false() { cn.hi } else { cn.lo };
+            let lo = self.exists_rec(fn_.lo, next);
+            let hi = self.exists_rec(fn_.hi, next);
+            self.or(lo, hi)
+        } else {
+            let lo = self.exists_rec(fn_.lo, c);
+            let hi = self.exists_rec(fn_.hi, c);
+            self.mk(fl, lo, hi)
+        };
+        self.caches.bin.insert(key, r);
+        r
+    }
+
+    /// Universal abstraction `∀ vars(c) . f`.
+    pub fn forall(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        debug_assert!(self.is_cube(c), "quantification prefix must be a cube");
+        self.forall_rec(f, c)
+    }
+
+    fn forall_rec(&mut self, f: Bdd, mut c: Bdd) -> Bdd {
+        if f.is_terminal() {
+            return f;
+        }
+        while !c.is_terminal() && self.level(c) < self.level(f) {
+            let n = self.node(c);
+            c = if n.lo.is_false() { n.hi } else { n.lo };
+        }
+        if c.is_true() {
+            return f;
+        }
+        let key = (BinOp::Forall, f, c);
+        if let Some(&r) = self.caches.bin.get(&key) {
+            return r;
+        }
+        let fl = self.level(f);
+        let cl = self.level(c);
+        let fn_ = *self.node(f);
+        let r = if cl == fl {
+            let cn = *self.node(c);
+            let next = if cn.lo.is_false() { cn.hi } else { cn.lo };
+            let lo = self.forall_rec(fn_.lo, next);
+            let hi = self.forall_rec(fn_.hi, next);
+            self.and(lo, hi)
+        } else {
+            let lo = self.forall_rec(fn_.lo, c);
+            let hi = self.forall_rec(fn_.hi, c);
+            self.mk(fl, lo, hi)
+        };
+        self.caches.bin.insert(key, r);
+        r
+    }
+
+    /// Fused relational product `∃ vars(c) . (f ∧ g)`.
+    ///
+    /// Avoids materialising the intermediate conjunction, which is the
+    /// classic optimisation for image computations.
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, c: Bdd) -> Bdd {
+        debug_assert!(self.is_cube(c), "quantification prefix must be a cube");
+        self.and_exists_rec(f, g, c)
+    }
+
+    fn and_exists_rec(&mut self, f: Bdd, g: Bdd, c: Bdd) -> Bdd {
+        if f.is_false() || g.is_false() {
+            return Bdd::FALSE;
+        }
+        if f.is_true() {
+            return self.exists_rec(g, c);
+        }
+        if g.is_true() {
+            return self.exists_rec(f, c);
+        }
+        if c.is_true() {
+            return self.and(f, g);
+        }
+        let (a, b) = (f.min(g), f.max(g));
+        if let Some(&r) = self.caches.and_exists.get(&(a, b, c)) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g));
+        // Skip cube variables above both operands.
+        let mut c2 = c;
+        while !c2.is_terminal() && self.level(c2) < top {
+            let n = self.node(c2);
+            c2 = if n.lo.is_false() { n.hi } else { n.lo };
+        }
+        if c2.is_true() {
+            let r = self.and(f, g);
+            self.caches.and_exists.insert((a, b, c), r);
+            return r;
+        }
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let r = if self.level(c2) == top {
+            let cn = *self.node(c2);
+            let next = if cn.lo.is_false() { cn.hi } else { cn.lo };
+            let lo = self.and_exists_rec(f0, g0, next);
+            if lo.is_true() {
+                // Early termination: the disjunction is already TRUE.
+                Bdd::TRUE
+            } else {
+                let hi = self.and_exists_rec(f1, g1, next);
+                self.or(lo, hi)
+            }
+        } else {
+            let lo = self.and_exists_rec(f0, g0, c2);
+            let hi = self.and_exists_rec(f1, g1, c2);
+            self.mk(top, lo, hi)
+        };
+        self.caches.and_exists.insert((a, b, c), r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup3() -> (BddManager, Var, Var, Var) {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let z = m.new_var("z");
+        (m, x, y, z)
+    }
+
+    #[test]
+    fn cube_building_and_decomposition() {
+        let (mut m, x, y, z) = setup3();
+        let lits = vec![Literal::positive(x), Literal::negative(y), Literal::positive(z)];
+        let c = m.cube(&lits);
+        assert!(m.is_cube(c));
+        let mut back = m.cube_literals(c);
+        back.sort();
+        let mut expect = lits.clone();
+        expect.sort();
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn contradictory_cube_is_false() {
+        let (mut m, x, _, _) = setup3();
+        let c = m.cube(&[Literal::positive(x), Literal::negative(x)]);
+        assert!(c.is_false());
+        assert!(!m.is_cube(c));
+    }
+
+    #[test]
+    fn non_cube_detection() {
+        let (mut m, x, y, _) = setup3();
+        let (vx, vy) = (m.var(x), m.var(y));
+        let f = m.or(vx, vy);
+        assert!(!m.is_cube(f));
+        assert!(m.is_cube(m.one()));
+    }
+
+    #[test]
+    fn restrict_single_literal() {
+        let (mut m, x, y, _) = setup3();
+        let (vx, vy) = (m.var(x), m.var(y));
+        let f = m.xor(vx, vy);
+        let f_x1 = m.restrict(f, x, true);
+        let ny = m.nvar(y);
+        assert_eq!(f_x1, ny);
+        let f_x0 = m.restrict(f, x, false);
+        assert_eq!(f_x0, vy);
+    }
+
+    #[test]
+    fn cofactor_cube_matches_sequential_restrict() {
+        let (mut m, x, y, z) = setup3();
+        let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
+        let xy = m.and(vx, vy);
+        let f = m.or(xy, vz);
+        let c = m.cube(&[Literal::positive(x), Literal::negative(z)]);
+        let via_cube = m.cofactor_cube(f, c);
+        let step1 = m.restrict(f, x, true);
+        let step2 = m.restrict(step1, z, false);
+        assert_eq!(via_cube, step2);
+        assert_eq!(via_cube, vy); // (1∧y)∨0 = y
+    }
+
+    #[test]
+    fn exists_removes_variable() {
+        let (mut m, x, y, _) = setup3();
+        let (vx, vy) = (m.var(x), m.var(y));
+        let f = m.and(vx, vy);
+        let cx = m.vars_cube(&[x]);
+        let g = m.exists(f, cx);
+        assert_eq!(g, vy);
+        assert!(m.support(g).iter().all(|&v| v != x));
+    }
+
+    #[test]
+    fn exists_is_disjunction_of_cofactors() {
+        let (mut m, x, y, z) = setup3();
+        let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
+        let t0 = m.and(vx, vy);
+        let nz = m.not(vz);
+        let t1 = m.xor(vy, nz);
+        let f = m.or(t0, t1);
+        for v in [x, y, z] {
+            let c = m.vars_cube(&[v]);
+            let q = m.exists(f, c);
+            let f0 = m.restrict(f, v, false);
+            let f1 = m.restrict(f, v, true);
+            let expected = m.or(f0, f1);
+            assert_eq!(q, expected);
+        }
+    }
+
+    #[test]
+    fn forall_is_dual_of_exists() {
+        let (mut m, x, y, z) = setup3();
+        let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
+        let t0 = m.or(vx, vy);
+        let f = m.and(t0, vz);
+        let c = m.vars_cube(&[x, z]);
+        let all = m.forall(f, c);
+        let nf = m.not(f);
+        let ex = m.exists(nf, c);
+        let dual = m.not(ex);
+        assert_eq!(all, dual);
+    }
+
+    #[test]
+    fn and_exists_equals_unfused() {
+        let (mut m, x, y, z) = setup3();
+        let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
+        let f = m.or(vx, vy);
+        let g = m.xor(vy, vz);
+        let c = m.vars_cube(&[y]);
+        let fused = m.and_exists(f, g, c);
+        let conj = m.and(f, g);
+        let unfused = m.exists(conj, c);
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn quantifying_irrelevant_vars_is_identity() {
+        let (mut m, x, y, z) = setup3();
+        let (vx, vy) = (m.var(x), m.var(y));
+        let f = m.and(vx, vy);
+        let cz = m.vars_cube(&[z]);
+        assert_eq!(m.exists(f, cz), f);
+        assert_eq!(m.forall(f, cz), f);
+    }
+
+    #[test]
+    fn exists_over_whole_support_gives_constant() {
+        let (mut m, x, y, _) = setup3();
+        let (vx, vy) = (m.var(x), m.var(y));
+        let f = m.and(vx, vy);
+        let c = m.vars_cube(&[x, y]);
+        assert!(m.exists(f, c).is_true());
+        assert!(m.forall(f, c).is_false());
+        let zero = m.zero();
+        assert!(m.exists(zero, c).is_false());
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests: the BDD engine against truth-table reference
+//! semantics, plus the algebraic laws the symbolic algorithms rely on.
+
+use proptest::prelude::*;
+use stgcheck_bdd::{Bdd, BddManager, BoolExpr, Literal, Var};
+
+const NVARS: usize = 6;
+
+/// Strategy for random boolean expressions over `x0..x{NVARS-1}`.
+fn arb_expr() -> impl Strategy<Value = BoolExpr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(|i| BoolExpr::Var(format!("x{i}"))),
+        any::<bool>().prop_map(BoolExpr::Const),
+    ];
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| BoolExpr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolExpr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolExpr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolExpr::Imp(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| BoolExpr::Iff(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Builds a manager with `NVARS` variables and compiles `e` into it.
+fn compile(e: &BoolExpr) -> (BddManager, Bdd) {
+    let mut m = BddManager::new();
+    let vars = m.new_vars("x", NVARS);
+    let f = e.to_bdd(&mut m, &|name| {
+        let idx: usize = name[1..].parse().ok()?;
+        vars.get(idx).copied()
+    });
+    (m, f)
+}
+
+fn assignment_from_bits(bits: u32) -> Vec<bool> {
+    (0..NVARS).map(|i| bits & (1 << i) != 0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The compiled BDD agrees with direct expression evaluation on every
+    /// assignment.
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let (m, f) = compile(&e);
+        for bits in 0..(1u32 << NVARS) {
+            let a = assignment_from_bits(bits);
+            let expected = e.eval(&|name| {
+                let idx: usize = name[1..].parse().ok()?;
+                a.get(idx).copied()
+            });
+            prop_assert_eq!(m.eval(f, &a), expected);
+        }
+    }
+
+    /// sat_count equals brute-force model counting.
+    #[test]
+    fn sat_count_matches_enumeration(e in arb_expr()) {
+        let (m, f) = compile(&e);
+        let mut expected = 0u128;
+        for bits in 0..(1u32 << NVARS) {
+            if m.eval(f, &assignment_from_bits(bits)) {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(m.sat_count(f), expected);
+    }
+
+    /// ∃x.f ≡ f|x=0 ∨ f|x=1 and ∀x.f ≡ f|x=0 ∧ f|x=1, for every variable.
+    #[test]
+    fn quantifier_shannon_laws(e in arb_expr(), vi in 0..NVARS) {
+        let (mut m, f) = compile(&e);
+        let v = Var::from_index(vi);
+        let c = m.vars_cube(&[v]);
+        let f0 = m.restrict(f, v, false);
+        let f1 = m.restrict(f, v, true);
+        let ex = m.exists(f, c);
+        let ex_expected = m.or(f0, f1);
+        prop_assert_eq!(ex, ex_expected);
+        let fa = m.forall(f, c);
+        let fa_expected = m.and(f0, f1);
+        prop_assert_eq!(fa, fa_expected);
+    }
+
+    /// and_exists(f, g, c) ≡ exists(f ∧ g, c).
+    #[test]
+    fn relational_product_fusion(e1 in arb_expr(), e2 in arb_expr(), mask in 0u32..(1 << NVARS)) {
+        let (mut m, _) = compile(&e1);
+        let vars: Vec<Var> = (0..NVARS).map(Var::from_index).collect();
+        let resolve = |name: &str| -> Option<Var> {
+            let idx: usize = name[1..].parse().ok()?;
+            vars.get(idx).copied()
+        };
+        let f = e1.to_bdd(&mut m, &resolve);
+        let g = e2.to_bdd(&mut m, &resolve);
+        let quantified: Vec<Var> = (0..NVARS)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(Var::from_index)
+            .collect();
+        let c = m.vars_cube(&quantified);
+        let fused = m.and_exists(f, g, c);
+        let conj = m.and(f, g);
+        let unfused = m.exists(conj, c);
+        prop_assert_eq!(fused, unfused);
+    }
+
+    /// Cofactor by a cube equals iterated single-variable restriction.
+    #[test]
+    fn cube_cofactor_is_iterated_restrict(e in arb_expr(), mask in 0u32..(1 << NVARS), pol in 0u32..(1 << NVARS)) {
+        let (mut m, f) = compile(&e);
+        let lits: Vec<Literal> = (0..NVARS)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| Literal::new(Var::from_index(i), pol & (1 << i) != 0))
+            .collect();
+        let cube = m.cube(&lits);
+        let via_cube = m.cofactor_cube(f, cube);
+        let mut acc = f;
+        for l in &lits {
+            acc = m.restrict(acc, l.var(), l.is_positive());
+        }
+        prop_assert_eq!(via_cube, acc);
+    }
+
+    /// Rebuilding under a random permutation preserves semantics and
+    /// invariants.
+    #[test]
+    fn reorder_preserves_semantics(e in arb_expr(), perm in Just(()).prop_perturb(|_, mut rng| {
+        let mut p: Vec<usize> = (0..NVARS).collect();
+        for i in (1..NVARS).rev() {
+            let j = (rng.next_u32() as usize) % (i + 1);
+            p.swap(i, j);
+        }
+        p
+    })) {
+        let (m, f) = compile(&e);
+        let order: Vec<Var> = perm.into_iter().map(Var::from_index).collect();
+        let (m2, roots) = m.rebuild_with_order(&order, &[f]);
+        m2.check_invariants();
+        for bits in 0..(1u32 << NVARS) {
+            let a = assignment_from_bits(bits);
+            prop_assert_eq!(m.eval(f, &a), m2.eval(roots[0], &a));
+        }
+    }
+
+    /// GC never changes kept functions.
+    #[test]
+    fn gc_preserves_roots(e1 in arb_expr(), e2 in arb_expr()) {
+        let (mut m, _) = compile(&e1);
+        let vars: Vec<Var> = (0..NVARS).map(Var::from_index).collect();
+        let resolve = |name: &str| -> Option<Var> {
+            let idx: usize = name[1..].parse().ok()?;
+            vars.get(idx).copied()
+        };
+        let f = e1.to_bdd(&mut m, &resolve);
+        let _garbage = e2.to_bdd(&mut m, &resolve);
+        let count_before = m.sat_count(f);
+        let size_before = m.size(f);
+        m.gc(&[f]);
+        m.check_invariants();
+        prop_assert_eq!(m.sat_count(f), count_before);
+        prop_assert_eq!(m.size(f), size_before);
+        // Rebuilding the same function after GC yields the same handle.
+        let f2 = e1.to_bdd(&mut m, &resolve);
+        prop_assert_eq!(f, f2);
+    }
+
+    /// Cube enumeration partitions the on-set: cubes are disjoint and their
+    /// union is the function.
+    #[test]
+    fn cubes_partition_function(e in arb_expr()) {
+        let (mut m, f) = compile(&e);
+        let cubes: Vec<Vec<Literal>> = m.cubes(f).collect();
+        let mut union = m.zero();
+        let mut total = 0u128;
+        for lits in &cubes {
+            let c = m.cube(lits);
+            prop_assert!(!m.intersects(union, c), "cubes overlap");
+            union = m.or(union, c);
+            total += 1u128 << (NVARS - lits.len());
+        }
+        prop_assert_eq!(union, f);
+        prop_assert_eq!(total, m.sat_count(f));
+    }
+}

@@ -1,0 +1,116 @@
+//! Regenerates the paper's Table 1: for every benchmark STG, the number of
+//! places and signals, the reachable state count, the peak and final BDD
+//! sizes, and the CPU time of each verification phase (T+C, NI-p, Com,
+//! CSC) plus the total.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p stgcheck-bench --bin table1 [--explicit] [--order <strategy>]
+//! ```
+//!
+//! * `--explicit` additionally times the explicit state-graph baseline on
+//!   the workloads where it is feasible (the paper's motivation: symbolic
+//!   beats explicit enumeration as soon as the state space grows);
+//! * `--order interleaved|places|signals|declaration` selects the variable
+//!   ordering strategy (default: interleaved).
+
+use std::time::Instant;
+
+use stgcheck_bench::table1_workloads;
+use stgcheck_core::{verify, SymbolicReport, VarOrder, VerifyOptions};
+use stgcheck_stg::{build_state_graph, PersistencyPolicy, SgOptions};
+
+fn parse_order(s: &str) -> VarOrder {
+    match s {
+        "interleaved" => VarOrder::Interleaved,
+        "places" => VarOrder::PlacesThenSignals,
+        "signals" => VarOrder::SignalsThenPlaces,
+        "declaration" => VarOrder::Declaration,
+        other => {
+            eprintln!("unknown order `{other}`; using interleaved");
+            VarOrder::Interleaved
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let explicit = args.iter().any(|a| a == "--explicit");
+    let order = args
+        .iter()
+        .position(|a| a == "--order")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| parse_order(s))
+        .unwrap_or_default();
+
+    println!("stgcheck — Table 1 reproduction (order: {order:?})");
+    println!(
+        "columns: example, places, signals, reachable states, BDD peak/final nodes,"
+    );
+    println!("         CPU seconds for T+C / NI-p / Com / CSC / total");
+    if explicit {
+        println!("         + explicit baseline seconds (— where infeasible)");
+    }
+    println!();
+    let mut header = SymbolicReport::table1_header();
+    if explicit {
+        header.push_str(&format!(" {:>10}", "explicit"));
+    }
+    header.push_str(&format!(" {:>10}", "verdict"));
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+
+    for w in table1_workloads() {
+        let opts = VerifyOptions {
+            order,
+            policy: PersistencyPolicy { allow_arbitration: w.arbitration },
+            ..VerifyOptions::default()
+        };
+        let report = match verify(&w.stg, opts) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{:<16} verification aborted: {e}", w.name);
+                continue;
+            }
+        };
+        let mut row = report.table1_row();
+        if explicit {
+            if w.explicit_feasible {
+                let start = Instant::now();
+                let sg = build_state_graph(&w.stg, SgOptions::default());
+                let secs = start.elapsed().as_secs_f64();
+                match sg {
+                    Ok(sg) => {
+                        assert_eq!(
+                            sg.len() as u128,
+                            report.num_states,
+                            "{}: explicit and symbolic disagree",
+                            w.name
+                        );
+                        row.push_str(&format!(" {secs:>10.3}"));
+                    }
+                    Err(e) => row.push_str(&format!(" {e:>10}")),
+                }
+            } else {
+                row.push_str(&format!(" {:>10}", "—"));
+            }
+        }
+        let verdict = match report.verdict {
+            stgcheck_stg::Implementability::Gate => "gate",
+            stgcheck_stg::Implementability::InputOutput => "i/o",
+            stgcheck_stg::Implementability::SpeedIndependent => "si-only",
+            stgcheck_stg::Implementability::NotImplementable => "reject",
+        };
+        row.push_str(&format!(" {verdict:>10}"));
+        println!("{row}");
+    }
+    println!();
+    println!(
+        "Shape expectations (paper Section 6): state counts grow exponentially in n"
+    );
+    println!(
+        "while BDD sizes and CPU stay moderate; NI-p/Com are negligible on marked"
+    );
+    println!("graphs (muller, master-read); mutex rows exercise the conflict machinery.");
+}

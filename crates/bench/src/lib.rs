@@ -1,0 +1,84 @@
+//! Shared workload definitions for the `stgcheck` benchmark harness.
+//!
+//! The [`table1_workloads`] list drives both the `table1` binary (which
+//! regenerates the paper's Table 1) and the Criterion benches, so every
+//! consumer measures exactly the same nets.
+
+use stgcheck_stg::{gen, Stg};
+
+/// A named benchmark workload with the scaling parameter used to build it.
+pub struct Workload {
+    /// Display name (matches the generator and parameter).
+    pub name: String,
+    /// The STG under measurement.
+    pub stg: Stg,
+    /// `true` when the explicit baseline can enumerate it in reasonable
+    /// time (used to cap the explicit side of the comparison).
+    pub explicit_feasible: bool,
+    /// `true` when the workload needs the arbitration persistency policy
+    /// (mutual-exclusion style nets).
+    pub arbitration: bool,
+}
+
+impl Workload {
+    fn new(stg: Stg, explicit_feasible: bool, arbitration: bool) -> Workload {
+        Workload { name: stg.name().to_string(), stg, explicit_feasible, arbitration }
+    }
+}
+
+/// The workload set regenerating the paper's Table 1: the Fig. 1 mutual
+/// exclusion element, scaled Muller pipelines, scaled master-read
+/// fork/joins, scaled independent handshakes and scaled mutex arbiters.
+pub fn table1_workloads() -> Vec<Workload> {
+    let mut w = Vec::new();
+    w.push(Workload::new(gen::mutex_element(), true, true));
+    for n in [4, 8, 12, 16, 20] {
+        w.push(Workload::new(gen::muller_pipeline(n), n <= 12, false));
+    }
+    for n in [2, 4, 8, 16] {
+        w.push(Workload::new(gen::master_read(n), n <= 8, false));
+    }
+    for n in [4, 8, 12, 16] {
+        w.push(Workload::new(gen::par_handshakes(n), n <= 8, false));
+    }
+    for n in [3, 4, 5] {
+        w.push(Workload::new(gen::mutex(n), n <= 4, true));
+    }
+    for n in [8, 16] {
+        w.push(Workload::new(gen::ring(n), true, false));
+    }
+    w.push(Workload::new(gen::vme_read(), true, false));
+    w
+}
+
+/// Smaller workload set for the Criterion micro-benchmarks (kept fast so
+/// `cargo bench` terminates quickly).
+pub fn quick_workloads() -> Vec<Workload> {
+    vec![
+        Workload::new(gen::mutex_element(), true, true),
+        Workload::new(gen::muller_pipeline(8), true, false),
+        Workload::new(gen::master_read(4), true, false),
+        Workload::new(gen::par_handshakes(6), true, false),
+        Workload::new(gen::vme_read(), true, false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build() {
+        let all = table1_workloads();
+        assert!(all.len() >= 15);
+        for w in &all {
+            assert!(!w.name.is_empty());
+            assert!(w.stg.net().num_places() > 0);
+        }
+    }
+
+    #[test]
+    fn quick_set_is_subsetish() {
+        assert!(quick_workloads().len() <= table1_workloads().len());
+    }
+}

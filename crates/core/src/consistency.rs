@@ -1,0 +1,110 @@
+//! Symbolic consistency check (paper Section 5.1).
+//!
+//! ```text
+//! Inconsistent(a+) = E(a+) · a     (a+ enabled while a = 1)
+//! Inconsistent(a−) = E(a−) · a′    (a− enabled while a = 0)
+//! Inconsistent(D)  = ⋁_a Inconsistent(a)
+//! ```
+//!
+//! The STG is inconsistent iff `R(D) ∩ Inconsistent(D) ≠ ∅`.
+
+use stgcheck_bdd::{Bdd, Literal};
+use stgcheck_stg::{Polarity, SignalId};
+
+use crate::encode::{StateWitness, SymbolicStg};
+
+/// A consistency violation witness.
+#[derive(Clone, Debug)]
+pub struct ConsistencyViolation {
+    /// The signal with the inconsistent assignment.
+    pub signal: SignalId,
+    /// The polarity that is enabled at the wrong value.
+    pub polarity: Polarity,
+    /// A reachable state exhibiting the violation.
+    pub witness: StateWitness,
+}
+
+impl SymbolicStg<'_> {
+    /// The characteristic function `Inconsistent(a±)` for one signal edge.
+    pub fn inconsistent_set(&mut self, s: SignalId, polarity: Polarity) -> Bdd {
+        let e = self.edge_enabled(s, polarity);
+        let v = self.signal_var(s);
+        // a+ is inconsistent where a is already 1; a− where a is 0.
+        let wrong_value = matches!(polarity, Polarity::Rise);
+        let lit = self.manager_mut().literal(Literal::new(v, wrong_value));
+        self.manager_mut().and(e, lit)
+    }
+
+    /// Checks state-assignment consistency of `reached` (Def. 3.1 via the
+    /// Section 5.1 characteristic functions). Returns one witness per
+    /// violating signal edge.
+    pub fn check_consistency(&mut self, reached: Bdd) -> Vec<ConsistencyViolation> {
+        let mut out = Vec::new();
+        for s in self.stg().signals() {
+            for polarity in [Polarity::Rise, Polarity::Fall] {
+                let inc = self.inconsistent_set(s, polarity);
+                let bad = self.manager_mut().and(reached, inc);
+                if !bad.is_false() {
+                    let witness = self.decode_witness(bad).expect("non-empty set");
+                    out.push(ConsistencyViolation { signal: s, polarity, witness });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::VarOrder;
+    use crate::traverse::TraversalStrategy;
+    use stgcheck_stg::{gen, Code};
+
+    #[test]
+    fn consistent_benchmarks_pass() {
+        for stg in [
+            gen::mutex_element(),
+            gen::muller_pipeline(4),
+            gen::master_read(2),
+            gen::vme_read(),
+            gen::csc_violation_stg(),
+        ] {
+            let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+            let code = sym.effective_initial_code().unwrap();
+            let t = sym.traverse(code, TraversalStrategy::Chained);
+            assert!(sym.check_consistency(t.reached).is_empty(), "{}", stg.name());
+        }
+    }
+
+    #[test]
+    fn detects_inconsistency_with_witness() {
+        let stg = gen::inconsistent_stg();
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let t = sym.traverse(Code::ZERO, TraversalStrategy::Chained);
+        let violations = sym.check_consistency(t.reached);
+        assert!(!violations.is_empty());
+        let b = stg.signal_by_name("b").unwrap();
+        let v = violations.iter().find(|v| v.signal == b).expect("b is the culprit");
+        assert_eq!(v.polarity, Polarity::Rise);
+        // The witness state has b = 1 (b+ enabled again while high).
+        let bit = v.witness.code.as_bytes()[b.index()];
+        assert_eq!(bit, b'1');
+    }
+
+    #[test]
+    fn wrong_initial_code_is_inconsistent() {
+        // A correct handshake started from the wrong code: r+ enabled
+        // while r = 1.
+        let mut b = stgcheck_stg::StgBuilder::new("hs");
+        b.input("r");
+        b.output("a");
+        b.cycle(&["r+", "a+", "r-", "a-"]);
+        let stg = b.build().unwrap();
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let t =
+            sym.traverse(Code::from_bit_string("10").unwrap(), TraversalStrategy::Chained);
+        let violations = sym.check_consistency(t.reached);
+        assert!(!violations.is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! Symbolic reachability traversal (Fig. 5 of the paper) with statistics.
+
+use std::time::Instant;
+
+use stgcheck_bdd::Bdd;
+use stgcheck_stg::{Code, Polarity, SgError, SgOptions, SignalId};
+
+use crate::encode::SymbolicStg;
+
+/// Frontier strategy for the fixed-point loop.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum TraversalStrategy {
+    /// The paper's Fig. 5: within one outer iteration, each transition
+    /// fires from the frontier *including* states produced by the
+    /// transitions already processed in this iteration (chaining). Usually
+    /// converges in far fewer iterations.
+    #[default]
+    Chained,
+    /// Strict breadth-first: all transitions fire from the same frontier;
+    /// their images are merged afterwards. The ablation baseline.
+    Bfs,
+}
+
+/// Statistics of one traversal, matching the columns of the paper's
+/// Table 1.
+#[derive(Clone, Debug, Default)]
+pub struct TraversalStats {
+    /// Outer fixed-point iterations until convergence.
+    pub iterations: usize,
+    /// Peak live BDD nodes during the traversal.
+    pub peak_nodes: usize,
+    /// Size of the final `Reached` BDD in nodes.
+    pub final_nodes: usize,
+    /// Number of reachable full states (`sat_count` of `Reached`).
+    pub num_states: u128,
+    /// Wall-clock seconds spent.
+    pub seconds: f64,
+}
+
+/// Result of a symbolic traversal: the reachable set and its statistics.
+#[derive(Clone, Debug)]
+pub struct Traversal {
+    /// Characteristic function of all reachable full states.
+    pub reached: Bdd,
+    /// Statistics (Table 1 columns).
+    pub stats: TraversalStats,
+}
+
+/// How many live nodes trigger a garbage collection between iterations.
+const GC_THRESHOLD: usize = 500_000;
+
+impl SymbolicStg<'_> {
+    /// Runs the symbolic traversal of Fig. 5 from `(m₀, code)`.
+    ///
+    /// Returns the set of reachable full states. Consistency is *not*
+    /// checked here — [`SymbolicStg::check_consistency`] inspects the
+    /// result, and [`crate::verify`] combines both exactly like the
+    /// paper's "T+C" phase.
+    pub fn traverse(&mut self, code: Code, strategy: TraversalStrategy) -> Traversal {
+        let start = Instant::now();
+        self.manager_mut().reset_peak();
+        let init = self.initial_state(code);
+        let transitions: Vec<_> = self.stg().net().transitions().collect();
+        let mut reached = init;
+        let mut from = init;
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            let to = match strategy {
+                TraversalStrategy::Chained => {
+                    let mut acc = from;
+                    for &t in &transitions {
+                        let img = self.image(acc, t);
+                        acc = self.manager_mut().or(acc, img);
+                        // Intermediate sets inside one chained sweep are
+                        // the memory peak on deep pipelines: collect
+                        // eagerly, keeping only the running accumulator.
+                        if self.manager().live_nodes() > GC_THRESHOLD {
+                            let mut roots = self.permanent_roots();
+                            roots.extend([reached, acc]);
+                            self.manager_mut().gc(&roots);
+                        }
+                    }
+                    acc
+                }
+                TraversalStrategy::Bfs => {
+                    let mut acc = from;
+                    for &t in &transitions {
+                        let img = self.image(from, t);
+                        acc = self.manager_mut().or(acc, img);
+                        if self.manager().live_nodes() > GC_THRESHOLD {
+                            let mut roots = self.permanent_roots();
+                            roots.extend([reached, from, acc]);
+                            self.manager_mut().gc(&roots);
+                        }
+                    }
+                    acc
+                }
+            };
+            let new = self.manager_mut().diff(to, reached);
+            if new.is_false() {
+                break;
+            }
+            reached = self.manager_mut().or(reached, new);
+            from = new;
+            if self.manager().live_nodes() > GC_THRESHOLD {
+                let mut roots = self.permanent_roots();
+                roots.extend([reached, from]);
+                self.manager_mut().gc(&roots);
+            }
+        }
+        let stats = TraversalStats {
+            iterations,
+            peak_nodes: self.manager().peak_live_nodes(),
+            final_nodes: self.manager().size(reached),
+            num_states: self.manager().sat_count(reached),
+            seconds: start.elapsed().as_secs_f64(),
+        };
+        Traversal { reached, stats }
+    }
+
+    /// Marking-only traversal with the edges of `frozen` signals removed —
+    /// the building block of the paper's initial-code inference (Section
+    /// 5.1) and of the frozen-input CSC-reducibility check (Section 5.3).
+    pub fn traverse_markings_frozen(&mut self, frozen: &[SignalId]) -> Bdd {
+        let net = self.stg().net();
+        let m0 = net.initial_marking();
+        let mut lits = Vec::new();
+        for p in net.places() {
+            lits.push(stgcheck_bdd::Literal::new(self.place_var(p), m0.tokens(p) > 0));
+        }
+        let init = self.manager_mut().cube(&lits);
+        let transitions: Vec<_> = net
+            .transitions()
+            .filter(|&t| match self.stg().label(t) {
+                None => true,
+                Some(l) => !frozen.contains(&l.signal),
+            })
+            .collect();
+        let mut reached = init;
+        let mut from = init;
+        loop {
+            let mut acc = from;
+            for &t in &transitions {
+                let img = self.image_marking(acc, t);
+                acc = self.manager_mut().or(acc, img);
+            }
+            let new = self.manager_mut().diff(acc, reached);
+            if new.is_false() {
+                break;
+            }
+            reached = self.manager_mut().or(reached, new);
+            from = new;
+        }
+        reached
+    }
+
+    /// Symbolic initial-code inference (paper Section 5.1): for each
+    /// signal, explore the markings reachable without firing any of its
+    /// edges; the polarity of the first enabled edge fixes the initial
+    /// value (signals that never fire default to 0).
+    ///
+    /// # Errors
+    ///
+    /// [`SgError::AmbiguousInitialValue`] when both polarities are enabled
+    /// in the frozen subspace.
+    pub fn infer_initial_code(&mut self) -> Result<Code, SgError> {
+        let mut code = Code::ZERO;
+        for s in self.stg().signals() {
+            let frozen = self.traverse_markings_frozen(&[s]);
+            let rise = self.edge_enabled(s, Polarity::Rise);
+            let fall = self.edge_enabled(s, Polarity::Fall);
+            let mgr = self.manager_mut();
+            let saw_rise = mgr.intersects(frozen, rise);
+            let saw_fall = mgr.intersects(frozen, fall);
+            match (saw_rise, saw_fall) {
+                (true, true) => return Err(SgError::AmbiguousInitialValue(s)),
+                (true, false) => code = code.with(s, false),
+                (false, true) => code = code.with(s, true),
+                (false, false) => code = code.with(s, false),
+            }
+        }
+        Ok(code)
+    }
+
+    /// The code to start traversal from: the STG's declared initial code,
+    /// or the inferred one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inference failure; see [`SymbolicStg::infer_initial_code`].
+    pub fn effective_initial_code(&mut self) -> Result<Code, SgError> {
+        match self.stg().initial_code() {
+            Some(c) => Ok(c),
+            None => self.infer_initial_code(),
+        }
+    }
+
+    /// Convenience used by checks operating on markings only: `∃signals.
+    /// Reached`.
+    pub fn project_markings(&mut self, reached: Bdd) -> Bdd {
+        let cube = self.signals_cube();
+        self.manager_mut().exists(reached, cube)
+    }
+
+    /// Convenience for CSC: `∃places. set` — the binary-code projection of
+    /// a set of full states (the paper's `∃p` operator in Section 5.3).
+    pub fn project_codes(&mut self, set: Bdd) -> Bdd {
+        let cube = self.places_cube();
+        self.manager_mut().exists(set, cube)
+    }
+}
+
+/// Cross-checks a symbolic traversal against the explicit state graph —
+/// used by tests and exposed for diagnostics.
+///
+/// Returns `Ok(n)` with the common state count, or an error message
+/// describing the first discrepancy.
+///
+/// # Errors
+///
+/// An explanation string when the two traversals disagree (this indicates
+/// a bug in one of the engines, so the message is detailed).
+pub fn cross_check_reachability(
+    stg: &stgcheck_stg::Stg,
+    order: crate::encode::VarOrder,
+) -> Result<u128, String> {
+    let explicit = stgcheck_stg::build_state_graph(stg, SgOptions::default())
+        .map_err(|e| format!("explicit construction failed: {e}"))?;
+    let mut sym = SymbolicStg::new(stg, order);
+    let code = sym.effective_initial_code().map_err(|e| e.to_string())?;
+    let t = sym.traverse(code, TraversalStrategy::Chained);
+    if t.stats.num_states != explicit.len() as u128 {
+        return Err(format!(
+            "state counts differ: symbolic {} vs explicit {}",
+            t.stats.num_states,
+            explicit.len()
+        ));
+    }
+    // Every explicit state must satisfy the symbolic Reached function.
+    let net = stg.net();
+    for s in explicit.states() {
+        let mut lits = Vec::new();
+        for p in net.places() {
+            lits.push(stgcheck_bdd::Literal::new(sym.place_var(p), s.marking.tokens(p) > 0));
+        }
+        for sig in stg.signals() {
+            lits.push(stgcheck_bdd::Literal::new(sym.signal_var(sig), s.code.get(sig)));
+        }
+        let cube = sym.manager_mut().cube(&lits);
+        let inside = sym.manager_mut().is_subset(cube, t.reached);
+        if !inside {
+            return Err(format!(
+                "explicit state (code {}) missing from symbolic Reached",
+                s.code.to_bit_string(stg.num_signals())
+            ));
+        }
+    }
+    Ok(t.stats.num_states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::VarOrder;
+    use stgcheck_stg::gen;
+
+    #[test]
+    fn traversal_matches_explicit_on_benchmarks() {
+        for (name, stg) in [
+            ("mutex2", gen::mutex_element()),
+            ("mutex3", gen::mutex(3)),
+            ("muller4", gen::muller_pipeline(4)),
+            ("master2", gen::master_read(2)),
+            ("par3", gen::par_handshakes(3)),
+            ("vme", gen::vme_read()),
+            ("csc", gen::csc_violation_stg()),
+            ("irred", gen::irreducible_csc_stg()),
+            ("fig3d1", gen::fig3_d1()),
+            ("fig3d2", gen::fig3_d2()),
+        ] {
+            let n = cross_check_reachability(&stg, VarOrder::Interleaved)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(n > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn chained_and_bfs_agree() {
+        let stg = gen::muller_pipeline(5);
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let chained = sym.traverse(Code::ZERO, TraversalStrategy::Chained);
+        let bfs = sym.traverse(Code::ZERO, TraversalStrategy::Bfs);
+        assert_eq!(chained.reached, bfs.reached);
+        assert_eq!(chained.stats.num_states, bfs.stats.num_states);
+        // Chaining needs no more iterations than strict BFS.
+        assert!(chained.stats.iterations <= bfs.stats.iterations);
+    }
+
+    #[test]
+    fn par_handshakes_counts_4_pow_n() {
+        for n in [2, 4, 6] {
+            let stg = gen::par_handshakes(n);
+            let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+            let t = sym.traverse(Code::ZERO, TraversalStrategy::Chained);
+            assert_eq!(t.stats.num_states, 4u128.pow(n as u32));
+        }
+    }
+
+    #[test]
+    fn exponential_states_small_bdd() {
+        // The symbolic selling point: 4^10 states, BDD linear in n.
+        let stg = gen::par_handshakes(10);
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let t = sym.traverse(Code::ZERO, TraversalStrategy::Chained);
+        assert_eq!(t.stats.num_states, 4u128.pow(10));
+        assert!(
+            t.stats.final_nodes < 400,
+            "final BDD should stay small, got {}",
+            t.stats.final_nodes
+        );
+    }
+
+    #[test]
+    fn symbolic_initial_code_inference() {
+        // Falling-first cycle: r starts at 1 (mirrors the explicit test).
+        let mut b = stgcheck_stg::StgBuilder::new("hs");
+        b.input("r");
+        b.output("a");
+        b.cycle(&["r-", "a+", "r+", "a-"]);
+        let stg = b.build().unwrap();
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let code = sym.infer_initial_code().unwrap();
+        let r = stg.signal_by_name("r").unwrap();
+        let a = stg.signal_by_name("a").unwrap();
+        assert!(code.get(r));
+        assert!(!code.get(a));
+        // And it agrees with the explicit inference.
+        let explicit =
+            stgcheck_stg::infer_initial_code(&stg, SgOptions::default()).unwrap();
+        assert_eq!(code, explicit);
+    }
+
+    #[test]
+    fn projections_remove_their_variables() {
+        let stg = gen::mutex_element();
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let t = sym.traverse(Code::ZERO, TraversalStrategy::Chained);
+        let markings = sym.project_markings(t.reached);
+        let codes = sym.project_codes(t.reached);
+        let support_m = sym.manager().support(markings);
+        let support_c = sym.manager().support(codes);
+        for s in stg.signals() {
+            assert!(!support_m.contains(&sym.signal_var(s)));
+        }
+        for p in stg.net().places() {
+            assert!(!support_c.contains(&sym.place_var(p)));
+        }
+    }
+}

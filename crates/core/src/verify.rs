@@ -1,0 +1,382 @@
+//! The verification facade: run every symbolic check in the paper's phase
+//! order and produce a report with the Table 1 columns.
+//!
+//! Phases (matching the CPU-time columns of Table 1):
+//!
+//! 1. **T+C** — symbolic traversal (Fig. 5) interleaved with the
+//!    consistency check, plus safeness;
+//! 2. **NI-p** — non-input (and input-by-non-input) persistency, Fig. 6;
+//! 3. **Com** — commutativity via fake-freedom (Section 5.4) and the
+//!    determinism set (Section 5.3);
+//! 4. **CSC** — Complete State Coding per non-input signal and
+//!    CSC-reducibility via the frozen-input traversal.
+
+use std::time::Instant;
+
+use stgcheck_stg::{Code, FakeConflict, Implementability, PersistencyPolicy, SgError, Stg};
+
+use crate::consistency::ConsistencyViolation;
+use crate::csc::CscAnalysis;
+use crate::encode::{SymbolicStg, VarOrder};
+use crate::persistency::{SymSignalViolation, SymTransViolation};
+use crate::safety::SafetyViolation;
+use crate::traverse::{TraversalStats, TraversalStrategy};
+
+/// Options for [`verify`].
+#[derive(Copy, Clone, Debug, Default)]
+pub struct VerifyOptions {
+    /// Variable-ordering strategy.
+    pub order: VarOrder,
+    /// Traversal frontier strategy.
+    pub strategy: TraversalStrategy,
+    /// Persistency interpretation (arbitration points).
+    pub policy: PersistencyPolicy,
+}
+
+/// Wall-clock seconds per verification phase — the CPU columns of Table 1.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PhaseTimes {
+    /// Traversal + consistency (+ safeness).
+    pub traversal_consistency: f64,
+    /// Non-input persistency.
+    pub persistency: f64,
+    /// Commutativity via fake conflicts + determinism.
+    pub commutativity: f64,
+    /// CSC and CSC-reducibility.
+    pub csc: f64,
+    /// Total of the above.
+    pub total: f64,
+}
+
+/// Aggregate result of the symbolic verification.
+#[derive(Clone, Debug)]
+pub struct SymbolicReport {
+    /// Model name.
+    pub name: String,
+    /// Net and interface dimensions (Table 1 columns).
+    pub places: usize,
+    /// Number of signals.
+    pub signals: usize,
+    /// Reachable full states (Table 1 "# of states").
+    pub num_states: u128,
+    /// Peak live BDD nodes (Table 1 "BDD size peak").
+    pub bdd_peak: usize,
+    /// Final `Reached` BDD size (Table 1 "BDD size final").
+    pub bdd_final: usize,
+    /// Traversal details.
+    pub traversal: TraversalStats,
+    /// Initial code used (declared or inferred).
+    pub initial_code: Code,
+    /// A reachable deadlocked state, if any (informational: termination
+    /// is not an implementability violation by itself).
+    pub deadlock: Option<crate::encode::StateWitness>,
+    /// Safeness violations (empty = safe).
+    pub safety: Vec<SafetyViolation>,
+    /// Consistency violations (empty = consistent).
+    pub consistency: Vec<ConsistencyViolation>,
+    /// Signal-persistency violations under the policy.
+    pub persistency: Vec<SymSignalViolation>,
+    /// Transition-persistency violations (informational).
+    pub transition_persistency: Vec<SymTransViolation>,
+    /// Fake-freedom violations (commutativity proxy).
+    pub fake_violations: Vec<FakeConflict>,
+    /// `true` when no two equally-labelled transitions are co-enabled.
+    pub deterministic: bool,
+    /// Per-signal CSC analyses (non-input signals).
+    pub csc: Vec<CscAnalysis>,
+    /// Signals whose CSC conflicts are irreducible.
+    pub irreducible_signals: Vec<stgcheck_stg::SignalId>,
+    /// Phase timings.
+    pub times: PhaseTimes,
+    /// Final classification per Def. 2.6 / Prop. 3.2.
+    pub verdict: Implementability,
+}
+
+impl SymbolicReport {
+    /// `true` when every reachable state fires safely.
+    pub fn safe(&self) -> bool {
+        self.safety.is_empty()
+    }
+
+    /// `true` when the state assignment is consistent.
+    pub fn consistent(&self) -> bool {
+        self.consistency.is_empty()
+    }
+
+    /// `true` when signal persistency holds under the chosen policy.
+    pub fn persistent(&self) -> bool {
+        self.persistency.is_empty()
+    }
+
+    /// `true` when the STG is fake-free (the commutativity proxy).
+    pub fn fake_free(&self) -> bool {
+        self.fake_violations.is_empty()
+    }
+
+    /// `true` when CSC holds for every non-input signal.
+    pub fn csc_holds(&self) -> bool {
+        self.csc.iter().all(|a| a.holds)
+    }
+
+    /// Renders the report as the row format of the paper's Table 1.
+    pub fn table1_row(&self) -> String {
+        format!(
+            "{:<16} {:>6} {:>7} {:>12} {:>9} {:>8} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            self.name,
+            self.places,
+            self.signals,
+            self.num_states,
+            self.bdd_peak,
+            self.bdd_final,
+            self.times.traversal_consistency,
+            self.times.persistency,
+            self.times.commutativity,
+            self.times.csc,
+            self.times.total,
+        )
+    }
+
+    /// The header matching [`SymbolicReport::table1_row`].
+    pub fn table1_header() -> String {
+        format!(
+            "{:<16} {:>6} {:>7} {:>12} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "example",
+            "places",
+            "signals",
+            "states",
+            "bdd-peak",
+            "bdd-fin",
+            "T+C",
+            "NI-p",
+            "Com",
+            "CSC",
+            "Total"
+        )
+    }
+}
+
+/// Errors that abort verification before any check can run.
+#[derive(Clone, Debug)]
+pub enum VerifyError {
+    /// No initial code and inference failed.
+    InitialCode(SgError),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::InitialCode(e) => write!(f, "cannot determine initial code: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Runs the full symbolic verification of `stg` and classifies it.
+///
+/// # Errors
+///
+/// [`VerifyError::InitialCode`] when the STG carries no initial code and
+/// the Section 5.1 inference is ambiguous (which already implies an
+/// inconsistent specification).
+pub fn verify(stg: &Stg, opts: VerifyOptions) -> Result<SymbolicReport, VerifyError> {
+    let total_start = Instant::now();
+    let mut sym = SymbolicStg::new(stg, opts.order);
+
+    // Phase 1: traversal + consistency (+ safeness).
+    let t0 = Instant::now();
+    let initial_code =
+        sym.effective_initial_code().map_err(VerifyError::InitialCode)?;
+    let traversal = sym.traverse(initial_code, opts.strategy);
+    let reached = traversal.reached;
+    let consistency = sym.check_consistency(reached);
+    let safety = sym.check_safeness(reached);
+    let deadlock = sym.check_deadlock(reached);
+    let t_tc = t0.elapsed().as_secs_f64();
+
+    // Phase 2: persistency. Fed the full reached set so violation
+    // witnesses carry signal codes; the marking projection is still used
+    // for the fake-conflict phase below.
+    let t0 = Instant::now();
+    let r_n = sym.project_markings(reached);
+    let persistency = sym.check_signal_persistency(reached, opts.policy);
+    let transition_persistency = sym.check_transition_persistency(reached);
+    let t_pers = t0.elapsed().as_secs_f64();
+
+    // Phase 3: commutativity via fake conflicts + determinism.
+    let t0 = Instant::now();
+    let fake_violations = sym.check_fake_freedom(r_n);
+    let deterministic = sym.nondeterminism_set(reached).is_false();
+    let t_com = t0.elapsed().as_secs_f64();
+
+    // Phase 4: CSC + reducibility.
+    let t0 = Instant::now();
+    let csc = sym.check_csc(reached);
+    let irreducible_signals: Vec<_> = csc
+        .iter()
+        .filter(|a| !a.holds)
+        .map(|a| (a.signal, a.contradictory))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .filter(|&(s, cont)| sym.has_complementary_input_sequences(reached, s, cont))
+        .map(|(s, _)| s)
+        .collect();
+    let t_csc = t0.elapsed().as_secs_f64();
+
+    let csc_holds = csc.iter().all(|a| a.holds);
+    let reducible =
+        deterministic && fake_violations.is_empty() && irreducible_signals.is_empty();
+    let verdict = if !safety.is_empty()
+        || !consistency.is_empty()
+        || !persistency.is_empty()
+        || !fake_violations.is_empty()
+    {
+        Implementability::NotImplementable
+    } else if csc_holds {
+        Implementability::Gate
+    } else if reducible {
+        Implementability::InputOutput
+    } else {
+        Implementability::SpeedIndependent
+    };
+
+    let total = total_start.elapsed().as_secs_f64();
+    Ok(SymbolicReport {
+        name: stg.name().to_string(),
+        places: stg.net().num_places(),
+        signals: stg.num_signals(),
+        num_states: traversal.stats.num_states,
+        bdd_peak: sym.manager().peak_live_nodes(),
+        bdd_final: traversal.stats.final_nodes,
+        traversal: traversal.stats,
+        initial_code,
+        deadlock,
+        safety,
+        consistency,
+        persistency,
+        transition_persistency,
+        fake_violations,
+        deterministic,
+        csc,
+        irreducible_signals,
+        times: PhaseTimes {
+            traversal_consistency: t_tc,
+            persistency: t_pers,
+            commutativity: t_com,
+            csc: t_csc,
+            total,
+        },
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgcheck_stg::gen;
+
+    fn verify_default(stg: &Stg) -> SymbolicReport {
+        verify(stg, VerifyOptions::default()).expect("initial code available")
+    }
+
+    #[test]
+    fn muller_pipeline_report() {
+        let report = verify_default(&gen::muller_pipeline(5));
+        assert!(report.safe());
+        assert!(report.consistent());
+        assert!(report.persistent());
+        assert!(report.fake_free());
+        assert!(report.deterministic);
+        assert!(report.csc_holds());
+        assert_eq!(report.verdict, Implementability::Gate);
+        assert!(report.num_states > 0);
+        assert!(report.bdd_peak >= report.bdd_final);
+        assert!(report.times.total > 0.0);
+    }
+
+    #[test]
+    fn mutex_requires_arbitration_policy() {
+        let stg = gen::mutex_element();
+        let strict = verify_default(&stg);
+        assert_eq!(strict.verdict, Implementability::NotImplementable);
+        let relaxed = verify(
+            &stg,
+            VerifyOptions {
+                policy: PersistencyPolicy { allow_arbitration: true },
+                ..VerifyOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(relaxed.verdict, Implementability::Gate);
+    }
+
+    #[test]
+    fn verdicts_match_fixtures() {
+        assert_eq!(
+            verify_default(&gen::inconsistent_stg()).verdict,
+            Implementability::NotImplementable
+        );
+        assert_eq!(
+            verify_default(&gen::nonpersistent_stg()).verdict,
+            Implementability::NotImplementable
+        );
+        assert_eq!(
+            verify_default(&gen::csc_violation_stg()).verdict,
+            Implementability::InputOutput
+        );
+        assert_eq!(
+            verify_default(&gen::irreducible_csc_stg()).verdict,
+            Implementability::SpeedIndependent
+        );
+        assert_eq!(
+            verify_default(&gen::vme_read()).verdict,
+            Implementability::InputOutput
+        );
+        let unsafe_r = verify_default(&gen::unsafe_stg());
+        assert!(!unsafe_r.safe());
+        assert_eq!(unsafe_r.verdict, Implementability::NotImplementable);
+    }
+
+    #[test]
+    fn fig3_d1_rejected_d2_accepted() {
+        // The paper's well-formedness rule: D1 (symmetric fake conflict)
+        // is rejected even though its SG equals D2's.
+        let d1 = verify_default(&gen::fig3_d1());
+        assert!(!d1.fake_free());
+        assert_eq!(d1.verdict, Implementability::NotImplementable);
+        let d2 = verify_default(&gen::fig3_d2());
+        assert!(d2.fake_free());
+        assert_ne!(d2.verdict, Implementability::NotImplementable);
+    }
+
+    #[test]
+    fn table1_row_formats() {
+        let report = verify_default(&gen::muller_pipeline(4));
+        let header = SymbolicReport::table1_header();
+        let row = report.table1_row();
+        assert!(header.contains("T+C"));
+        assert!(row.starts_with("muller-4"));
+        // Header and row column counts line up.
+        assert_eq!(header.split_whitespace().count(), row.split_whitespace().count());
+    }
+
+    #[test]
+    fn verdicts_agree_with_explicit_checker_on_fake_free_inputs() {
+        use stgcheck_stg::{check_explicit, SgOptions};
+        for stg in [
+            gen::muller_pipeline(4),
+            gen::master_read(2),
+            gen::par_handshakes(3),
+            gen::vme_read(),
+            gen::csc_violation_stg(),
+            gen::irreducible_csc_stg(),
+            gen::nonpersistent_stg(),
+        ] {
+            let explicit =
+                check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+            let symbolic = verify_default(&stg);
+            assert_eq!(explicit.verdict, symbolic.verdict, "{}", stg.name());
+            assert_eq!(explicit.states as u128, symbolic.num_states, "{}", stg.name());
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Place invariants (P-invariants) via exact integer linear algebra.
+//!
+//! A P-invariant is an integer vector `x` over places with `xᵀ·C = 0` for
+//! the incidence matrix `C`; every reachable marking then satisfies
+//! `xᵀ·m = xᵀ·m₀`. Invariants give cheap structural boundedness evidence
+//! (a positive invariant covering a place bounds it) and are used by the
+//! test-suite as an independent sanity oracle on reachability results.
+
+use crate::net::{Marking, PetriNet};
+
+impl PetriNet {
+    /// The incidence matrix `C[p][t] = W(t,p) − W(p,t)` (rows = places).
+    pub fn incidence_matrix(&self) -> Vec<Vec<i64>> {
+        let mut c = vec![vec![0i64; self.num_transitions()]; self.num_places()];
+        for t in self.transitions() {
+            for &(p, w) in self.preset(t) {
+                c[p.index()][t.index()] -= w as i64;
+            }
+            for &(p, w) in self.postset(t) {
+                c[p.index()][t.index()] += w as i64;
+            }
+        }
+        c
+    }
+
+    /// A basis of the left null space of the incidence matrix: every
+    /// returned vector `x` satisfies `xᵀ·C = 0`, i.e. is a P-invariant.
+    ///
+    /// Uses fraction-free Gaussian elimination over `i128`, reducing each
+    /// basis vector by its gcd. Entries may be negative (these are linear
+    /// invariants, not semiflows).
+    pub fn p_invariants(&self) -> Vec<Vec<i64>> {
+        let np = self.num_places();
+        let nt = self.num_transitions();
+        // Work on the transposed system: rows are places, columns are
+        // transitions, and we augment with an identity to track the row
+        // operations: [C | I]. Rows whose C-part becomes zero have their
+        // I-part as an invariant.
+        let c = self.incidence_matrix();
+        let mut rows: Vec<(Vec<i128>, Vec<i128>)> = (0..np)
+            .map(|p| {
+                let left: Vec<i128> = (0..nt).map(|t| c[p][t] as i128).collect();
+                let mut right = vec![0i128; np];
+                right[p] = 1;
+                (left, right)
+            })
+            .collect();
+
+        let mut pivot_row = 0usize;
+        for col in 0..nt {
+            // Find a pivot in this column.
+            let Some(sel) = (pivot_row..rows.len()).find(|&r| rows[r].0[col] != 0) else {
+                continue;
+            };
+            rows.swap(pivot_row, sel);
+            let pivot = rows[pivot_row].0[col];
+            for r in 0..rows.len() {
+                if r == pivot_row || rows[r].0[col] == 0 {
+                    continue;
+                }
+                let factor = rows[r].0[col];
+                for k in 0..nt {
+                    rows[r].0[k] = rows[r].0[k] * pivot - rows[pivot_row].0[k] * factor;
+                }
+                for k in 0..np {
+                    rows[r].1[k] = rows[r].1[k] * pivot - rows[pivot_row].1[k] * factor;
+                }
+                reduce_row(&mut rows[r]);
+            }
+            pivot_row += 1;
+            if pivot_row == rows.len() {
+                break;
+            }
+        }
+
+        rows.iter()
+            .filter(|(left, _)| left.iter().all(|&v| v == 0))
+            .map(|(_, right)| {
+                let mut v: Vec<i64> = right.iter().map(|&x| x as i64).collect();
+                // Normalise sign: make the first non-zero entry positive.
+                if let Some(first) = v.iter().find(|&&x| x != 0) {
+                    if *first < 0 {
+                        for x in &mut v {
+                            *x = -*x;
+                        }
+                    }
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// Evaluates `xᵀ·m` for an invariant vector.
+    pub fn invariant_value(x: &[i64], m: &Marking) -> i64 {
+        x.iter().zip(m.marked_places_full()).map(|(&xi, mi)| xi * mi as i64).sum()
+    }
+
+    /// `true` if the net is *covered by positive invariants*: every place
+    /// has a strictly positive entry in some non-negative invariant. Such a
+    /// net is structurally bounded.
+    pub fn covered_by_positive_invariants(&self) -> bool {
+        let invs: Vec<Vec<i64>> = self
+            .p_invariants()
+            .into_iter()
+            .filter(|x| x.iter().all(|&v| v >= 0) && x.iter().any(|&v| v > 0))
+            .collect();
+        (0..self.num_places()).all(|p| invs.iter().any(|x| x[p] > 0))
+    }
+}
+
+impl Marking {
+    /// Token counts of all places in index order (including zeros).
+    pub(crate) fn marked_places_full(&self) -> impl Iterator<Item = u32> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+fn reduce_row(row: &mut (Vec<i128>, Vec<i128>)) {
+    let mut g: i128 = 0;
+    for &v in row.0.iter().chain(row.1.iter()) {
+        g = gcd(g, v.abs());
+    }
+    if g > 1 {
+        for v in row.0.iter_mut().chain(row.1.iter_mut()) {
+            *v /= g;
+        }
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::ReachOptions;
+
+    /// A safe 2-cycle: p0 + p1 is invariant.
+    fn cycle() -> PetriNet {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0", 1);
+        let p1 = net.add_place("p1", 0);
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        net.connect(&[p0], t0, &[p1]);
+        net.connect(&[p1], t1, &[p0]);
+        net
+    }
+
+    #[test]
+    fn incidence_of_cycle() {
+        let net = cycle();
+        assert_eq!(net.incidence_matrix(), vec![vec![-1, 1], vec![1, -1]]);
+    }
+
+    #[test]
+    fn cycle_has_token_conservation_invariant() {
+        let net = cycle();
+        let invs = net.p_invariants();
+        assert_eq!(invs.len(), 1);
+        assert_eq!(invs[0], vec![1, 1]);
+        assert!(net.covered_by_positive_invariants());
+    }
+
+    #[test]
+    fn invariants_hold_on_reachable_markings() {
+        let net = cycle();
+        let invs = net.p_invariants();
+        let m0 = net.initial_marking();
+        let g = net.reachability_graph(ReachOptions::default()).unwrap();
+        for x in &invs {
+            let v0 = PetriNet::invariant_value(x, &m0);
+            for m in g.markings() {
+                assert_eq!(PetriNet::invariant_value(x, m), v0);
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_net_is_not_covered() {
+        let mut net = PetriNet::new();
+        let src = net.add_place("src", 1);
+        let p = net.add_place("p", 0);
+        let t = net.add_transition("t");
+        net.add_arc_pt(src, t, 1);
+        net.add_arc_tp(t, src, 1);
+        net.add_arc_tp(t, p, 1);
+        assert!(!net.covered_by_positive_invariants());
+    }
+
+    #[test]
+    fn weighted_invariant() {
+        // t consumes 1 from p, produces 2 into q: invariant 2·p + q.
+        let mut net = PetriNet::new();
+        let p = net.add_place("p", 3);
+        let q = net.add_place("q", 0);
+        let t = net.add_transition("t");
+        net.add_arc_pt(p, t, 1);
+        net.add_arc_tp(t, q, 2);
+        let invs = net.p_invariants();
+        assert_eq!(invs, vec![vec![2, 1]]);
+        let m0 = net.initial_marking();
+        let m1 = net.fire(t, &m0);
+        assert_eq!(
+            PetriNet::invariant_value(&invs[0], &m0),
+            PetriNet::invariant_value(&invs[0], &m1)
+        );
+    }
+
+    #[test]
+    fn independent_cycles_give_independent_invariants() {
+        let mut net = PetriNet::new();
+        for i in 0..3 {
+            let a = net.add_place(format!("a{i}"), 1);
+            let b = net.add_place(format!("b{i}"), 0);
+            let go = net.add_transition(format!("go{i}"));
+            let back = net.add_transition(format!("back{i}"));
+            net.connect(&[a], go, &[b]);
+            net.connect(&[b], back, &[a]);
+        }
+        let invs = net.p_invariants();
+        assert_eq!(invs.len(), 3);
+        assert!(net.covered_by_positive_invariants());
+    }
+}

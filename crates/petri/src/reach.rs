@@ -1,0 +1,265 @@
+//! Explicit reachability analysis: the baseline the paper's symbolic
+//! traversal replaces, plus boundedness/safeness checking.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::net::{Marking, PetriNet, PlaceId, TransId};
+
+/// Limits and options for explicit state-space exploration.
+#[derive(Copy, Clone, Debug)]
+pub struct ReachOptions {
+    /// Abort after this many distinct markings (guards against explosion).
+    pub max_markings: usize,
+    /// Detect unbounded nets by the ancestor-cover criterion
+    /// (`m → … → m'` with `m < m'` pointwise implies unboundedness).
+    pub detect_unbounded: bool,
+}
+
+impl Default for ReachOptions {
+    fn default() -> Self {
+        ReachOptions { max_markings: 1_000_000, detect_unbounded: true }
+    }
+}
+
+/// Why explicit exploration stopped early.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReachError {
+    /// The ancestor-cover test proved the net unbounded.
+    Unbounded {
+        /// A place whose token count grows without bound.
+        place: PlaceId,
+    },
+    /// The `max_markings` limit was hit before exhausting the state space.
+    LimitExceeded(usize),
+}
+
+impl fmt::Display for ReachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReachError::Unbounded { place } => {
+                write!(f, "net is unbounded (place index {})", place.index())
+            }
+            ReachError::LimitExceeded(n) => {
+                write!(f, "exploration limit of {n} markings exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReachError {}
+
+/// The reachability graph of a bounded net: all reachable markings and the
+/// labelled firing edges between them. Vertex `0` is the initial marking.
+#[derive(Clone, Debug)]
+pub struct ReachabilityGraph {
+    markings: Vec<Marking>,
+    /// `edges[v]` lists `(t, target)` for each firing from vertex `v`.
+    edges: Vec<Vec<(TransId, usize)>>,
+    index: HashMap<Marking, usize>,
+}
+
+impl ReachabilityGraph {
+    /// Number of reachable markings.
+    pub fn len(&self) -> usize {
+        self.markings.len()
+    }
+
+    /// `true` for a graph with no vertices (never produced by exploration).
+    pub fn is_empty(&self) -> bool {
+        self.markings.is_empty()
+    }
+
+    /// The marking of vertex `v`.
+    pub fn marking(&self, v: usize) -> &Marking {
+        &self.markings[v]
+    }
+
+    /// All markings, indexed by vertex.
+    pub fn markings(&self) -> &[Marking] {
+        &self.markings
+    }
+
+    /// Outgoing edges of vertex `v` as `(transition, target)` pairs.
+    pub fn successors(&self, v: usize) -> &[(TransId, usize)] {
+        &self.edges[v]
+    }
+
+    /// Looks up the vertex of a marking.
+    pub fn vertex_of(&self, m: &Marking) -> Option<usize> {
+        self.index.get(m).copied()
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Largest token count observed on any place in any reachable marking.
+    pub fn bound(&self) -> u32 {
+        self.markings.iter().map(Marking::max_tokens).max().unwrap_or(0)
+    }
+}
+
+impl PetriNet {
+    /// Builds the explicit reachability graph by breadth-first exploration.
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Unbounded`] if the ancestor-cover test fires (only when
+    /// `opts.detect_unbounded`), or [`ReachError::LimitExceeded`] when more
+    /// than `opts.max_markings` markings are generated.
+    pub fn reachability_graph(&self, opts: ReachOptions) -> Result<ReachabilityGraph, ReachError> {
+        let m0 = self.initial_marking();
+        let mut graph = ReachabilityGraph {
+            markings: vec![m0.clone()],
+            edges: vec![Vec::new()],
+            index: HashMap::from([(m0, 0usize)]),
+        };
+        // Parent pointers for the ancestor-cover unboundedness test.
+        let mut parent: Vec<Option<usize>> = vec![None];
+        let mut frontier = vec![0usize];
+        while let Some(v) = frontier.pop() {
+            let m = graph.markings[v].clone();
+            for t in self.transitions() {
+                let Some(next) = self.try_fire(t, &m) else { continue };
+                let target = match graph.index.get(&next) {
+                    Some(&w) => w,
+                    None => {
+                        if opts.detect_unbounded {
+                            // Walk the ancestor chain of v; a strictly
+                            // covered ancestor proves unboundedness.
+                            let mut anc = Some(v);
+                            while let Some(a) = anc {
+                                let am = &graph.markings[a];
+                                if am.is_covered_by(&next) && *am != next {
+                                    let place = self
+                                        .places()
+                                        .find(|&p| am.tokens(p) < next.tokens(p))
+                                        .expect("strict cover differs somewhere");
+                                    return Err(ReachError::Unbounded { place });
+                                }
+                                anc = parent[a];
+                            }
+                        }
+                        if graph.markings.len() >= opts.max_markings {
+                            return Err(ReachError::LimitExceeded(opts.max_markings));
+                        }
+                        let w = graph.markings.len();
+                        graph.markings.push(next.clone());
+                        graph.edges.push(Vec::new());
+                        graph.index.insert(next, w);
+                        parent.push(Some(v));
+                        frontier.push(w);
+                        w
+                    }
+                };
+                graph.edges[v].push((t, target));
+            }
+        }
+        Ok(graph)
+    }
+
+    /// Computes the net's bound (max tokens on any place over all reachable
+    /// markings): `Ok(k)` means the net is k-bounded and not (k−1)-bounded.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PetriNet::reachability_graph`].
+    pub fn bound(&self, opts: ReachOptions) -> Result<u32, ReachError> {
+        Ok(self.reachability_graph(opts)?.bound())
+    }
+
+    /// `true` if the net is safe (1-bounded).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PetriNet::reachability_graph`].
+    pub fn is_safe(&self, opts: ReachOptions) -> Result<bool, ReachError> {
+        Ok(self.bound(opts)? <= 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two independent 2-cycles: 4 reachable markings.
+    fn two_cycles() -> PetriNet {
+        let mut net = PetriNet::new();
+        for i in 0..2 {
+            let a = net.add_place(format!("a{i}"), 1);
+            let b = net.add_place(format!("b{i}"), 0);
+            let go = net.add_transition(format!("go{i}"));
+            let back = net.add_transition(format!("back{i}"));
+            net.connect(&[a], go, &[b]);
+            net.connect(&[b], back, &[a]);
+        }
+        net
+    }
+
+    #[test]
+    fn explores_product_space() {
+        let net = two_cycles();
+        let g = net.reachability_graph(ReachOptions::default()).unwrap();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.num_edges(), 8); // every marking enables 2 transitions
+        assert_eq!(g.bound(), 1);
+        assert!(net.is_safe(ReachOptions::default()).unwrap());
+        // Vertex lookup round-trips.
+        for v in 0..g.len() {
+            assert_eq!(g.vertex_of(g.marking(v)), Some(v));
+        }
+    }
+
+    #[test]
+    fn detects_unbounded_net() {
+        // t produces into p without consuming: clearly unbounded.
+        let mut net = PetriNet::new();
+        let src = net.add_place("src", 1);
+        let p = net.add_place("p", 0);
+        let t = net.add_transition("t");
+        net.add_arc_pt(src, t, 1);
+        net.add_arc_tp(t, src, 1);
+        net.add_arc_tp(t, p, 1);
+        let err = net.reachability_graph(ReachOptions::default()).unwrap_err();
+        assert_eq!(err, ReachError::Unbounded { place: p });
+        assert!(err.to_string().contains("unbounded"));
+    }
+
+    #[test]
+    fn bounded_but_not_safe() {
+        // Two producers into p before a consumer: p reaches 2 tokens.
+        let mut net = PetriNet::new();
+        let a = net.add_place("a", 1);
+        let b = net.add_place("b", 1);
+        let p = net.add_place("p", 0);
+        let ta = net.add_transition("ta");
+        let tb = net.add_transition("tb");
+        net.connect(&[a], ta, &[p]);
+        net.connect(&[b], tb, &[p]);
+        assert_eq!(net.bound(ReachOptions::default()).unwrap(), 2);
+        assert!(!net.is_safe(ReachOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let net = two_cycles();
+        let err = net
+            .reachability_graph(ReachOptions { max_markings: 2, detect_unbounded: false })
+            .unwrap_err();
+        assert_eq!(err, ReachError::LimitExceeded(2));
+    }
+
+    #[test]
+    fn deadlocked_net_has_single_marking() {
+        let mut net = PetriNet::new();
+        let _p = net.add_place("p", 0);
+        let q = net.add_place("q", 0);
+        let t = net.add_transition("t");
+        net.add_arc_pt(q, t, 1);
+        let g = net.reachability_graph(ReachOptions::default()).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

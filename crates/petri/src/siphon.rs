@@ -1,0 +1,209 @@
+//! Siphons and traps: the classic structural objects connecting net
+//! topology to deadlock behaviour.
+//!
+//! A **siphon** `S` satisfies `•S ⊆ S•` (every producer into `S` also
+//! consumes from it): once empty it stays empty, disabling `S•` for good.
+//! A **trap** `Q` satisfies `Q• ⊆ •Q`: once marked it stays marked. For
+//! ordinary nets, the unmarked places of any dead marking form a siphon —
+//! the tests exercise that theorem against explicit reachability.
+
+use crate::net::{Marking, PetriNet, PlaceId};
+
+impl PetriNet {
+    /// `true` if `places` is a siphon: every transition with an output in
+    /// the set also has an input in it.
+    ///
+    /// The empty set is trivially a siphon.
+    pub fn is_siphon(&self, places: &[PlaceId]) -> bool {
+        let inside = self.membership(places);
+        places.iter().all(|&p| {
+            self.place_preset(p).iter().all(|&t| {
+                self.preset(t).iter().any(|&(q, _)| inside[q.index()])
+            })
+        })
+    }
+
+    /// `true` if `places` is a trap: every transition with an input in the
+    /// set also has an output in it.
+    ///
+    /// The empty set is trivially a trap.
+    pub fn is_trap(&self, places: &[PlaceId]) -> bool {
+        let inside = self.membership(places);
+        places.iter().all(|&p| {
+            self.place_postset(p).iter().all(|&t| {
+                self.postset(t).iter().any(|&(q, _)| inside[q.index()])
+            })
+        })
+    }
+
+    /// The largest siphon contained in `places` (possibly empty), by the
+    /// standard deletion fixpoint: drop any place with a producer that
+    /// takes no input from the current set.
+    pub fn max_siphon_within(&self, places: &[PlaceId]) -> Vec<PlaceId> {
+        let mut inside = self.membership(places);
+        loop {
+            let mut changed = false;
+            for &p in places {
+                if !inside[p.index()] {
+                    continue;
+                }
+                let bad = self.place_preset(p).iter().any(|&t| {
+                    !self.preset(t).iter().any(|&(q, _)| inside[q.index()])
+                });
+                if bad {
+                    inside[p.index()] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.places().filter(|p| inside[p.index()]).collect()
+    }
+
+    /// The largest trap contained in `places` (possibly empty).
+    pub fn max_trap_within(&self, places: &[PlaceId]) -> Vec<PlaceId> {
+        let mut inside = self.membership(places);
+        loop {
+            let mut changed = false;
+            for &p in places {
+                if !inside[p.index()] {
+                    continue;
+                }
+                let bad = self.place_postset(p).iter().any(|&t| {
+                    !self.postset(t).iter().any(|&(q, _)| inside[q.index()])
+                });
+                if bad {
+                    inside[p.index()] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.places().filter(|p| inside[p.index()]).collect()
+    }
+
+    /// The unmarked places of `m` — for a dead marking of an ordinary net
+    /// these form a siphon (deadlock theorem).
+    pub fn unmarked_places(&self, m: &Marking) -> Vec<PlaceId> {
+        self.places().filter(|&p| m.tokens(p) == 0).collect()
+    }
+
+    fn membership(&self, places: &[PlaceId]) -> Vec<bool> {
+        let mut inside = vec![false; self.num_places()];
+        for &p in places {
+            inside[p.index()] = true;
+        }
+        inside
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::ReachOptions;
+
+    /// The classic deadlocking net: two users grabbing two shared
+    /// resources in opposite order.
+    fn dining_pair() -> PetriNet {
+        let mut net = PetriNet::new();
+        let fork_a = net.add_place("fork_a", 1);
+        let fork_b = net.add_place("fork_b", 1);
+        let idle1 = net.add_place("idle1", 1);
+        let has_a = net.add_place("has_a", 0);
+        let idle2 = net.add_place("idle2", 1);
+        let has_b = net.add_place("has_b", 0);
+        let take_a1 = net.add_transition("take_a1");
+        let take_b1 = net.add_transition("take_b1");
+        let take_b2 = net.add_transition("take_b2");
+        let take_a2 = net.add_transition("take_a2");
+        net.connect(&[idle1, fork_a], take_a1, &[has_a]);
+        net.connect(&[has_a, fork_b], take_b1, &[idle1, fork_a, fork_b]);
+        net.connect(&[idle2, fork_b], take_b2, &[has_b]);
+        net.connect(&[has_b, fork_a], take_a2, &[idle2, fork_a, fork_b]);
+        net
+    }
+
+    #[test]
+    fn siphon_and_trap_basics() {
+        let net = dining_pair();
+        let all: Vec<PlaceId> = net.places().collect();
+        // The whole place set of this net is both a siphon and a trap.
+        assert!(net.is_siphon(&all));
+        assert!(net.is_trap(&all));
+        // The empty set trivially qualifies.
+        assert!(net.is_siphon(&[]));
+        assert!(net.is_trap(&[]));
+        // {fork_a, has_b is not enough}: forks alone are not a siphon
+        // (take_b1 returns fork_a without consuming forks only... check
+        // via the API rather than by hand).
+        let fork_a = net.place_by_name("fork_a").unwrap();
+        let singleton = vec![fork_a];
+        assert_eq!(net.is_siphon(&singleton), {
+            // take_a2 and take_b1 produce fork_a; both consume fork_b or
+            // has_a, not fork_a — so not a siphon.
+            false
+        });
+    }
+
+    #[test]
+    fn deadlock_marking_unmarked_places_form_a_siphon() {
+        let net = dining_pair();
+        let g = net.reachability_graph(ReachOptions::default()).unwrap();
+        let mut found_deadlock = false;
+        for v in 0..g.len() {
+            if !g.successors(v).is_empty() {
+                continue;
+            }
+            found_deadlock = true;
+            let dead = g.marking(v);
+            let unmarked = net.unmarked_places(dead);
+            assert!(net.is_siphon(&unmarked), "deadlock theorem violated at {dead}");
+        }
+        assert!(found_deadlock, "the dining pair must be able to deadlock");
+    }
+
+    #[test]
+    fn max_siphon_fixpoint() {
+        let net = dining_pair();
+        let all: Vec<PlaceId> = net.places().collect();
+        let s = net.max_siphon_within(&all);
+        assert!(net.is_siphon(&s));
+        assert_eq!(s.len(), all.len(), "whole set is already a siphon");
+        // Restricting to a non-siphon subset shrinks to its largest
+        // siphon (here: empty, since fork_a alone isn't one).
+        let fork_a = net.place_by_name("fork_a").unwrap();
+        assert!(net.max_siphon_within(&[fork_a]).is_empty());
+    }
+
+    #[test]
+    fn max_trap_fixpoint() {
+        let net = dining_pair();
+        let all: Vec<PlaceId> = net.places().collect();
+        let q = net.max_trap_within(&all);
+        assert!(net.is_trap(&q));
+        let idle1 = net.place_by_name("idle1").unwrap();
+        let t = net.max_trap_within(&[idle1]);
+        assert!(net.is_trap(&t));
+    }
+
+    #[test]
+    fn marked_cycle_is_siphon_and_trap() {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0", 1);
+        let p1 = net.add_place("p1", 0);
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        net.connect(&[p0], t0, &[p1]);
+        net.connect(&[p1], t1, &[p0]);
+        let cycle = vec![p0, p1];
+        assert!(net.is_siphon(&cycle));
+        assert!(net.is_trap(&cycle));
+        // A single place of the cycle is neither.
+        assert!(!net.is_siphon(&[p0]));
+        assert!(!net.is_trap(&[p0]));
+    }
+}

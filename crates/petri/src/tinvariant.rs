@@ -1,0 +1,176 @@
+//! Transition invariants (T-invariants): integer vectors `y ≥ 0` with
+//! `C·y = 0` — firing-count vectors of cyclic behaviour. A live bounded
+//! net is covered by T-invariants; for STGs every T-invariant must fire
+//! each signal's rising and falling edges equally often (the unbalanced
+//! set of Def. 3.5 is empty on cycles), which the STG layer exploits as a
+//! structural consistency hint.
+
+use crate::net::{PetriNet, TransId};
+
+impl PetriNet {
+    /// A basis of the right null space of the incidence matrix: every
+    /// returned vector `y` satisfies `C·y = 0` (a T-invariant, entries may
+    /// be negative).
+    pub fn t_invariants(&self) -> Vec<Vec<i64>> {
+        // The right null space of C is the left null space of Cᵀ; reuse
+        // the fraction-free elimination by transposing.
+        let np = self.num_places();
+        let nt = self.num_transitions();
+        let c = self.incidence_matrix();
+        let mut rows: Vec<(Vec<i128>, Vec<i128>)> = (0..nt)
+            .map(|t| {
+                let left: Vec<i128> = (0..np).map(|p| c[p][t] as i128).collect();
+                let mut right = vec![0i128; nt];
+                right[t] = 1;
+                (left, right)
+            })
+            .collect();
+        let mut pivot_row = 0usize;
+        for col in 0..np {
+            let Some(sel) = (pivot_row..rows.len()).find(|&r| rows[r].0[col] != 0) else {
+                continue;
+            };
+            rows.swap(pivot_row, sel);
+            let pivot = rows[pivot_row].0[col];
+            for r in 0..rows.len() {
+                if r == pivot_row || rows[r].0[col] == 0 {
+                    continue;
+                }
+                let factor = rows[r].0[col];
+                for k in 0..np {
+                    rows[r].0[k] = rows[r].0[k] * pivot - rows[pivot_row].0[k] * factor;
+                }
+                for k in 0..nt {
+                    rows[r].1[k] = rows[r].1[k] * pivot - rows[pivot_row].1[k] * factor;
+                }
+                reduce(&mut rows[r]);
+            }
+            pivot_row += 1;
+            if pivot_row == rows.len() {
+                break;
+            }
+        }
+        rows.iter()
+            .filter(|(left, _)| left.iter().all(|&v| v == 0))
+            .map(|(_, right)| {
+                let mut v: Vec<i64> = right.iter().map(|&x| x as i64).collect();
+                if let Some(first) = v.iter().find(|&&x| x != 0) {
+                    if *first < 0 {
+                        for x in &mut v {
+                            *x = -*x;
+                        }
+                    }
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// Fires a T-invariant symbolically: returns `true` when replaying any
+    /// firing sequence with these counts returns to the start marking
+    /// (always true by definition — provided as an executable sanity
+    /// check on small vectors).
+    pub fn t_invariant_is_neutral(&self, y: &[i64]) -> bool {
+        let c = self.incidence_matrix();
+        (0..self.num_places()).all(|p| {
+            let delta: i64 =
+                (0..self.num_transitions()).map(|t| c[p][t] * y[t]).sum();
+            delta == 0
+        })
+    }
+
+    /// `true` when the net is covered by non-negative T-invariants
+    /// (necessary for liveness+boundedness together).
+    pub fn covered_by_positive_t_invariants(&self) -> bool {
+        let invs: Vec<Vec<i64>> = self
+            .t_invariants()
+            .into_iter()
+            .filter(|y| y.iter().all(|&v| v >= 0) && y.iter().any(|&v| v > 0))
+            .collect();
+        (0..self.num_transitions()).all(|t| invs.iter().any(|y| y[t] > 0))
+    }
+
+    /// Convenience accessor used by diagnostics: the entry of `y` for a
+    /// transition.
+    pub fn t_invariant_count(y: &[i64], t: TransId) -> i64 {
+        y[t.index()]
+    }
+}
+
+fn reduce(row: &mut (Vec<i128>, Vec<i128>)) {
+    let mut g: i128 = 0;
+    for &v in row.0.iter().chain(row.1.iter()) {
+        g = gcd(g, v.abs());
+    }
+    if g > 1 {
+        for v in row.0.iter_mut().chain(row.1.iter_mut()) {
+            *v /= g;
+        }
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle() -> PetriNet {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0", 1);
+        let p1 = net.add_place("p1", 0);
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        net.connect(&[p0], t0, &[p1]);
+        net.connect(&[p1], t1, &[p0]);
+        net
+    }
+
+    #[test]
+    fn cycle_has_unit_t_invariant() {
+        let net = cycle();
+        let invs = net.t_invariants();
+        assert_eq!(invs, vec![vec![1, 1]]);
+        assert!(net.t_invariant_is_neutral(&invs[0]));
+        assert!(net.covered_by_positive_t_invariants());
+    }
+
+    #[test]
+    fn dead_branch_is_not_covered() {
+        let mut net = cycle();
+        let p2 = net.add_place("p2", 0);
+        let t2 = net.add_transition("leak");
+        let p0 = net.place_by_name("p0").unwrap();
+        net.connect(&[p0], t2, &[p2]);
+        // `leak` moves the token out for good: it cannot be part of any
+        // cyclic firing vector.
+        assert!(!net.covered_by_positive_t_invariants());
+    }
+
+    #[test]
+    fn invariants_are_neutral_by_construction() {
+        let mut net = PetriNet::new();
+        let a = net.add_place("a", 1);
+        let b = net.add_place("b", 0);
+        let c = net.add_place("c", 0);
+        let t0 = net.add_transition("t0");
+        let t1 = net.add_transition("t1");
+        let t2 = net.add_transition("t2");
+        net.connect(&[a], t0, &[b]);
+        net.connect(&[b], t1, &[c]);
+        net.connect(&[c], t2, &[a]);
+        for y in net.t_invariants() {
+            assert!(net.t_invariant_is_neutral(&y));
+        }
+        let y = net.t_invariants().remove(0);
+        assert_eq!(PetriNet::t_invariant_count(&y, t0), 1);
+        assert_eq!(PetriNet::t_invariant_count(&y, t1), 1);
+        assert_eq!(PetriNet::t_invariant_count(&y, t2), 1);
+    }
+}

@@ -1,0 +1,744 @@
+//! Explicit-state implementability checks (the paper's Section 3
+//! properties, checked the "traditional" way on the enumerated state
+//! graph).
+//!
+//! These serve as the baseline for the symbolic/explicit comparison and as
+//! the differential-testing oracle for `stgcheck-core`'s BDD algorithms.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use stgcheck_petri::TransId;
+
+use crate::signal::{Polarity, SignalId, SignalKind};
+use crate::state_graph::{build_state_graph, SgError, SgOptions, StateGraph};
+use crate::stg::{Code, Stg};
+
+/// How strictly persistency is interpreted.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PersistencyPolicy {
+    /// Allow a non-input signal to disable another non-input signal
+    /// (the paper's footnote 1: arbitration points in non-deterministic
+    /// circuits such as mutual-exclusion elements).
+    pub allow_arbitration: bool,
+}
+
+/// A signal-persistency violation (Def. 3.2): `disabled` was enabled, then
+/// `fired` fired and `disabled` is no longer enabled.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PersistencyViolation {
+    /// Vertex where both were enabled.
+    pub state: usize,
+    /// The transition whose firing caused the disabling.
+    pub fired: TransId,
+    /// The signal that lost its enabling.
+    pub disabled: SignalId,
+}
+
+/// A transition-persistency violation (Def. 3.3(1), a *direct conflict*
+/// occurrence).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TransPersistencyViolation {
+    /// Vertex where both transitions were enabled.
+    pub state: usize,
+    /// The transition that fired.
+    pub fired: TransId,
+    /// The transition that became disabled.
+    pub disabled: TransId,
+}
+
+/// A determinism violation (Def. 3.5(1)): two edges with the same signal
+/// edge label leave one state towards different states.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DeterminismViolation {
+    /// The branching vertex.
+    pub state: usize,
+    /// The ambiguous signal edge.
+    pub edge: (SignalId, Polarity),
+    /// Two distinct successor vertices reached under the same label.
+    pub targets: (usize, usize),
+}
+
+/// A commutativity violation (Def. 3.5(2)): a diamond `s →a s1 →b s3`,
+/// `s →b s2 →a s4` with `s3 ≠ s4`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CommutativityViolation {
+    /// The diamond's source vertex.
+    pub state: usize,
+    /// First signal edge.
+    pub edge_a: (SignalId, Polarity),
+    /// Second signal edge.
+    pub edge_b: (SignalId, Polarity),
+    /// The two distinct closing vertices.
+    pub targets: (usize, usize),
+}
+
+/// A Complete State Coding violation (Def. 3.4): two states share a binary
+/// code but enable different non-input signals.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CscViolation {
+    /// First vertex.
+    pub state_a: usize,
+    /// Second vertex.
+    pub state_b: usize,
+    /// The shared code.
+    pub code: Code,
+}
+
+/// Checks signal persistency per Def. 3.2.
+///
+/// A violation is recorded when a signal `a`, enabled at a state, is no
+/// longer enabled after another signal's transition fires, and either
+/// * `a` is non-input (case 1; suppressed between two non-inputs when
+///   `policy.allow_arbitration`), or
+/// * `a` is an input disabled by a non-input or dummy transition (case 2).
+///
+/// Input-by-input disabling is a choice, not a violation.
+pub fn signal_persistency_violations(
+    stg: &Stg,
+    sg: &StateGraph,
+    policy: PersistencyPolicy,
+) -> Vec<PersistencyViolation> {
+    let mut out = Vec::new();
+    for v in 0..sg.len() {
+        let enabled_here = sg.enabled_signals(stg, v);
+        for &(t, w) in sg.successors(v) {
+            let fired_signal = stg.label(t).map(|l| l.signal);
+            // Dummies "belong to the circuit": treat them as non-input.
+            let fired_is_noninput =
+                fired_signal.map_or(true, |s| stg.signal_kind(s).is_noninput());
+            let enabled_after: HashSet<SignalId> =
+                sg.enabled_signals(stg, w).into_iter().collect();
+            for &a in &enabled_here {
+                if Some(a) == fired_signal || enabled_after.contains(&a) {
+                    continue;
+                }
+                let a_noninput = stg.signal_kind(a).is_noninput();
+                let violation = if a_noninput {
+                    !(policy.allow_arbitration && fired_is_noninput)
+                } else {
+                    fired_is_noninput
+                };
+                if violation {
+                    out.push(PersistencyViolation { state: v, fired: t, disabled: a });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks transition persistency per Def. 3.3(1): enabled transitions
+/// disabled by the firing of another transition.
+pub fn transition_persistency_violations(
+    stg: &Stg,
+    sg: &StateGraph,
+) -> Vec<TransPersistencyViolation> {
+    let net = stg.net();
+    let mut out = Vec::new();
+    for v in 0..sg.len() {
+        for &(tj, w) in sg.successors(v) {
+            let after = &sg.state(w).marking;
+            for &(ti, _) in sg.successors(v) {
+                if ti == tj {
+                    continue;
+                }
+                if !net.is_enabled(ti, after) {
+                    out.push(TransPersistencyViolation { state: v, fired: tj, disabled: ti });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks determinism per Def. 3.5(1).
+pub fn determinism_violations(stg: &Stg, sg: &StateGraph) -> Vec<DeterminismViolation> {
+    let mut out = Vec::new();
+    for v in 0..sg.len() {
+        let mut by_edge: HashMap<(SignalId, Polarity), usize> = HashMap::new();
+        for &(t, w) in sg.successors(v) {
+            let Some(l) = stg.label(t) else { continue };
+            match by_edge.entry((l.signal, l.polarity)) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(w);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != w {
+                        out.push(DeterminismViolation {
+                            state: v,
+                            edge: (l.signal, l.polarity),
+                            targets: (*e.get(), w),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks commutativity per Def. 3.5(2) on every completed diamond.
+pub fn commutativity_violations(stg: &Stg, sg: &StateGraph) -> Vec<CommutativityViolation> {
+    // successor-by-edge maps, taking the first target per edge (determinism
+    // violations are reported separately).
+    let succ_by_edge: Vec<HashMap<(SignalId, Polarity), usize>> = (0..sg.len())
+        .map(|v| {
+            let mut m = HashMap::new();
+            for &(t, w) in sg.successors(v) {
+                if let Some(l) = stg.label(t) {
+                    m.entry((l.signal, l.polarity)).or_insert(w);
+                }
+            }
+            m
+        })
+        .collect();
+    let mut out = Vec::new();
+    for v in 0..sg.len() {
+        let edges: Vec<_> = succ_by_edge[v].iter().map(|(&e, &w)| (e, w)).collect();
+        for (i, &(ea, s1)) in edges.iter().enumerate() {
+            for &(eb, s2) in &edges[i + 1..] {
+                let (Some(&s3), Some(&s4)) =
+                    (succ_by_edge[s1].get(&eb), succ_by_edge[s2].get(&ea))
+                else {
+                    continue;
+                };
+                if s3 != s4 {
+                    out.push(CommutativityViolation {
+                        state: v,
+                        edge_a: ea,
+                        edge_b: eb,
+                        targets: (s3, s4),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks Complete State Coding per Def. 3.4: all pairs of equally-coded
+/// states must enable the same non-input signals.
+pub fn csc_violations(stg: &Stg, sg: &StateGraph) -> Vec<CscViolation> {
+    let mut out = Vec::new();
+    for (code, vertices) in sg.states_by_code() {
+        if vertices.len() < 2 {
+            continue;
+        }
+        let sets: Vec<Vec<SignalId>> =
+            vertices.iter().map(|&v| sg.enabled_noninput_signals(stg, v)).collect();
+        for i in 0..vertices.len() {
+            for j in i + 1..vertices.len() {
+                if sets[i] != sets[j] {
+                    out.push(CscViolation {
+                        state_a: vertices[i],
+                        state_b: vertices[j],
+                        code,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by_key(|v| (v.state_a, v.state_b));
+    out
+}
+
+/// Excitation/quiescent region membership for one signal, state-level.
+#[derive(Clone, Debug)]
+pub struct SignalRegions {
+    /// Vertices where a rising edge of the signal is enabled (`ER(a+)`).
+    pub er_rise: Vec<usize>,
+    /// Vertices where a falling edge is enabled (`ER(a−)`).
+    pub er_fall: Vec<usize>,
+    /// Vertices with the signal at 1 and no falling edge enabled
+    /// (`QR(a+)`).
+    pub qr_high: Vec<usize>,
+    /// Vertices with the signal at 0 and no rising edge enabled
+    /// (`QR(a−)`).
+    pub qr_low: Vec<usize>,
+}
+
+/// Computes the excitation and quiescent regions of `a` (paper Section
+/// 5.3).
+pub fn signal_regions(stg: &Stg, sg: &StateGraph, a: SignalId) -> SignalRegions {
+    let mut r = SignalRegions {
+        er_rise: Vec::new(),
+        er_fall: Vec::new(),
+        qr_high: Vec::new(),
+        qr_low: Vec::new(),
+    };
+    for v in 0..sg.len() {
+        let edges = sg.enabled_edges(stg, v);
+        let rise = edges.contains(&(a, Polarity::Rise));
+        let fall = edges.contains(&(a, Polarity::Fall));
+        let value = sg.state(v).code.get(a);
+        if rise {
+            r.er_rise.push(v);
+        }
+        if fall {
+            r.er_fall.push(v);
+        }
+        if value && !fall {
+            r.qr_high.push(v);
+        }
+        if !value && !rise {
+            r.qr_low.push(v);
+        }
+    }
+    r
+}
+
+/// The *contradictory codes* `CONT(a)` of Section 5.3:
+/// `(ER(a+) ∩ QR(a−)) ∪ (ER(a−) ∩ QR(a+))`, compared as binary codes.
+pub fn contradictory_codes(stg: &Stg, sg: &StateGraph, a: SignalId) -> HashSet<Code> {
+    let r = signal_regions(stg, sg, a);
+    let codes = |vs: &[usize]| -> HashSet<Code> {
+        vs.iter().map(|&v| sg.state(v).code).collect()
+    };
+    let (erp, erm) = (codes(&r.er_rise), codes(&r.er_fall));
+    let (qrp, qrm) = (codes(&r.qr_high), codes(&r.qr_low));
+    let mut cont: HashSet<Code> = erp.intersection(&qrm).copied().collect();
+    cont.extend(erm.intersection(&qrp).copied());
+    cont
+}
+
+/// `true` if signal `a` satisfies the per-signal CSC condition of Section
+/// 5.3 (no contradictory codes).
+pub fn csc_holds_for_signal(stg: &Stg, sg: &StateGraph, a: SignalId) -> bool {
+    contradictory_codes(stg, sg, a).is_empty()
+}
+
+/// Detects *mutually complementary input sequences* for non-input `a`
+/// (Def. 3.5(3)) with the paper's frozen-traversal algorithm (Section 5.3):
+/// starting from the quiescent contradictory states, traverse backward and
+/// then forward firing only input transitions; if an excited contradictory
+/// state is reached, the CSC conflict cannot be resolved by inserting
+/// non-input signals.
+pub fn has_complementary_input_sequences(stg: &Stg, sg: &StateGraph, a: SignalId) -> bool {
+    let cont = contradictory_codes(stg, sg, a);
+    if cont.is_empty() {
+        return false;
+    }
+    let r = signal_regions(stg, sg, a);
+    let quiescent: HashSet<usize> = r.qr_high.iter().chain(&r.qr_low).copied().collect();
+    let excited: HashSet<usize> = r.er_rise.iter().chain(&r.er_fall).copied().collect();
+    let start: Vec<usize> = quiescent
+        .iter()
+        .copied()
+        .filter(|&v| cont.contains(&sg.state(v).code))
+        .collect();
+
+    let input_labelled = |t: TransId| -> bool {
+        stg.label(t).is_some_and(|l| stg.signal_kind(l.signal) == SignalKind::Input)
+    };
+
+    // Backward frozen traversal.
+    let mut seen: HashSet<usize> = start.iter().copied().collect();
+    let mut queue: VecDeque<usize> = start.iter().copied().collect();
+    while let Some(v) = queue.pop_front() {
+        for &(t, u) in sg.predecessors(v) {
+            if input_labelled(t) && seen.insert(u) {
+                queue.push_back(u);
+            }
+        }
+    }
+    // Forward frozen traversal from everything found so far.
+    let mut queue: VecDeque<usize> = seen.iter().copied().collect();
+    while let Some(v) = queue.pop_front() {
+        for &(t, w) in sg.successors(v) {
+            if input_labelled(t) && seen.insert(w) {
+                queue.push_back(w);
+            }
+        }
+    }
+    seen.iter().any(|&v| excited.contains(&v) && cont.contains(&sg.state(v).code))
+}
+
+/// `true` if the (consistent, persistent) state graph is CSC-*reducible*:
+/// deterministic, commutative and free from mutually complementary input
+/// sequences for every non-input signal (Section 3.4).
+pub fn csc_reducible(stg: &Stg, sg: &StateGraph) -> bool {
+    determinism_violations(stg, sg).is_empty()
+        && commutativity_violations(stg, sg).is_empty()
+        && stg
+            .noninput_signals()
+            .iter()
+            .all(|&a| !has_complementary_input_sequences(stg, sg, a))
+}
+
+/// Implementability classes of Def. 2.6, strongest first.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Implementability {
+    /// A strongly-equivalent circuit exists (CSC holds).
+    Gate,
+    /// An I/O-equivalent circuit exists after inserting non-input signals
+    /// (CSC-reducible).
+    InputOutput,
+    /// Only a trace-equivalent circuit with a modified interface exists.
+    SpeedIndependent,
+    /// Not implementable as a speed-independent circuit at all.
+    NotImplementable,
+}
+
+impl std::fmt::Display for Implementability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Implementability::Gate => "gate-implementable",
+            Implementability::InputOutput => "I/O-implementable",
+            Implementability::SpeedIndependent => "SI-implementable (interface change needed)",
+            Implementability::NotImplementable => "not implementable",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Aggregate result of the explicit checks.
+#[derive(Clone, Debug)]
+pub struct ExplicitReport {
+    /// Number of full states (when construction succeeded).
+    pub states: usize,
+    /// `false` when the net was proved unbounded.
+    pub bounded: bool,
+    /// `true` when every reachable marking is safe.
+    pub safe: bool,
+    /// Consistency of the state assignment; `Some` carries the witness.
+    pub inconsistency: Option<SgError>,
+    /// Signal persistency violations under the chosen policy.
+    pub persistency: Vec<PersistencyViolation>,
+    /// Determinism violations.
+    pub determinism: Vec<DeterminismViolation>,
+    /// Commutativity violations.
+    pub commutativity: Vec<CommutativityViolation>,
+    /// CSC violations (state pairs).
+    pub csc: Vec<CscViolation>,
+    /// Non-input signals with mutually complementary input sequences.
+    pub irreducible_signals: Vec<SignalId>,
+    /// Final classification.
+    pub verdict: Implementability,
+}
+
+impl ExplicitReport {
+    /// `true` when the state assignment is consistent.
+    pub fn consistent(&self) -> bool {
+        self.inconsistency.is_none()
+    }
+
+    /// `true` when no (policy-relevant) persistency violation exists.
+    pub fn persistent(&self) -> bool {
+        self.persistency.is_empty()
+    }
+
+    /// `true` when Complete State Coding holds.
+    pub fn csc_holds(&self) -> bool {
+        self.csc.is_empty()
+    }
+}
+
+/// Runs every explicit check and classifies the STG per Def. 2.6 /
+/// Prop. 3.2.
+pub fn check_explicit(stg: &Stg, opts: SgOptions, policy: PersistencyPolicy) -> ExplicitReport {
+    let sg = match build_state_graph(stg, opts) {
+        Err(e) => {
+            let bounded = !matches!(e, SgError::Unbounded);
+            return ExplicitReport {
+                states: 0,
+                bounded,
+                safe: false,
+                inconsistency: Some(e),
+                persistency: Vec::new(),
+                determinism: Vec::new(),
+                commutativity: Vec::new(),
+                csc: Vec::new(),
+                irreducible_signals: Vec::new(),
+                verdict: Implementability::NotImplementable,
+            };
+        }
+        Ok(sg) => sg,
+    };
+    let safe = sg.states().iter().all(|s| s.marking.is_safe());
+    let persistency = signal_persistency_violations(stg, &sg, policy);
+    let determinism = determinism_violations(stg, &sg);
+    let commutativity = commutativity_violations(stg, &sg);
+    let csc = csc_violations(stg, &sg);
+    let irreducible_signals: Vec<SignalId> = stg
+        .noninput_signals()
+        .into_iter()
+        .filter(|&a| has_complementary_input_sequences(stg, &sg, a))
+        .collect();
+    let reducible =
+        determinism.is_empty() && commutativity.is_empty() && irreducible_signals.is_empty();
+    let verdict = if !persistency.is_empty() {
+        Implementability::NotImplementable
+    } else if csc.is_empty() {
+        Implementability::Gate
+    } else if reducible {
+        Implementability::InputOutput
+    } else {
+        Implementability::SpeedIndependent
+    };
+    ExplicitReport {
+        states: sg.len(),
+        bounded: true,
+        safe,
+        inconsistency: None,
+        persistency,
+        determinism,
+        commutativity,
+        csc,
+        irreducible_signals,
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stg::StgBuilder;
+
+    fn sg_of(stg: &Stg) -> StateGraph {
+        build_state_graph(stg, SgOptions::default()).unwrap()
+    }
+
+    /// r (input) / a (output) four-phase handshake: fully implementable.
+    fn handshake() -> Stg {
+        let mut b = StgBuilder::new("hs");
+        b.input("r");
+        b.output("a");
+        b.cycle(&["r+", "a+", "r-", "a-"]);
+        b.initial_code_str("00");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn handshake_is_gate_implementable() {
+        let stg = handshake();
+        let report = check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+        assert!(report.consistent());
+        assert!(report.persistent());
+        assert!(report.csc_holds());
+        assert!(report.safe);
+        assert_eq!(report.verdict, Implementability::Gate);
+        assert_eq!(report.states, 4);
+    }
+
+    /// Output x and input r in free choice: firing x+ (output) disables
+    /// r+ (input) — a persistency violation; firing r+ disables x+ — also
+    /// a violation (non-input disabled).
+    fn output_input_conflict() -> Stg {
+        let mut b = StgBuilder::new("conflict");
+        b.input("r");
+        b.output("x");
+        let p = b.place("p", 1);
+        b.pt(p, "r+");
+        b.pt(p, "x+");
+        // Give both somewhere to go so the net stays 1-safe & consistent.
+        b.arc("r+", "x-");
+        b.arc("x+", "x-");
+        b.tp("x-", p);
+        b.arc_with_tokens("x-", "r-", 0);
+        b.arc("r+", "r-");
+        b.initial_code_str("00");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn detects_persistency_violation() {
+        let stg = output_input_conflict();
+        let sg = sg_of(&stg);
+        let v = signal_persistency_violations(&stg, &sg, PersistencyPolicy::default());
+        assert!(!v.is_empty());
+        let x = stg.signal_by_name("x").unwrap();
+        let r = stg.signal_by_name("r").unwrap();
+        let disabled: HashSet<SignalId> = v.iter().map(|p| p.disabled).collect();
+        // x+ (non-input) is disabled by r+, and r+ (input) by x+ (output).
+        assert!(disabled.contains(&x));
+        assert!(disabled.contains(&r));
+        // Transition-level conflicts exist as well.
+        assert!(!transition_persistency_violations(&stg, &sg).is_empty());
+    }
+
+    /// Two outputs guarded by a mutex place: the arbitration policy
+    /// decides whether this is a violation.
+    #[test]
+    fn arbitration_policy_softens_output_conflicts() {
+        let mut b = StgBuilder::new("arb");
+        b.output("g1");
+        b.output("g2");
+        let p = b.place("mutex", 1);
+        b.pt(p, "g1+");
+        b.pt(p, "g2+");
+        b.arc("g1+", "g1-");
+        b.arc("g2+", "g2-");
+        b.tp("g1-", p);
+        b.tp("g2-", p);
+        b.initial_code_str("00");
+        let stg = b.build().unwrap();
+        let sg = sg_of(&stg);
+        let strict =
+            signal_persistency_violations(&stg, &sg, PersistencyPolicy::default());
+        assert!(!strict.is_empty());
+        let relaxed = signal_persistency_violations(
+            &stg,
+            &sg,
+            PersistencyPolicy { allow_arbitration: true },
+        );
+        assert!(relaxed.is_empty());
+    }
+
+    #[test]
+    fn input_choice_is_not_a_violation() {
+        // Free choice between two *inputs*: perfectly fine.
+        let mut b = StgBuilder::new("choice");
+        b.input("i1");
+        b.input("i2");
+        let p = b.place("p", 1);
+        b.pt(p, "i1+");
+        b.pt(p, "i2+");
+        b.arc("i1+", "i1-");
+        b.arc("i2+", "i2-");
+        b.tp("i1-", p);
+        b.tp("i2-", p);
+        b.initial_code_str("00");
+        let stg = b.build().unwrap();
+        let sg = sg_of(&stg);
+        assert!(signal_persistency_violations(&stg, &sg, PersistencyPolicy::default())
+            .is_empty());
+    }
+
+    /// Minimal reducible CSC violation, all signals output:
+    /// x+ x- y+ x+/2 x-/2 y- (codes 00 and 01 repeat with different
+    /// enabled outputs).
+    fn reducible_csc() -> Stg {
+        let mut b = StgBuilder::new("csc-red");
+        b.output("x");
+        b.output("y");
+        b.cycle(&["x+", "x-", "y+", "x+/2", "x-/2", "y-"]);
+        b.initial_code_str("00");
+        b.build().unwrap()
+    }
+
+    /// Minimal irreducible CSC violation: input a cycles, output b fires
+    /// after — the environment's traces alone cannot disambiguate.
+    fn irreducible_csc() -> Stg {
+        let mut b = StgBuilder::new("csc-irred");
+        b.input("a");
+        b.output("b");
+        b.cycle(&["a+", "a-", "b+", "b-"]);
+        b.initial_code_str("00");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn detects_reducible_csc_violation() {
+        let stg = reducible_csc();
+        let sg = sg_of(&stg);
+        let x = stg.signal_by_name("x").unwrap();
+        let y = stg.signal_by_name("y").unwrap();
+        assert!(!csc_violations(&stg, &sg).is_empty());
+        // Both outputs clash: code 00 is ER(x+) (after y-) and ER(y+)
+        // (after x-), and also quiescent for the other signal.
+        assert!(!csc_holds_for_signal(&stg, &sg, x));
+        assert!(!csc_holds_for_signal(&stg, &sg, y));
+        // No signal has complementary *input* sequences (no inputs at all).
+        assert!(!has_complementary_input_sequences(&stg, &sg, x));
+        assert!(!has_complementary_input_sequences(&stg, &sg, y));
+        assert!(csc_reducible(&stg, &sg));
+        let report = check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+        assert_eq!(report.verdict, Implementability::InputOutput);
+    }
+
+    #[test]
+    fn detects_irreducible_csc_violation() {
+        let stg = irreducible_csc();
+        let sg = sg_of(&stg);
+        let bsig = stg.signal_by_name("b").unwrap();
+        assert!(!csc_violations(&stg, &sg).is_empty());
+        assert!(!csc_holds_for_signal(&stg, &sg, bsig));
+        assert!(has_complementary_input_sequences(&stg, &sg, bsig));
+        assert!(!csc_reducible(&stg, &sg));
+        let report = check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+        assert_eq!(report.verdict, Implementability::SpeedIndependent);
+    }
+
+    #[test]
+    fn contradictory_codes_match_expectation() {
+        let stg = irreducible_csc();
+        let sg = sg_of(&stg);
+        let bsig = stg.signal_by_name("b").unwrap();
+        let cont = contradictory_codes(&stg, &sg, bsig);
+        // The clash is at code 00 (initial vs after a-).
+        assert_eq!(cont.len(), 1);
+        assert!(cont.contains(&Code::ZERO));
+    }
+
+    #[test]
+    fn diamond_is_commutative_and_deterministic() {
+        // Two concurrent inputs a, b then output c: a clean diamond.
+        let mut b = StgBuilder::new("diamond");
+        b.input("a");
+        b.input("b");
+        b.output("c");
+        b.arc("a+", "c+");
+        b.arc("b+", "c+");
+        // Reset phase to keep consistency: c-, then a-, b- concurrently.
+        b.arc("c+", "c-");
+        b.arc("c-", "a-");
+        b.arc("c-", "b-");
+        b.marked_arc("a-", "a+");
+        b.marked_arc("b-", "b+");
+        b.initial_code_str("000");
+        let stg = b.build().unwrap();
+        let sg = sg_of(&stg);
+        assert!(determinism_violations(&stg, &sg).is_empty());
+        assert!(commutativity_violations(&stg, &sg).is_empty());
+    }
+
+    #[test]
+    fn detects_nondeterminism() {
+        // Two transitions labelled a+ from the same place to different
+        // places: non-deterministic.
+        let mut b = StgBuilder::new("nondet");
+        b.input("a");
+        let p = b.place("p", 1);
+        b.pt(p, "a+");
+        b.pt(p, "a+/2");
+        b.arc("a+", "a-");
+        b.arc("a+/2", "a-/2");
+        b.tp("a-", p);
+        b.tp("a-/2", p);
+        b.initial_code_str("0");
+        let stg = b.build().unwrap();
+        let sg = sg_of(&stg);
+        let dv = determinism_violations(&stg, &sg);
+        assert!(!dv.is_empty());
+        assert_eq!(dv[0].edge.1, Polarity::Rise);
+    }
+
+    #[test]
+    fn report_on_inconsistent_stg() {
+        let mut b = StgBuilder::new("bad");
+        b.input("b");
+        b.input("a");
+        let start = b.place("start", 1);
+        b.pt(start, "b+");
+        b.seq(&["b+", "a+", "b+/2"]);
+        b.initial_code_str("00");
+        let stg = b.build().unwrap();
+        let report = check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+        assert!(!report.consistent());
+        assert_eq!(report.verdict, Implementability::NotImplementable);
+        assert!(report.bounded);
+    }
+
+    #[test]
+    fn signal_regions_partition_states() {
+        let stg = handshake();
+        let sg = sg_of(&stg);
+        let a = stg.signal_by_name("a").unwrap();
+        let r = signal_regions(&stg, &sg, a);
+        // Each of the 4 states falls in exactly one region of `a`.
+        let total = r.er_rise.len() + r.er_fall.len() + r.qr_high.len() + r.qr_low.len();
+        assert_eq!(total, 4);
+        assert_eq!(r.er_rise.len(), 1);
+        assert_eq!(r.er_fall.len(), 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! Fake-conflict analysis (paper Sections 3.5 and 5.4).
+//!
+//! A *direct conflict* between transitions `aᵢ*` and `bⱼ*` is **fake** when
+//! firing one of them does not disable the *signal* of the other (another
+//! transition with the same signal edge becomes/stays enabled). Symmetric
+//! fake conflicts correspond to commutative diamonds disguised as choice;
+//! asymmetric fake conflicts involving a non-input signal are persistency
+//! violations in disguise. Checking fake-freedom is therefore a cheap
+//! substitute for the full commutativity check — the route the paper takes
+//! in its experiments (the "Com" column of Table 1).
+
+use stgcheck_petri::{ReachabilityGraph, TransId};
+
+use crate::stg::Stg;
+
+/// A direct conflict between two labelled transitions, with the fake-ness
+/// of each disabling direction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FakeConflict {
+    /// First transition of the conflicting pair.
+    pub t1: TransId,
+    /// Second transition of the conflicting pair.
+    pub t2: TransId,
+    /// `true` if the pair is ever simultaneously enabled in a reachable
+    /// marking (otherwise the structural conflict never materialises).
+    pub co_enabled: bool,
+    /// Firing `t2` disables `t1` yet leaves `t1`'s signal edge enabled via
+    /// another transition (in at least one reachable marking).
+    pub fake_1_by_2: bool,
+    /// Firing `t1` disables `t2` yet leaves `t2`'s signal edge enabled.
+    pub fake_2_by_1: bool,
+}
+
+impl FakeConflict {
+    /// Fake in both directions (Fig. 4, left): must be re-expressed as
+    /// concurrency; always rejected.
+    pub fn is_symmetric_fake(&self) -> bool {
+        self.fake_1_by_2 && self.fake_2_by_1
+    }
+
+    /// Fake in exactly one direction (Fig. 4, right).
+    pub fn is_asymmetric_fake(&self) -> bool {
+        self.fake_1_by_2 != self.fake_2_by_1
+    }
+
+    /// Fake in at least one direction.
+    pub fn is_fake(&self) -> bool {
+        self.fake_1_by_2 || self.fake_2_by_1
+    }
+}
+
+/// Analyses every structural direct-conflict pair of labelled transitions
+/// against the reachable markings `rg`.
+///
+/// Pairs involving dummy transitions are skipped (they carry no signal).
+pub fn fake_conflicts(stg: &Stg, rg: &ReachabilityGraph) -> Vec<FakeConflict> {
+    let net = stg.net();
+    let mut out = Vec::new();
+    for (t1, t2) in net.direct_conflict_pairs() {
+        let (Some(l1), Some(l2)) = (stg.label(t1), stg.label(t2)) else { continue };
+        let mut fc = FakeConflict {
+            t1,
+            t2,
+            co_enabled: false,
+            fake_1_by_2: false,
+            fake_2_by_1: false,
+        };
+        // Transitions that can keep each signal edge alive.
+        let others1: Vec<TransId> = stg
+            .transitions_of_edge(l1.signal, l1.polarity)
+            .into_iter()
+            .filter(|&t| t != t1 && t != t2)
+            .collect();
+        let others2: Vec<TransId> = stg
+            .transitions_of_edge(l2.signal, l2.polarity)
+            .into_iter()
+            .filter(|&t| t != t1 && t != t2)
+            .collect();
+        for m in rg.markings() {
+            if !net.is_enabled(t1, m) || !net.is_enabled(t2, m) {
+                continue;
+            }
+            fc.co_enabled = true;
+            // Direction: t2 fires, does t1's edge survive?
+            let after2 = net.fire(t2, m);
+            if !net.is_enabled(t1, &after2)
+                && others1.iter().any(|&tk| net.is_enabled(tk, &after2))
+            {
+                fc.fake_1_by_2 = true;
+            }
+            // Direction: t1 fires, does t2's edge survive?
+            let after1 = net.fire(t1, m);
+            if !net.is_enabled(t2, &after1)
+                && others2.iter().any(|&tk| net.is_enabled(tk, &after1))
+            {
+                fc.fake_2_by_1 = true;
+            }
+            if fc.fake_1_by_2 && fc.fake_2_by_1 {
+                break;
+            }
+        }
+        out.push(fc);
+    }
+    out
+}
+
+/// The fake conflicts that make an STG *not fake-free* (Section 3.5):
+/// symmetric fakes, and asymmetric fakes involving a non-input signal.
+pub fn fake_freedom_violations(stg: &Stg, rg: &ReachabilityGraph) -> Vec<FakeConflict> {
+    fake_conflicts(stg, rg)
+        .into_iter()
+        .filter(|fc| {
+            if fc.is_symmetric_fake() {
+                return true;
+            }
+            if fc.is_asymmetric_fake() {
+                let noninput = |t: TransId| {
+                    stg.label(t).is_some_and(|l| stg.signal_kind(l.signal).is_noninput())
+                };
+                return noninput(fc.t1) || noninput(fc.t2);
+            }
+            false
+        })
+        .collect()
+}
+
+/// `true` if the STG has no symmetric fake conflicts and no asymmetric
+/// fake conflicts involving a non-input signal.
+pub fn is_fake_free(stg: &Stg, rg: &ReachabilityGraph) -> bool {
+    fake_freedom_violations(stg, rg).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stg::{Stg, StgBuilder};
+    use stgcheck_petri::ReachOptions;
+
+    fn rg_of(stg: &Stg) -> ReachabilityGraph {
+        stg.net().reachability_graph(ReachOptions::default()).unwrap()
+    }
+
+    /// Fig. 3, D1: choice between a1+ and b2+, each branch re-enabling the
+    /// other signal — a symmetric fake conflict whose SG is the
+    /// concurrency diamond of D2.
+    pub(crate) fn fig3_d1() -> Stg {
+        let mut b = StgBuilder::new("fig3-d1");
+        b.input("a");
+        b.input("b");
+        b.output("c");
+        let p0 = b.place("p0", 1);
+        b.pt(p0, "a+"); // a1+
+        b.pt(p0, "b+/2"); // b2+
+        b.arc("a+", "b+"); // b1+ after a1+
+        b.arc("b+/2", "a+/2"); // a2+ after b2+
+        // Merge place into c+.
+        let pc = b.place("pc", 0);
+        b.tp("b+", pc);
+        b.tp("a+/2", pc);
+        b.pt(pc, "c+");
+        b.initial_code_str("000");
+        b.build().unwrap()
+    }
+
+    /// Fig. 3, D2: a+ and b+ genuinely concurrent, then c+.
+    pub(crate) fn fig3_d2() -> Stg {
+        let mut b = StgBuilder::new("fig3-d2");
+        b.input("a");
+        b.input("b");
+        b.output("c");
+        let pa = b.place("pa", 1);
+        let pb = b.place("pb", 1);
+        b.pt(pa, "a+");
+        b.pt(pb, "b+");
+        b.arc("a+", "c+");
+        b.arc("b+", "c+");
+        b.initial_code_str("000");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn d1_has_symmetric_fake_conflict() {
+        let stg = fig3_d1();
+        let rg = rg_of(&stg);
+        let fcs = fake_conflicts(&stg, &rg);
+        assert_eq!(fcs.len(), 1);
+        let fc = &fcs[0];
+        assert!(fc.co_enabled);
+        assert!(fc.is_symmetric_fake());
+        assert!(!is_fake_free(&stg, &rg));
+    }
+
+    #[test]
+    fn d2_is_fake_free() {
+        let stg = fig3_d2();
+        let rg = rg_of(&stg);
+        assert!(fake_conflicts(&stg, &rg).is_empty());
+        assert!(is_fake_free(&stg, &rg));
+    }
+
+    #[test]
+    fn d1_and_d2_have_equal_state_graphs() {
+        // The paper's point: both specifications induce the same SG.
+        use crate::state_graph::{build_state_graph, SgOptions};
+        let sg1 = build_state_graph(&fig3_d1(), SgOptions::default()).unwrap();
+        let sg2 = build_state_graph(&fig3_d2(), SgOptions::default()).unwrap();
+        assert_eq!(sg1.len(), sg2.len());
+        let codes1: std::collections::HashSet<u64> =
+            sg1.states().iter().map(|s| s.code.0).collect();
+        let codes2: std::collections::HashSet<u64> =
+            sg2.states().iter().map(|s| s.code.0).collect();
+        assert_eq!(codes1, codes2);
+    }
+
+    /// Fig. 4-style asymmetric fake conflict: firing a+ re-enables b via
+    /// b+/2, but firing b+ kills a for good.
+    fn asymmetric() -> (Stg, bool) {
+        let mut b = StgBuilder::new("asym");
+        b.input("a");
+        b.input("b");
+        let p0 = b.place("p0", 1);
+        b.pt(p0, "a+");
+        b.pt(p0, "b+");
+        b.arc("a+", "b+/2");
+        // b+ leads nowhere that re-enables a.
+        b.arc("b+", "b-");
+        b.arc("b+/2", "b-/2");
+        b.initial_code_str("00");
+        (b.build().unwrap(), true)
+    }
+
+    #[test]
+    fn detects_asymmetric_fake_conflict() {
+        let (stg, _) = asymmetric();
+        let rg = rg_of(&stg);
+        let fcs = fake_conflicts(&stg, &rg);
+        assert_eq!(fcs.len(), 1);
+        assert!(fcs[0].is_asymmetric_fake());
+        assert!(!fcs[0].is_symmetric_fake());
+        // Both signals are inputs: asymmetric fake between inputs is a
+        // choice, so the STG still counts as fake-free.
+        assert!(is_fake_free(&stg, &rg));
+    }
+
+    #[test]
+    fn asymmetric_fake_with_output_is_rejected() {
+        let mut b = StgBuilder::new("asym-out");
+        b.output("a");
+        b.input("b");
+        let p0 = b.place("p0", 1);
+        b.pt(p0, "a+");
+        b.pt(p0, "b+");
+        b.arc("a+", "b+/2");
+        b.arc("b+", "b-");
+        b.arc("b+/2", "b-/2");
+        b.initial_code_str("00");
+        let stg = b.build().unwrap();
+        let rg = rg_of(&stg);
+        assert!(!is_fake_free(&stg, &rg));
+        assert_eq!(fake_freedom_violations(&stg, &rg).len(), 1);
+    }
+
+    #[test]
+    fn real_choice_is_not_fake() {
+        // Plain input choice with no re-enabling: a real (non-fake)
+        // conflict; fake-freedom holds.
+        let mut b = StgBuilder::new("choice");
+        b.input("a");
+        b.input("b");
+        let p0 = b.place("p0", 1);
+        b.pt(p0, "a+");
+        b.pt(p0, "b+");
+        b.arc("a+", "a-");
+        b.arc("b+", "b-");
+        b.initial_code_str("00");
+        let stg = b.build().unwrap();
+        let rg = rg_of(&stg);
+        let fcs = fake_conflicts(&stg, &rg);
+        assert_eq!(fcs.len(), 1);
+        assert!(fcs[0].co_enabled);
+        assert!(!fcs[0].is_fake());
+        assert!(is_fake_free(&stg, &rg));
+    }
+}

@@ -1,0 +1,150 @@
+//! Signals and signal-transition labels.
+
+use std::fmt;
+
+/// Identifier of a signal within its [`crate::Stg`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// Zero-based index of the signal in creation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a signal id from a raw index (must come from the same STG).
+    pub fn from_index(i: usize) -> SignalId {
+        SignalId(i as u32)
+    }
+}
+
+/// Interface class of a signal (Def. 2.1 of the paper: `S_I ∪ S_O ∪ S_H`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SignalKind {
+    /// Controlled by the environment.
+    Input,
+    /// Produced by the circuit, visible at the interface.
+    Output,
+    /// Produced by the circuit, hidden from the interface.
+    Internal,
+}
+
+impl SignalKind {
+    /// `true` for outputs and internal signals — the signals the circuit
+    /// itself drives, for which persistency and CSC must hold.
+    pub fn is_noninput(self) -> bool {
+        !matches!(self, SignalKind::Input)
+    }
+}
+
+impl fmt::Display for SignalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SignalKind::Input => "input",
+            SignalKind::Output => "output",
+            SignalKind::Internal => "internal",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Direction of a signal edge: rising (`a+`) or falling (`a-`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Polarity {
+    /// `a+`: 0 → 1.
+    Rise,
+    /// `a-`: 1 → 0.
+    Fall,
+}
+
+impl Polarity {
+    /// The opposite edge direction.
+    pub fn opposite(self) -> Polarity {
+        match self {
+            Polarity::Rise => Polarity::Fall,
+            Polarity::Fall => Polarity::Rise,
+        }
+    }
+
+    /// The signal value *required before* this edge can fire (consistency).
+    pub fn value_before(self) -> bool {
+        matches!(self, Polarity::Fall)
+    }
+
+    /// The signal value *after* this edge fires.
+    pub fn value_after(self) -> bool {
+        matches!(self, Polarity::Rise)
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", if matches!(self, Polarity::Rise) { "+" } else { "-" })
+    }
+}
+
+/// Label of an STG transition: the `j`-th rising/falling edge of a signal
+/// (`aⱼ±` in the paper's notation).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TransLabel {
+    /// The signal whose edge this is.
+    pub signal: SignalId,
+    /// Rising or falling.
+    pub polarity: Polarity,
+    /// Instance number, 1-based (`a+/2` is instance 2 of `a+`).
+    pub instance: u32,
+}
+
+impl TransLabel {
+    /// First instance of a signal edge.
+    pub fn new(signal: SignalId, polarity: Polarity) -> TransLabel {
+        TransLabel { signal, polarity, instance: 1 }
+    }
+
+    /// A specific instance of a signal edge.
+    pub fn with_instance(signal: SignalId, polarity: Polarity, instance: u32) -> TransLabel {
+        TransLabel { signal, polarity, instance }
+    }
+
+    /// `true` if both labels denote an edge of the same signal in the same
+    /// direction (possibly different instances): `λ(t) = λ(t') = a*`.
+    pub fn same_edge(self, other: TransLabel) -> bool {
+        self.signal == other.signal && self.polarity == other.polarity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_semantics() {
+        assert_eq!(Polarity::Rise.opposite(), Polarity::Fall);
+        assert!(!Polarity::Rise.value_before());
+        assert!(Polarity::Rise.value_after());
+        assert!(Polarity::Fall.value_before());
+        assert!(!Polarity::Fall.value_after());
+        assert_eq!(Polarity::Rise.to_string(), "+");
+        assert_eq!(Polarity::Fall.to_string(), "-");
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(!SignalKind::Input.is_noninput());
+        assert!(SignalKind::Output.is_noninput());
+        assert!(SignalKind::Internal.is_noninput());
+        assert_eq!(SignalKind::Output.to_string(), "output");
+    }
+
+    #[test]
+    fn label_edges() {
+        let s = SignalId(0);
+        let a1 = TransLabel::new(s, Polarity::Rise);
+        let a2 = TransLabel::with_instance(s, Polarity::Rise, 2);
+        let b = TransLabel::new(SignalId(1), Polarity::Rise);
+        assert!(a1.same_edge(a2));
+        assert!(!a1.same_edge(b));
+        let fall = TransLabel::new(s, Polarity::Fall);
+        assert!(!a1.same_edge(fall));
+    }
+}

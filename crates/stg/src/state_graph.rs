@@ -1,0 +1,439 @@
+//! Explicit state-graph construction — the *full state graph* of the paper
+//! (Section 3): vertices are `(marking, code)` pairs, so one marking may
+//! yield several states and vice versa.
+//!
+//! This is the classic explicit-enumeration technique the paper's symbolic
+//! traversal replaces; `stgcheck` keeps it as a baseline for the
+//! experimental comparison and as a differential-test oracle.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use stgcheck_petri::{Marking, TransId};
+
+use crate::signal::{Polarity, SignalId};
+use crate::stg::{Code, Stg};
+
+/// Options for explicit state-graph construction.
+#[derive(Copy, Clone, Debug)]
+pub struct SgOptions {
+    /// Abort after this many full states.
+    pub max_states: usize,
+}
+
+impl Default for SgOptions {
+    fn default() -> Self {
+        SgOptions { max_states: 2_000_000 }
+    }
+}
+
+/// Why explicit state-graph construction failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SgError {
+    /// The ancestor-cover test proved the underlying net unbounded.
+    Unbounded,
+    /// State limit exceeded.
+    LimitExceeded(usize),
+    /// A state assignment inconsistency (Def. 3.1): the transition fired
+    /// from the state would set a signal to a value it already has.
+    Inconsistent {
+        /// Code of the offending state.
+        code: Code,
+        /// Index of the signal whose assignment is inconsistent.
+        signal: SignalId,
+        /// The polarity the offending transition is labelled with.
+        polarity: Polarity,
+    },
+    /// No initial code was supplied and inference failed because the signal
+    /// has both a rising and a falling first edge on different paths.
+    AmbiguousInitialValue(SignalId),
+}
+
+impl fmt::Display for SgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgError::Unbounded => write!(f, "underlying Petri net is unbounded"),
+            SgError::LimitExceeded(n) => write!(f, "state limit of {n} exceeded"),
+            SgError::Inconsistent { code, signal, polarity } => write!(
+                f,
+                "inconsistent state assignment: signal #{} fires `{polarity}` from code {:#b}",
+                signal.index(),
+                code.0
+            ),
+            SgError::AmbiguousInitialValue(s) => {
+                write!(f, "cannot infer initial value of signal #{}", s.index())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SgError {}
+
+/// A full state: marking plus binary signal code.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FullState {
+    /// The Petri-net marking component.
+    pub marking: Marking,
+    /// The signal-value component.
+    pub code: Code,
+}
+
+/// The explicit full state graph of an STG.
+#[derive(Clone, Debug)]
+pub struct StateGraph {
+    states: Vec<FullState>,
+    /// `edges[v]` lists `(t, target)`.
+    edges: Vec<Vec<(TransId, usize)>>,
+    /// Reverse adjacency: `(t, source)` per target.
+    redges: Vec<Vec<(TransId, usize)>>,
+    index: HashMap<FullState, usize>,
+}
+
+impl StateGraph {
+    /// Number of full states. This is the "# of states" column of the
+    /// paper's Table 1.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if the graph has no states (never produced by construction).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state of vertex `v` (vertex 0 is initial).
+    pub fn state(&self, v: usize) -> &FullState {
+        &self.states[v]
+    }
+
+    /// All states, indexed by vertex.
+    pub fn states(&self) -> &[FullState] {
+        &self.states
+    }
+
+    /// Outgoing edges of `v` as `(transition, target)`.
+    pub fn successors(&self, v: usize) -> &[(TransId, usize)] {
+        &self.edges[v]
+    }
+
+    /// Incoming edges of `v` as `(transition, source)`.
+    pub fn predecessors(&self, v: usize) -> &[(TransId, usize)] {
+        &self.redges[v]
+    }
+
+    /// Vertex of a full state, if reachable.
+    pub fn vertex_of(&self, s: &FullState) -> Option<usize> {
+        self.index.get(s).copied()
+    }
+
+    /// Total edge count.
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Distinct binary codes and the vertices sharing each code.
+    pub fn states_by_code(&self) -> HashMap<Code, Vec<usize>> {
+        let mut map: HashMap<Code, Vec<usize>> = HashMap::new();
+        for (v, s) in self.states.iter().enumerate() {
+            map.entry(s.code).or_default().push(v);
+        }
+        map
+    }
+
+    /// Signals enabled at vertex `v` (a signal is enabled when one of its
+    /// transitions is; dummies contribute nothing).
+    pub fn enabled_signals(&self, stg: &Stg, v: usize) -> Vec<SignalId> {
+        let mut out: Vec<SignalId> = self.edges[v]
+            .iter()
+            .filter_map(|&(t, _)| stg.label(t).map(|l| l.signal))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Non-input signals enabled at vertex `v` — the set CSC compares
+    /// between equally-coded states (Def. 3.4).
+    pub fn enabled_noninput_signals(&self, stg: &Stg, v: usize) -> Vec<SignalId> {
+        self.enabled_signals(stg, v)
+            .into_iter()
+            .filter(|&s| stg.signal_kind(s).is_noninput())
+            .collect()
+    }
+
+    /// Signal edges (signal, polarity) enabled at `v`, deduplicated across
+    /// instances.
+    pub fn enabled_edges(&self, stg: &Stg, v: usize) -> Vec<(SignalId, Polarity)> {
+        let mut out: Vec<(SignalId, Polarity)> = self.edges[v]
+            .iter()
+            .filter_map(|&(t, _)| stg.label(t).map(|l| (l.signal, l.polarity)))
+            .collect();
+        out.sort_by_key(|&(s, p)| (s, matches!(p, Polarity::Fall)));
+        out.dedup();
+        out
+    }
+}
+
+/// Infers the initial value of every signal using the paper's "don't care"
+/// technique (Section 5.1): a signal's value is constant until its first
+/// edge fires, so explore the markings reachable *without firing any edge
+/// of that signal* and read off the polarity of the first enabled edge.
+///
+/// Signals that never fire default to `0`.
+///
+/// # Errors
+///
+/// [`SgError::AmbiguousInitialValue`] if both polarities are enabled in the
+/// frozen subspace (the STG is then necessarily inconsistent), or the
+/// exploration limits from `opts` are hit.
+pub fn infer_initial_code(stg: &Stg, opts: SgOptions) -> Result<Code, SgError> {
+    let net = stg.net();
+    let mut code = Code::ZERO;
+    for s in stg.signals() {
+        // BFS over markings, never firing an edge of `s`.
+        let m0 = net.initial_marking();
+        let mut seen: HashMap<Marking, ()> = HashMap::from([(m0.clone(), ())]);
+        let mut queue = vec![m0];
+        let mut saw_rise = false;
+        let mut saw_fall = false;
+        while let Some(m) = queue.pop() {
+            for t in net.transitions() {
+                let label = stg.label(t);
+                if !net.is_enabled(t, &m) {
+                    continue;
+                }
+                if let Some(l) = label {
+                    if l.signal == s {
+                        match l.polarity {
+                            Polarity::Rise => saw_rise = true,
+                            Polarity::Fall => saw_fall = true,
+                        }
+                        continue; // frozen: do not fire
+                    }
+                }
+                let next = net.fire(t, &m);
+                if !next.is_safe() && next.max_tokens() > 8 {
+                    return Err(SgError::Unbounded);
+                }
+                if seen.len() >= opts.max_states {
+                    return Err(SgError::LimitExceeded(opts.max_states));
+                }
+                if !seen.contains_key(&next) {
+                    seen.insert(next.clone(), ());
+                    queue.push(next);
+                }
+            }
+        }
+        match (saw_rise, saw_fall) {
+            (true, true) => return Err(SgError::AmbiguousInitialValue(s)),
+            (true, false) => code = code.with(s, false),
+            (false, true) => code = code.with(s, true),
+            (false, false) => code = code.with(s, false),
+        }
+    }
+    Ok(code)
+}
+
+/// Builds the explicit full state graph of `stg`.
+///
+/// Uses the supplied initial code or infers one (see
+/// [`infer_initial_code`]). Construction fails on the first consistency
+/// violation — an inconsistent STG has no meaningful binary interpretation
+/// beyond that point (Def. 3.1).
+///
+/// # Errors
+///
+/// See [`SgError`].
+pub fn build_state_graph(stg: &Stg, opts: SgOptions) -> Result<StateGraph, SgError> {
+    let net = stg.net();
+    let code0 = match stg.initial_code() {
+        Some(c) => c,
+        None => infer_initial_code(stg, opts)?,
+    };
+    let init = FullState { marking: net.initial_marking(), code: code0 };
+    let mut graph = StateGraph {
+        states: vec![init.clone()],
+        edges: vec![Vec::new()],
+        redges: vec![Vec::new()],
+        index: HashMap::from([(init, 0usize)]),
+    };
+    let mut parent: Vec<Option<usize>> = vec![None];
+    let mut frontier = vec![0usize];
+    while let Some(v) = frontier.pop() {
+        let FullState { marking, code } = graph.states[v].clone();
+        for t in net.transitions() {
+            let Some(next_marking) = net.try_fire(t, &marking) else { continue };
+            let next_code = match stg.label(t) {
+                None => code,
+                Some(l) => {
+                    if code.get(l.signal) != l.polarity.value_before() {
+                        return Err(SgError::Inconsistent {
+                            code,
+                            signal: l.signal,
+                            polarity: l.polarity,
+                        });
+                    }
+                    code.with(l.signal, l.polarity.value_after())
+                }
+            };
+            let next = FullState { marking: next_marking, code: next_code };
+            let target = match graph.index.get(&next) {
+                Some(&w) => w,
+                None => {
+                    // Ancestor-cover unboundedness test on the marking part.
+                    let mut anc = Some(v);
+                    while let Some(a) = anc {
+                        let am = &graph.states[a].marking;
+                        if am.is_covered_by(&next.marking) && *am != next.marking {
+                            return Err(SgError::Unbounded);
+                        }
+                        anc = parent[a];
+                    }
+                    if graph.states.len() >= opts.max_states {
+                        return Err(SgError::LimitExceeded(opts.max_states));
+                    }
+                    let w = graph.states.len();
+                    graph.states.push(next.clone());
+                    graph.edges.push(Vec::new());
+                    graph.redges.push(Vec::new());
+                    graph.index.insert(next, w);
+                    parent.push(Some(v));
+                    frontier.push(w);
+                    w
+                }
+            };
+            graph.edges[v].push((t, target));
+            graph.redges[target].push((t, v));
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stg::StgBuilder;
+
+    fn handshake() -> Stg {
+        let mut b = StgBuilder::new("hs");
+        b.input("r");
+        b.output("a");
+        b.cycle(&["r+", "a+", "r-", "a-"]);
+        b.initial_code_str("00");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn handshake_state_graph() {
+        let stg = handshake();
+        let sg = build_state_graph(&stg, SgOptions::default()).unwrap();
+        assert_eq!(sg.len(), 4);
+        assert_eq!(sg.num_edges(), 4);
+        // Codes around the cycle: 00 -> 10 -> 11 -> 01 -> 00.
+        let codes: Vec<String> =
+            sg.states().iter().map(|s| s.code.to_bit_string(2)).collect();
+        assert!(codes.contains(&"00".to_string()));
+        assert!(codes.contains(&"10".to_string()));
+        assert!(codes.contains(&"11".to_string()));
+        assert!(codes.contains(&"01".to_string()));
+        // Every code is unique here.
+        assert_eq!(sg.states_by_code().len(), 4);
+        // Predecessors mirror successors.
+        for v in 0..sg.len() {
+            for &(t, w) in sg.successors(v) {
+                assert!(sg.predecessors(w).contains(&(t, v)));
+            }
+        }
+    }
+
+    #[test]
+    fn enabled_signal_queries() {
+        let stg = handshake();
+        let sg = build_state_graph(&stg, SgOptions::default()).unwrap();
+        let r = stg.signal_by_name("r").unwrap();
+        let a = stg.signal_by_name("a").unwrap();
+        // Initial state enables only r+.
+        assert_eq!(sg.enabled_signals(&stg, 0), vec![r]);
+        assert_eq!(sg.enabled_noninput_signals(&stg, 0), Vec::<SignalId>::new());
+        assert_eq!(sg.enabled_edges(&stg, 0), vec![(r, Polarity::Rise)]);
+        // After r+, only a+ is enabled.
+        let (_, v1) = sg.successors(0)[0];
+        assert_eq!(sg.enabled_noninput_signals(&stg, v1), vec![a]);
+    }
+
+    #[test]
+    fn detects_inconsistency() {
+        // b+ ; a+ ; b+/2 — the paper's Section 3.1 example.
+        let mut b = StgBuilder::new("bad");
+        b.input("b");
+        b.input("a");
+        let start = b.place("start", 1);
+        b.pt(start, "b+");
+        b.seq(&["b+", "a+", "b+/2"]);
+        b.initial_code_str("00");
+        let stg = b.build().unwrap();
+        let err = build_state_graph(&stg, SgOptions::default()).unwrap_err();
+        match err {
+            SgError::Inconsistent { signal, polarity, .. } => {
+                assert_eq!(signal, stg.signal_by_name("b").unwrap());
+                assert_eq!(polarity, Polarity::Rise);
+            }
+            other => panic!("expected inconsistency, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infers_initial_code() {
+        let mut b = StgBuilder::new("hs");
+        b.input("r");
+        b.output("a");
+        b.cycle(&["r+", "a+", "r-", "a-"]);
+        // No initial code given.
+        let stg = b.build().unwrap();
+        let code = infer_initial_code(&stg, SgOptions::default()).unwrap();
+        assert_eq!(code, Code::ZERO);
+        let sg = build_state_graph(&stg, SgOptions::default()).unwrap();
+        assert_eq!(sg.len(), 4);
+    }
+
+    #[test]
+    fn infers_nonzero_initial_code() {
+        // Cycle starting with a falling edge: r starts at 1.
+        let mut b = StgBuilder::new("hs");
+        b.input("r");
+        b.output("a");
+        b.cycle(&["r-", "a+", "r+", "a-"]);
+        let stg = b.build().unwrap();
+        let code = infer_initial_code(&stg, SgOptions::default()).unwrap();
+        let r = stg.signal_by_name("r").unwrap();
+        let a = stg.signal_by_name("a").unwrap();
+        assert!(code.get(r));
+        assert!(!code.get(a));
+    }
+
+    #[test]
+    fn state_limit_respected() {
+        let stg = handshake();
+        let err = build_state_graph(&stg, SgOptions { max_states: 2 }).unwrap_err();
+        assert_eq!(err, SgError::LimitExceeded(2));
+    }
+
+    #[test]
+    fn one_marking_many_codes() {
+        // Two rounds of r+/r- through the same places with an observer o
+        // that rises once: after o+, the same marking recurs with a
+        // different o value — full states must distinguish them.
+        let mut b = StgBuilder::new("m");
+        b.input("r");
+        b.output("o");
+        b.cycle(&["r+", "o+", "r-", "o-"]);
+        b.initial_code_str("00");
+        let stg = b.build().unwrap();
+        let sg = build_state_graph(&stg, SgOptions::default()).unwrap();
+        // 4 full states over 4 markings here (sanity: graph closed).
+        assert_eq!(sg.len(), 4);
+        for v in 0..sg.len() {
+            assert_eq!(sg.successors(v).len(), 1);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the STG layer: parser round-trips, state-graph
+//! laws and check coherence on randomly composed handshake networks.
+
+use proptest::prelude::*;
+use stgcheck_stg::{
+    build_state_graph, check_explicit, csc_violations, parse_g, write_g,
+    PersistencyPolicy, SgOptions, Stg, StgBuilder,
+};
+
+/// Random network of four-phase handshakes with optional sequencing
+/// between channels: always safe, consistent and persistent by
+/// construction.
+fn arb_handshake_net() -> impl Strategy<Value = Stg> {
+    (1usize..5, proptest::collection::vec((0usize..5, 0usize..5), 0..4), any::<bool>())
+        .prop_map(|(n, links, first_input)| {
+            let mut b = StgBuilder::new("random-hs");
+            for i in 0..n {
+                if (i == 0) == first_input {
+                    b.input(&format!("r{i}"));
+                } else {
+                    b.output(&format!("r{i}"));
+                }
+            }
+            for i in 0..n {
+                let plus = format!("r{i}+");
+                let minus = format!("r{i}-");
+                b.arc(&plus, &minus);
+                b.marked_arc(&minus, &plus);
+            }
+            // Sequencing links: rj+ may only fire between ri+ and ri-
+            // firings (a 1-token shuttle between the two signals).
+            let mut seen_links = std::collections::HashSet::new();
+            for (a, bidx) in links {
+                let (a, bidx) = (a % n, bidx % n);
+                if a == bidx
+                    || !seen_links.insert((a, bidx))
+                    || seen_links.contains(&(bidx, a))
+                {
+                    continue;
+                }
+                let from = format!("r{a}+");
+                let to = format!("r{bidx}+");
+                b.arc(&from, &to);
+                b.marked_arc(&to, &from);
+            }
+            b.initial_code_str(&"0".repeat(n));
+            b.build().expect("construction is well-formed")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The .g writer/parser round-trips every generated STG.
+    #[test]
+    fn g_format_round_trips(stg in arb_handshake_net()) {
+        let text = write_g(&stg);
+        let back = parse_g(&text).expect("writer output parses");
+        prop_assert_eq!(back.num_signals(), stg.num_signals());
+        prop_assert_eq!(back.net().num_places(), stg.net().num_places());
+        prop_assert_eq!(back.net().num_transitions(), stg.net().num_transitions());
+        let sg1 = build_state_graph(&stg, SgOptions::default()).unwrap();
+        let sg2 = build_state_graph(&back, SgOptions::default()).unwrap();
+        prop_assert_eq!(sg1.len(), sg2.len());
+        prop_assert_eq!(sg1.num_edges(), sg2.num_edges());
+    }
+
+    /// State-graph structural laws: predecessors mirror successors; every
+    /// edge's code update matches its label.
+    #[test]
+    fn state_graph_laws(stg in arb_handshake_net()) {
+        let sg = build_state_graph(&stg, SgOptions::default()).unwrap();
+        for v in 0..sg.len() {
+            for &(t, w) in sg.successors(v) {
+                prop_assert!(sg.predecessors(w).contains(&(t, v)));
+                let (cv, cw) = (sg.state(v).code, sg.state(w).code);
+                match stg.label(t) {
+                    None => prop_assert_eq!(cv, cw),
+                    Some(l) => {
+                        prop_assert_eq!(cv.get(l.signal), l.polarity.value_before());
+                        prop_assert_eq!(cw.get(l.signal), l.polarity.value_after());
+                        prop_assert_eq!(cv.with(l.signal, l.polarity.value_after()), cw);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handshake networks are consistent, safe and persistent by
+    /// construction; CSC violations, when any, are symmetric in the pair.
+    #[test]
+    fn handshake_nets_are_well_behaved(stg in arb_handshake_net()) {
+        let report =
+            check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+        prop_assert!(report.consistent());
+        prop_assert!(report.safe);
+        prop_assert!(report.persistent());
+        // CSC pairs are reported in canonical order without duplicates.
+        let sg = build_state_graph(&stg, SgOptions::default()).unwrap();
+        let viol = csc_violations(&stg, &sg);
+        for w in viol.windows(2) {
+            prop_assert!(w[0].state_a <= w[1].state_a);
+        }
+        for v in &viol {
+            prop_assert!(v.state_a < v.state_b);
+            prop_assert_eq!(sg.state(v.state_a).code, v.code);
+            prop_assert_eq!(sg.state(v.state_b).code, v.code);
+        }
+    }
+
+    /// Initial-code inference agrees with the declared code on nets whose
+    /// first edges are rising.
+    #[test]
+    fn inference_recovers_declared_code(stg in arb_handshake_net()) {
+        let declared = stg.initial_code().unwrap();
+        let inferred =
+            stgcheck_stg::infer_initial_code(&stg, SgOptions::default()).unwrap();
+        prop_assert_eq!(declared, inferred);
+    }
+}

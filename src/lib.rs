@@ -1,0 +1,38 @@
+//! `stgcheck` — checking Signal Transition Graph implementability by
+//! symbolic BDD traversal.
+//!
+//! Umbrella crate re-exporting the whole workspace, a reproduction of
+//! *"Checking Signal Transition Graph Implementability by Symbolic BDD
+//! Traversal"* (Kondratyev, Cortadella, Kishinevsky, Pastor, Roig,
+//! Yakovlev — ED&TC 1995):
+//!
+//! * [`bdd`] — the ROBDD engine (hash-consing, cofactors, quantification,
+//!   reordering, statistics);
+//! * [`petri`] — Petri nets, the token game, explicit reachability and
+//!   structural analysis;
+//! * [`stg`] — the STG model, `.g` parsing, explicit state-graph checks
+//!   (the baseline) and the benchmark generators;
+//! * [`core`] — the paper's symbolic verification: traversal (Fig. 5),
+//!   consistency, persistency (Fig. 6), CSC and CSC-reducibility, fake
+//!   conflicts, all as BDD fixpoints, plus the [`core::verify`] facade.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use stgcheck::core::{verify, VerifyOptions};
+//! use stgcheck::stg::gen;
+//!
+//! // The paper's Fig. 1 mutual-exclusion element.
+//! let stg = gen::mutex_element();
+//! let report = verify(&stg, VerifyOptions::default())?;
+//! println!("{}", report.table1_row());
+//! # Ok::<(), stgcheck::core::VerifyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use stgcheck_bdd as bdd;
+pub use stgcheck_core as core;
+pub use stgcheck_petri as petri;
+pub use stgcheck_stg as stg;

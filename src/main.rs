@@ -1,0 +1,161 @@
+//! `stgcheck` command-line interface: verify `.g` files from the shell.
+//!
+//! ```text
+//! stgcheck [options] file.g [file2.g …]
+//!
+//!   --arbitration        allow non-input/non-input disabling (arbiters)
+//!   --order <o>          interleaved|places|signals|declaration
+//!   --bfs                strict breadth-first traversal (default: chained)
+//!   --quiet              only print the verdict line per file
+//! ```
+//!
+//! Exit status: 0 when every file is I/O-implementable or better, 1 when
+//! any file fails, 2 on usage or parse errors.
+
+use std::process::ExitCode;
+
+use stgcheck::core::{verify, SymbolicReport, TraversalStrategy, VarOrder, VerifyOptions};
+use stgcheck::stg::{parse_g, Implementability, PersistencyPolicy};
+
+struct Cli {
+    files: Vec<String>,
+    options: VerifyOptions,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: stgcheck [--arbitration] [--order interleaved|places|signals|declaration] \
+     [--bfs] [--quiet] file.g [file2.g ...]"
+}
+
+fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
+    let mut cli = Cli { files: Vec::new(), options: VerifyOptions::default(), quiet: false };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--arbitration" => {
+                cli.options.policy = PersistencyPolicy { allow_arbitration: true };
+            }
+            "--bfs" => cli.options.strategy = TraversalStrategy::Bfs,
+            "--quiet" => cli.quiet = true,
+            "--order" => {
+                let v = it.next().ok_or("--order needs a value")?;
+                cli.options.order = match v.as_str() {
+                    "interleaved" => VarOrder::Interleaved,
+                    "places" => VarOrder::PlacesThenSignals,
+                    "signals" => VarOrder::SignalsThenPlaces,
+                    "declaration" => VarOrder::Declaration,
+                    other => return Err(format!("unknown order `{other}`")),
+                };
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n{}", usage()));
+            }
+            file => cli.files.push(file.to_string()),
+        }
+    }
+    if cli.files.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(cli)
+}
+
+fn print_full(report: &SymbolicReport, stg: &stgcheck::stg::Stg) {
+    println!("{}", SymbolicReport::table1_header());
+    println!("{}", report.table1_row());
+    println!("  safe:        {}", report.safe());
+    for v in &report.safety {
+        println!("    unsafe firing of `{}` at {}", stg.net().trans_name(v.transition), v.witness);
+    }
+    println!("  consistent:  {}", report.consistent());
+    for v in &report.consistency {
+        println!(
+            "    `{}{}` enabled at the wrong value: {}",
+            stg.signal_name(v.signal),
+            v.polarity,
+            v.witness
+        );
+    }
+    println!("  persistent:  {}", report.persistent());
+    for v in &report.persistency {
+        println!(
+            "    `{}` disabled by `{}` at {}",
+            stg.signal_name(v.disabled),
+            stg.net().trans_name(v.fired),
+            v.witness
+        );
+    }
+    println!("  fake-free:   {}", report.fake_free());
+    for fc in &report.fake_violations {
+        println!(
+            "    fake conflict between `{}` and `{}`",
+            stg.net().trans_name(fc.t1),
+            stg.net().trans_name(fc.t2)
+        );
+    }
+    if let Some(dead) = &report.deadlock {
+        println!("  deadlock:    reachable dead state at {dead}");
+    }
+    println!("  CSC:         {}", report.csc_holds());
+    for a in report.csc.iter().filter(|a| !a.holds) {
+        let kind = if report.irreducible_signals.contains(&a.signal) {
+            "irreducible"
+        } else {
+            "reducible"
+        };
+        println!("    conflict on `{}` ({kind})", stg.signal_name(a.signal));
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli(std::env::args().skip(1).collect()) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut all_ok = true;
+    for file in &cli.files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let stg = match parse_g(&source) {
+            Ok(stg) => stg,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = match verify(&stg, cli.options) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                all_ok = false;
+                continue;
+            }
+        };
+        let implementable = matches!(
+            report.verdict,
+            Implementability::Gate | Implementability::InputOutput
+        );
+        all_ok &= implementable;
+        if cli.quiet {
+            println!("{file}: {}", report.verdict);
+        } else {
+            println!("== {file} ==");
+            print_full(&report, &stg);
+            println!("  verdict:     {}\n", report.verdict);
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end test of the `stgcheck` CLI binary on the shipped `.g`
+//! files: exit codes and verdict lines.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    // Cargo puts integration tests and binaries in the same target dir.
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // test binary name
+    path.pop(); // deps/
+    path.push(format!("stgcheck{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+fn data(file: &str) -> String {
+    format!("{}/examples/data/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn handshake_file_passes() {
+    let out = Command::new(bin())
+        .args(["--quiet", &data("handshake.g")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("gate-implementable"), "{stdout}");
+}
+
+#[test]
+fn vme_file_is_io_implementable() {
+    let out = Command::new(bin())
+        .args(["--quiet", &data("vme_read.g")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("I/O-implementable"), "{stdout}");
+}
+
+#[test]
+fn full_report_mentions_csc_conflicts() {
+    let out = Command::new(bin())
+        .arg(data("vme_read.g"))
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("conflict on `lds` (reducible)"), "{stdout}");
+    assert!(stdout.contains("conflict on `d` (reducible)"), "{stdout}");
+}
+
+#[test]
+fn mutex4_needs_arbitration_flag() {
+    let strict = Command::new(bin())
+        .args(["--quiet", &data("mutex4.g")])
+        .output()
+        .expect("binary runs");
+    assert!(!strict.status.success());
+    let relaxed = Command::new(bin())
+        .args(["--quiet", "--arbitration", &data("mutex4.g")])
+        .output()
+        .expect("binary runs");
+    assert!(relaxed.status.success());
+    assert!(String::from_utf8_lossy(&relaxed.stdout).contains("gate-implementable"));
+}
+
+#[test]
+fn irreducible_file_fails_with_si_verdict() {
+    let out = Command::new(bin())
+        .args(["--quiet", &data("irreducible.g")])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("interface change needed"));
+}
+
+#[test]
+fn missing_file_exits_2() {
+    let out = Command::new(bin())
+        .arg("/nonexistent/never.g")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bad_option_exits_2_with_usage() {
+    let out = Command::new(bin()).arg("--frobnicate").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn order_flag_accepted() {
+    for order in ["interleaved", "places", "signals", "declaration"] {
+        let out = Command::new(bin())
+            .args(["--quiet", "--order", order, &data("handshake.g")])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "order {order}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Witness quality: every violated property must come with a decoded
+//! counter-example that actually exhibits the violation.
+
+use stgcheck::core::{verify, SymbolicStg, TraversalStrategy, VarOrder, VerifyOptions};
+use stgcheck::stg::gen;
+use stgcheck::stg::{Polarity, SignalId};
+
+#[test]
+fn consistency_witness_is_a_real_state() {
+    let stg = gen::inconsistent_stg();
+    let report = verify(&stg, VerifyOptions::default()).unwrap();
+    assert!(!report.consistent());
+    let v = &report.consistency[0];
+    // The witness enables the violating edge at the wrong value.
+    let bit = v.witness.code.as_bytes()[v.signal.index()] as char;
+    match v.polarity {
+        Polarity::Rise => assert_eq!(bit, '1'),
+        Polarity::Fall => assert_eq!(bit, '0'),
+    }
+    assert!(!v.witness.marked_places.is_empty());
+}
+
+#[test]
+fn persistency_witness_enables_both_sides() {
+    let stg = gen::nonpersistent_stg();
+    let report = verify(&stg, VerifyOptions::default()).unwrap();
+    assert!(!report.persistent());
+    let net = stg.net();
+    for v in &report.persistency {
+        // Reconstruct the witness marking and check the disabled signal
+        // really is enabled there and disabled after firing.
+        let mut marking = net.initial_marking();
+        for p in net.places() {
+            marking.set_tokens(p, 0);
+        }
+        for name in &v.witness.marked_places {
+            let p = net.place_by_name(name).expect("witness names real places");
+            marking.set_tokens(p, 1);
+        }
+        let enabled_signal = |m: &stgcheck::petri::Marking, s: SignalId| {
+            stg.transitions_of_signal(s).iter().any(|&t| net.is_enabled(t, m))
+        };
+        assert!(enabled_signal(&marking, v.disabled), "before firing");
+        assert!(net.is_enabled(v.fired, &marking), "disabler enabled");
+        let after = net.fire(v.fired, &marking);
+        assert!(!enabled_signal(&after, v.disabled), "after firing");
+    }
+}
+
+#[test]
+fn csc_witness_code_is_contradictory() {
+    let stg = gen::vme_read();
+    let report = verify(&stg, VerifyOptions::default()).unwrap();
+    assert!(!report.csc_holds());
+    let analysis = report.csc.iter().find(|a| !a.holds).expect("a violation exists");
+    let w = analysis.witness.as_ref().expect("witness attached");
+    // The witness is a pure code (places abstracted): every signal bit is
+    // assigned, no place is mentioned.
+    assert!(w.marked_places.is_empty());
+    assert_eq!(w.code.len(), stg.num_signals());
+    assert!(w.code.chars().all(|c| c == '0' || c == '1' || c == '-'));
+}
+
+#[test]
+fn safety_witness_marks_the_offending_place() {
+    let stg = gen::unsafe_stg();
+    let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+    let code = sym.effective_initial_code().unwrap();
+    let t = sym.traverse(code, TraversalStrategy::Chained);
+    let violations = sym.check_safeness(t.reached);
+    assert!(!violations.is_empty());
+    for v in &violations {
+        let place_name = stg.net().place_name(v.place).to_string();
+        assert!(
+            v.witness.marked_places.contains(&place_name),
+            "witness must show `{place_name}` already marked"
+        );
+    }
+}
+
+#[test]
+fn transition_persistency_witness_round_trips() {
+    let stg = gen::mutex_element();
+    let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+    let code = sym.effective_initial_code().unwrap();
+    let t = sym.traverse(code, TraversalStrategy::Chained);
+    let r_n = sym.project_markings(t.reached);
+    let tv = sym.check_transition_persistency(r_n);
+    assert_eq!(tv.len(), 2);
+    let net = stg.net();
+    for v in &tv {
+        let mut marking = net.initial_marking();
+        for p in net.places() {
+            marking.set_tokens(p, 0);
+        }
+        for name in &v.witness.marked_places {
+            marking.set_tokens(net.place_by_name(name).unwrap(), 1);
+        }
+        assert!(net.is_enabled(v.disabled, &marking));
+        assert!(net.is_enabled(v.fired, &marking));
+        let after = net.fire(v.fired, &marking);
+        assert!(!net.is_enabled(v.disabled, &after));
+    }
+}
