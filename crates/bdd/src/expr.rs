@@ -333,11 +333,8 @@ mod tests {
         }
         let f = e.to_bdd(&mut m, &|n| vars.get(n).copied());
         for bits in 0..(1u32 << names.len()) {
-            let env: HashMap<&str, bool> = names
-                .iter()
-                .enumerate()
-                .map(|(i, n)| (n.as_str(), bits & (1 << i) != 0))
-                .collect();
+            let env: HashMap<&str, bool> =
+                names.iter().enumerate().map(|(i, n)| (n.as_str(), bits & (1 << i) != 0)).collect();
             let expected = e.eval(&|n| env.get(n).copied());
             let mut assignment = vec![false; m.num_vars()];
             for (n, v) in &vars {

@@ -23,8 +23,7 @@ fn arb_expr() -> impl Strategy<Value = BoolExpr> {
                 .prop_map(|(a, b)| BoolExpr::Xor(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| BoolExpr::Imp(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| BoolExpr::Iff(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| BoolExpr::Iff(Box::new(a), Box::new(b))),
         ]
     })
 }

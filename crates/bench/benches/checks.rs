@@ -29,9 +29,7 @@ fn bench_phases(c: &mut Criterion) {
         let r_n = sym.project_markings(reached);
 
         group.bench_function(BenchmarkId::new("persistency", ""), |bencher| {
-            bencher.iter(|| {
-                std::hint::black_box(sym.check_signal_persistency(r_n, policy).len())
-            });
+            bencher.iter(|| std::hint::black_box(sym.check_signal_persistency(r_n, policy).len()));
         });
         group.bench_function(BenchmarkId::new("fake-conflicts", ""), |bencher| {
             bencher.iter(|| std::hint::black_box(sym.check_fake_freedom(r_n).len()));

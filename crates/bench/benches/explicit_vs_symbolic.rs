@@ -36,8 +36,7 @@ fn bench_crossover(c: &mut Criterion) {
 fn bench_crossover_par(c: &mut Criterion) {
     for n in [4usize, 6, 8] {
         let stg = gen::par_handshakes(n);
-        let mut group =
-            c.benchmark_group(format!("explicit_vs_symbolic/par_handshakes{n}"));
+        let mut group = c.benchmark_group(format!("explicit_vs_symbolic/par_handshakes{n}"));
         group.sample_size(10);
         group.bench_function(BenchmarkId::new("symbolic", n), |bencher| {
             bencher.iter(|| {

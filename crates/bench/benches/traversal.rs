@@ -53,10 +53,5 @@ fn bench_chained_vs_bfs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_muller_scaling,
-    bench_par_handshakes_scaling,
-    bench_chained_vs_bfs
-);
+criterion_group!(benches, bench_muller_scaling, bench_par_handshakes_scaling, bench_chained_vs_bfs);
 criterion_main!(benches);

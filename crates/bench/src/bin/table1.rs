@@ -45,9 +45,7 @@ fn main() {
         .unwrap_or_default();
 
     println!("stgcheck — Table 1 reproduction (order: {order:?})");
-    println!(
-        "columns: example, places, signals, reachable states, BDD peak/final nodes,"
-    );
+    println!("columns: example, places, signals, reachable states, BDD peak/final nodes,");
     println!("         CPU seconds for T+C / NI-p / Com / CSC / total");
     if explicit {
         println!("         + explicit baseline seconds (— where infeasible)");
@@ -106,11 +104,7 @@ fn main() {
         println!("{row}");
     }
     println!();
-    println!(
-        "Shape expectations (paper Section 6): state counts grow exponentially in n"
-    );
-    println!(
-        "while BDD sizes and CPU stay moderate; NI-p/Com are negligible on marked"
-    );
+    println!("Shape expectations (paper Section 6): state counts grow exponentially in n");
+    println!("while BDD sizes and CPU stay moderate; NI-p/Com are negligible on marked");
     println!("graphs (muller, master-read); mutex rows exercise the conflict machinery.");
 }

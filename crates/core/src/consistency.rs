@@ -102,8 +102,7 @@ mod tests {
         b.cycle(&["r+", "a+", "r-", "a-"]);
         let stg = b.build().unwrap();
         let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
-        let t =
-            sym.traverse(Code::from_bit_string("10").unwrap(), TraversalStrategy::Chained);
+        let t = sym.traverse(Code::from_bit_string("10").unwrap(), TraversalStrategy::Chained);
         let violations = sym.check_consistency(t.reached);
         assert!(!violations.is_empty());
     }

@@ -159,8 +159,7 @@ impl SymbolicStg<'_> {
             .net()
             .transitions()
             .filter(|&t| {
-                stg.label(t)
-                    .is_some_and(|l| stg.signal_kind(l.signal) == SignalKind::Input)
+                stg.label(t).is_some_and(|l| stg.signal_kind(l.signal) == SignalKind::Input)
             })
             .collect();
         // Backward frozen fixpoint.
@@ -207,9 +206,7 @@ impl SymbolicStg<'_> {
         analyses
             .into_iter()
             .filter(|a| !a.holds)
-            .filter(|a| {
-                self.has_complementary_input_sequences(reached, a.signal, a.contradictory)
-            })
+            .filter(|a| self.has_complementary_input_sequences(reached, a.signal, a.contradictory))
             .map(|a| a.signal)
             .collect()
     }
@@ -220,7 +217,7 @@ mod tests {
     use super::*;
     use crate::encode::VarOrder;
     use crate::traverse::TraversalStrategy;
-    use stgcheck_stg::{gen, Code, Stg};
+    use stgcheck_stg::{gen, Stg};
 
     fn reached_of(sym: &mut SymbolicStg<'_>) -> Bdd {
         let code = sym.effective_initial_code().unwrap();
@@ -293,13 +290,7 @@ mod tests {
             for a in stg.noninput_signals() {
                 let explicit = csc_holds_for_signal(stg, &sg, a);
                 let symbolic = sym.check_csc_signal(reached, a).holds;
-                assert_eq!(
-                    explicit,
-                    symbolic,
-                    "{}: signal {}",
-                    stg.name(),
-                    stg.signal_name(a)
-                );
+                assert_eq!(explicit, symbolic, "{}: signal {}", stg.name(), stg.signal_name(a));
             }
         }
     }
@@ -307,8 +298,7 @@ mod tests {
     #[test]
     fn agrees_with_explicit_mcis() {
         use stgcheck_stg::{
-            build_state_graph, has_complementary_input_sequences as explicit_mcis,
-            SgOptions,
+            build_state_graph, has_complementary_input_sequences as explicit_mcis, SgOptions,
         };
         for stg in [
             gen::vme_read(),
@@ -321,19 +311,10 @@ mod tests {
             let reached = reached_of(&mut sym);
             for a in stg.noninput_signals() {
                 let analysis = sym.check_csc_signal(reached, a);
-                let symbolic = sym.has_complementary_input_sequences(
-                    reached,
-                    a,
-                    analysis.contradictory,
-                );
+                let symbolic =
+                    sym.has_complementary_input_sequences(reached, a, analysis.contradictory);
                 let explicit = explicit_mcis(&stg, &sg, a);
-                assert_eq!(
-                    explicit,
-                    symbolic,
-                    "{}: signal {}",
-                    stg.name(),
-                    stg.signal_name(a)
-                );
+                assert_eq!(explicit, symbolic, "{}: signal {}", stg.name(), stg.signal_name(a));
             }
         }
     }

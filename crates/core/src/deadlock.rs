@@ -14,12 +14,8 @@ impl SymbolicStg<'_> {
     /// The characteristic function of all reachable deadlocked full
     /// states.
     pub fn deadlock_set(&mut self, reached: Bdd) -> Bdd {
-        let enabled: Vec<Bdd> = self
-            .stg()
-            .net()
-            .transitions()
-            .map(|t| self.cubes(t).enabled)
-            .collect();
+        let enabled: Vec<Bdd> =
+            self.stg().net().transitions().map(|t| self.cubes(t).enabled).collect();
         let mgr = self.manager_mut();
         let any = mgr.or_many(&enabled);
         mgr.diff(reached, any)
@@ -63,12 +59,9 @@ mod tests {
 
     #[test]
     fn live_benchmarks_are_deadlock_free() {
-        for stg in [
-            gen::mutex_element(),
-            gen::muller_pipeline(5),
-            gen::master_read(3),
-            gen::vme_read(),
-        ] {
+        for stg in
+            [gen::mutex_element(), gen::muller_pipeline(5), gen::master_read(3), gen::vme_read()]
+        {
             let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
             let reached = reached_of(&mut sym);
             assert!(sym.check_deadlock(reached).is_none(), "{}", stg.name());
@@ -125,17 +118,11 @@ mod tests {
         use stgcheck_stg::{build_state_graph, SgOptions};
         for stg in [gen::mutex(3), gen::csc_violation_stg(), gen::fig3_d1()] {
             let sg = build_state_graph(&stg, SgOptions::default()).unwrap();
-            let explicit_dead =
-                (0..sg.len()).filter(|&v| sg.successors(v).is_empty()).count();
+            let explicit_dead = (0..sg.len()).filter(|&v| sg.successors(v).is_empty()).count();
             let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
             let reached = reached_of(&mut sym);
             let dead = sym.deadlock_set(reached);
-            assert_eq!(
-                sym.manager().sat_count(dead),
-                explicit_dead as u128,
-                "{}",
-                stg.name()
-            );
+            assert_eq!(sym.manager().sat_count(dead), explicit_dead as u128, "{}", stg.name());
         }
     }
 }

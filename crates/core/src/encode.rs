@@ -11,8 +11,6 @@
 //! * `NSM(t) = ∧_{p∈t•} p′` — no successor marked;
 //! * `ASM(t) = ∧_{p∈t•} p`  — all successors marked.
 
-
-
 use stgcheck_bdd::{Bdd, BddManager, Literal, Var};
 use stgcheck_petri::{PlaceId, TransId};
 use stgcheck_stg::{Code, Polarity, SignalId, Stg};
@@ -93,12 +91,11 @@ impl<'a> SymbolicStg<'a> {
                 vars[p.index()] = Some(mgr.new_var(format!("p:{}", net.place_name(p))));
             }
         };
-        let declare_signal =
-            |mgr: &mut BddManager, vars: &mut Vec<Option<Var>>, s: SignalId| {
-                if vars[s.index()].is_none() {
-                    vars[s.index()] = Some(mgr.new_var(format!("s:{}", stg.signal_name(s))));
-                }
-            };
+        let declare_signal = |mgr: &mut BddManager, vars: &mut Vec<Option<Var>>, s: SignalId| {
+            if vars[s.index()].is_none() {
+                vars[s.index()] = Some(mgr.new_var(format!("s:{}", stg.signal_name(s))));
+            }
+        };
 
         match order {
             VarOrder::Interleaved => {
@@ -168,8 +165,7 @@ impl<'a> SymbolicStg<'a> {
                 // Emit: each signal, then every place whose adjacent
                 // signals are now all declared.
                 let mut declared_s = vec![false; ns];
-                let mut remaining: Vec<usize> =
-                    place_signals.iter().map(Vec::len).collect();
+                let mut remaining: Vec<usize> = place_signals.iter().map(Vec::len).collect();
                 for s in sig_order {
                     declare_signal(&mut mgr, &mut signal_vars, s);
                     declared_s[s.index()] = true;
@@ -178,9 +174,7 @@ impl<'a> SymbolicStg<'a> {
                             continue;
                         }
                         if remaining[p.index()] > 0
-                            && place_signals[p.index()]
-                                .iter()
-                                .all(|sig| declared_s[sig.index()])
+                            && place_signals[p.index()].iter().all(|sig| declared_s[sig.index()])
                         {
                             remaining[p.index()] = 0;
                             declare_place(&mut mgr, &mut place_vars, p);
@@ -226,16 +220,13 @@ impl<'a> SymbolicStg<'a> {
 
         let mut trans_cubes = Vec::with_capacity(net.num_transitions());
         for t in net.transitions() {
-            let pre: Vec<Var> =
-                net.preset(t).iter().map(|&(p, _)| place_vars[p.index()]).collect();
+            let pre: Vec<Var> = net.preset(t).iter().map(|&(p, _)| place_vars[p.index()]).collect();
             let post: Vec<Var> =
                 net.postset(t).iter().map(|&(p, _)| place_vars[p.index()]).collect();
-            let pos = |vs: &[Var]| -> Vec<Literal> {
-                vs.iter().map(|&v| Literal::positive(v)).collect()
-            };
-            let neg = |vs: &[Var]| -> Vec<Literal> {
-                vs.iter().map(|&v| Literal::negative(v)).collect()
-            };
+            let pos =
+                |vs: &[Var]| -> Vec<Literal> { vs.iter().map(|&v| Literal::positive(v)).collect() };
+            let neg =
+                |vs: &[Var]| -> Vec<Literal> { vs.iter().map(|&v| Literal::negative(v)).collect() };
             let enabled = mgr.cube(&pos(&pre));
             let no_pred = mgr.cube(&neg(&pre));
             let no_succ = mgr.cube(&neg(&post));
@@ -244,15 +235,7 @@ impl<'a> SymbolicStg<'a> {
         }
         let places_cube = mgr.vars_cube(&place_vars);
         let signals_cube = mgr.vars_cube(&signal_vars);
-        SymbolicStg {
-            stg,
-            mgr,
-            place_vars,
-            signal_vars,
-            trans_cubes,
-            places_cube,
-            signals_cube,
-        }
+        SymbolicStg { stg, mgr, place_vars, signal_vars, trans_cubes, places_cube, signals_cube }
     }
 
     /// The STG being analysed.
@@ -432,10 +415,7 @@ mod tests {
         let init = sym.initial_state(Code::ZERO);
         let m = sym.manager();
         assert!(m.is_cube(init));
-        assert_eq!(
-            m.cube_literals(init).len(),
-            stg.net().num_places() + stg.num_signals()
-        );
+        assert_eq!(m.cube_literals(init).len(), stg.net().num_places() + stg.num_signals());
         assert_eq!(m.sat_count(init), 1);
     }
 

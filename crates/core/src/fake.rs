@@ -41,9 +41,9 @@ impl SymbolicStg<'_> {
             };
             let co_enabled = !both.is_false();
             let direction = |fired: TransId,
-                                 victim_e: Bdd,
-                                 rescuers: &[TransId],
-                                 sym: &mut SymbolicStg<'_>|
+                             victim_e: Bdd,
+                             rescuers: &[TransId],
+                             sym: &mut SymbolicStg<'_>|
              -> bool {
                 if rescuers.is_empty() || both.is_false() {
                     return false;
@@ -78,8 +78,7 @@ impl SymbolicStg<'_> {
                 }
                 if fc.is_asymmetric_fake() {
                     let noninput = |t: TransId| {
-                        stg.label(t)
-                            .is_some_and(|l| stg.signal_kind(l.signal).is_noninput())
+                        stg.label(t).is_some_and(|l| stg.signal_kind(l.signal).is_noninput())
                     };
                     return noninput(fc.t1) || noninput(fc.t2);
                 }

@@ -57,7 +57,5 @@ pub use logic::{LogicError, SignalFunction};
 pub use persistency::{SymSignalViolation, SymTransViolation};
 pub use safety::SafetyViolation;
 pub use trace::RingTraversal;
-pub use traverse::{
-    cross_check_reachability, Traversal, TraversalStats, TraversalStrategy,
-};
+pub use traverse::{cross_check_reachability, Traversal, TraversalStats, TraversalStrategy};
 pub use verify::{verify, PhaseTimes, SymbolicReport, VerifyError, VerifyOptions};

@@ -141,16 +141,11 @@ impl SymbolicStg<'_> {
             let mut lits = Vec::new();
             for l in cube {
                 // Translate BDD variables back to signal names.
-                let Some(s) = stg.signals().find(|&s| self.signal_var(s) == l.var())
-                else {
+                let Some(s) = stg.signals().find(|&s| self.signal_var(s) == l.var()) else {
                     continue;
                 };
                 let name = stg.signal_name(s);
-                lits.push(if l.is_positive() {
-                    name.to_string()
-                } else {
-                    format!("{name}'")
-                });
+                lits.push(if l.is_positive() { name.to_string() } else { format!("{name}'") });
             }
             terms.push(if lits.is_empty() { "1".to_string() } else { lits.join(" ") });
         }
@@ -166,7 +161,7 @@ mod tests {
     use super::*;
     use crate::encode::VarOrder;
     use crate::traverse::TraversalStrategy;
-    use stgcheck_stg::{gen, Code, StgBuilder};
+    use stgcheck_stg::{gen, StgBuilder};
 
     fn setup(stg: &stgcheck_stg::Stg) -> (SymbolicStg<'_>, Bdd) {
         let mut sym = SymbolicStg::new(stg, VarOrder::Interleaved);
@@ -225,10 +220,7 @@ mod tests {
         let stg = gen::csc_violation_stg();
         let (mut sym, reached) = setup(&stg);
         let x = stg.signal_by_name("x").unwrap();
-        assert_eq!(
-            sym.derive_function(reached, x).unwrap_err(),
-            LogicError::CscViolation(x)
-        );
+        assert_eq!(sym.derive_function(reached, x).unwrap_err(), LogicError::CscViolation(x));
     }
 
     #[test]
@@ -236,10 +228,7 @@ mod tests {
         let stg = gen::vme_read();
         let (mut sym, reached) = setup(&stg);
         let dsr = stg.signal_by_name("dsr").unwrap();
-        assert_eq!(
-            sym.derive_function(reached, dsr).unwrap_err(),
-            LogicError::InputSignal(dsr)
-        );
+        assert_eq!(sym.derive_function(reached, dsr).unwrap_err(), LogicError::InputSignal(dsr));
     }
 
     #[test]

@@ -109,8 +109,7 @@ impl SymbolicStg<'_> {
                     if lj.is_some_and(|l| l.signal == a) {
                         continue; // same signal: not "another signal"
                     }
-                    let b_noninput =
-                        lj.map_or(true, |l| stg.signal_kind(l.signal).is_noninput());
+                    let b_noninput = lj.map_or(true, |l| stg.signal_kind(l.signal).is_noninput());
                     let is_violation = if a_noninput {
                         !(policy.allow_arbitration && b_noninput)
                     } else {
@@ -158,8 +157,7 @@ mod tests {
             let r_n = reached_markings(&mut sym, Code::ZERO);
             assert!(sym.check_transition_persistency(r_n).is_empty(), "{}", stg.name());
             assert!(
-                sym.check_signal_persistency(r_n, PersistencyPolicy::default())
-                    .is_empty(),
+                sym.check_signal_persistency(r_n, PersistencyPolicy::default()).is_empty(),
                 "{}",
                 stg.name()
             );
@@ -182,8 +180,8 @@ mod tests {
         let disabled: Vec<SignalId> = sv.iter().map(|v| v.disabled).collect();
         assert!(disabled.contains(&a1) && disabled.contains(&a2));
         // Arbitration policy: clean.
-        let relaxed = sym
-            .check_signal_persistency(r_n, PersistencyPolicy { allow_arbitration: true });
+        let relaxed =
+            sym.check_signal_persistency(r_n, PersistencyPolicy { allow_arbitration: true });
         assert!(relaxed.is_empty());
     }
 
@@ -194,8 +192,7 @@ mod tests {
         let r_n = reached_markings(&mut sym, Code::ZERO);
         // Even with arbitration allowed: the input `d` is disabled by the
         // output `t+`.
-        let sv =
-            sym.check_signal_persistency(r_n, PersistencyPolicy { allow_arbitration: true });
+        let sv = sym.check_signal_persistency(r_n, PersistencyPolicy { allow_arbitration: true });
         assert!(!sv.is_empty());
         let d = stg.signal_by_name("d").unwrap();
         assert!(sv.iter().any(|v| v.disabled == d));
@@ -219,9 +216,7 @@ mod tests {
 
     #[test]
     fn agrees_with_explicit_checker() {
-        use stgcheck_stg::{
-            build_state_graph, signal_persistency_violations, SgOptions,
-        };
+        use stgcheck_stg::{build_state_graph, signal_persistency_violations, SgOptions};
         for stg in [
             gen::mutex_element(),
             gen::nonpersistent_stg(),
@@ -230,10 +225,9 @@ mod tests {
             gen::muller_pipeline(3),
         ] {
             let sg = build_state_graph(&stg, SgOptions::default()).unwrap();
-            for policy in [
-                PersistencyPolicy::default(),
-                PersistencyPolicy { allow_arbitration: true },
-            ] {
+            for policy in
+                [PersistencyPolicy::default(), PersistencyPolicy { allow_arbitration: true }]
+            {
                 let explicit = signal_persistency_violations(&stg, &sg, policy);
                 let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
                 let code = sym.effective_initial_code().unwrap();

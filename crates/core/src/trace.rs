@@ -127,10 +127,7 @@ mod tests {
 
     /// Replays a trace on the explicit token game and returns the final
     /// full state.
-    fn replay(
-        stg: &stgcheck_stg::Stg,
-        trace: &[TransId],
-    ) -> (stgcheck_petri::Marking, Code) {
+    fn replay(stg: &stgcheck_stg::Stg, trace: &[TransId]) -> (stgcheck_petri::Marking, Code) {
         let net = stg.net();
         let mut m = net.initial_marking();
         let mut code = stg.initial_code().unwrap_or(Code::ZERO);
@@ -229,8 +226,6 @@ mod tests {
         }
         assert_eq!(union, traversal.reached);
         // Sanity: input transitions exist in this workload (used below).
-        assert!(stg
-            .signals()
-            .any(|s| stg.signal_kind(s) == SignalKind::Input));
+        assert!(stg.signals().any(|s| stg.signal_kind(s) == SignalKind::Input));
     }
 }

@@ -336,8 +336,7 @@ mod tests {
         assert!(code.get(r));
         assert!(!code.get(a));
         // And it agrees with the explicit inference.
-        let explicit =
-            stgcheck_stg::infer_initial_code(&stg, SgOptions::default()).unwrap();
+        let explicit = stgcheck_stg::infer_initial_code(&stg, SgOptions::default()).unwrap();
         assert_eq!(code, explicit);
     }
 

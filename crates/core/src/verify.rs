@@ -185,8 +185,7 @@ pub fn verify(stg: &Stg, opts: VerifyOptions) -> Result<SymbolicReport, VerifyEr
 
     // Phase 1: traversal + consistency (+ safeness).
     let t0 = Instant::now();
-    let initial_code =
-        sym.effective_initial_code().map_err(VerifyError::InitialCode)?;
+    let initial_code = sym.effective_initial_code().map_err(VerifyError::InitialCode)?;
     let traversal = sym.traverse(initial_code, opts.strategy);
     let reached = traversal.reached;
     let consistency = sym.check_consistency(reached);
@@ -224,8 +223,7 @@ pub fn verify(stg: &Stg, opts: VerifyOptions) -> Result<SymbolicReport, VerifyEr
     let t_csc = t0.elapsed().as_secs_f64();
 
     let csc_holds = csc.iter().all(|a| a.holds);
-    let reducible =
-        deterministic && fake_violations.is_empty() && irreducible_signals.is_empty();
+    let reducible = deterministic && fake_violations.is_empty() && irreducible_signals.is_empty();
     let verdict = if !safety.is_empty()
         || !consistency.is_empty()
         || !persistency.is_empty()
@@ -328,10 +326,7 @@ mod tests {
             verify_default(&gen::irreducible_csc_stg()).verdict,
             Implementability::SpeedIndependent
         );
-        assert_eq!(
-            verify_default(&gen::vme_read()).verdict,
-            Implementability::InputOutput
-        );
+        assert_eq!(verify_default(&gen::vme_read()).verdict, Implementability::InputOutput);
         let unsafe_r = verify_default(&gen::unsafe_stg());
         assert!(!unsafe_r.safe());
         assert_eq!(unsafe_r.verdict, Implementability::NotImplementable);
@@ -372,8 +367,7 @@ mod tests {
             gen::irreducible_csc_stg(),
             gen::nonpersistent_stg(),
         ] {
-            let explicit =
-                check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+            let explicit = check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
             let symbolic = verify_default(&stg);
             assert_eq!(explicit.verdict, symbolic.verdict, "{}", stg.name());
             assert_eq!(explicit.states as u128, symbolic.num_states, "{}", stg.name());

@@ -99,11 +99,7 @@ impl Marking {
 
     /// Iterator over `(place, tokens)` pairs with non-zero tokens.
     pub fn marked_places(&self) -> impl Iterator<Item = (PlaceId, u32)> + '_ {
-        self.0
-            .iter()
-            .enumerate()
-            .filter(|(_, &t)| t > 0)
-            .map(|(i, &t)| (PlaceId(i as u32), t))
+        self.0.iter().enumerate().filter(|(_, &t)| t > 0).map(|(i, &t)| (PlaceId(i as u32), t))
     }
 }
 
@@ -381,9 +377,7 @@ impl PetriNet {
 
     /// `true` if `t` has a self-loop on some place (`•t ∩ t• ≠ ∅`).
     pub fn has_self_loop(&self, t: TransId) -> bool {
-        self.pre[t.index()]
-            .iter()
-            .any(|&(p, _)| self.post[t.index()].iter().any(|&(q, _)| p == q))
+        self.pre[t.index()].iter().any(|&(p, _)| self.post[t.index()].iter().any(|&(q, _)| p == q))
     }
 }
 

@@ -17,9 +17,9 @@ impl PetriNet {
     pub fn is_siphon(&self, places: &[PlaceId]) -> bool {
         let inside = self.membership(places);
         places.iter().all(|&p| {
-            self.place_preset(p).iter().all(|&t| {
-                self.preset(t).iter().any(|&(q, _)| inside[q.index()])
-            })
+            self.place_preset(p)
+                .iter()
+                .all(|&t| self.preset(t).iter().any(|&(q, _)| inside[q.index()]))
         })
     }
 
@@ -30,9 +30,9 @@ impl PetriNet {
     pub fn is_trap(&self, places: &[PlaceId]) -> bool {
         let inside = self.membership(places);
         places.iter().all(|&p| {
-            self.place_postset(p).iter().all(|&t| {
-                self.postset(t).iter().any(|&(q, _)| inside[q.index()])
-            })
+            self.place_postset(p)
+                .iter()
+                .all(|&t| self.postset(t).iter().any(|&(q, _)| inside[q.index()]))
         })
     }
 
@@ -47,9 +47,10 @@ impl PetriNet {
                 if !inside[p.index()] {
                     continue;
                 }
-                let bad = self.place_preset(p).iter().any(|&t| {
-                    !self.preset(t).iter().any(|&(q, _)| inside[q.index()])
-                });
+                let bad = self
+                    .place_preset(p)
+                    .iter()
+                    .any(|&t| !self.preset(t).iter().any(|&(q, _)| inside[q.index()]));
                 if bad {
                     inside[p.index()] = false;
                     changed = true;
@@ -71,9 +72,10 @@ impl PetriNet {
                 if !inside[p.index()] {
                     continue;
                 }
-                let bad = self.place_postset(p).iter().any(|&t| {
-                    !self.postset(t).iter().any(|&(q, _)| inside[q.index()])
-                });
+                let bad = self
+                    .place_postset(p)
+                    .iter()
+                    .any(|&t| !self.postset(t).iter().any(|&(q, _)| inside[q.index()]));
                 if bad {
                     inside[p.index()] = false;
                     changed = true;

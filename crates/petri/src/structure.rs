@@ -51,8 +51,7 @@ impl PetriNet {
     /// `true` if every place has at most one input and one output
     /// transition (no choice, no merging): a marked graph.
     pub fn is_marked_graph(&self) -> bool {
-        self.places()
-            .all(|p| self.place_postset(p).len() <= 1 && self.place_preset(p).len() <= 1)
+        self.places().all(|p| self.place_postset(p).len() <= 1 && self.place_preset(p).len() <= 1)
     }
 
     /// `true` if every transition has at most one input and one output

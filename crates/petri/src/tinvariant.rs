@@ -73,8 +73,7 @@ impl PetriNet {
     pub fn t_invariant_is_neutral(&self, y: &[i64]) -> bool {
         let c = self.incidence_matrix();
         (0..self.num_places()).all(|p| {
-            let delta: i64 =
-                (0..self.num_transitions()).map(|t| c[p][t] * y[t]).sum();
+            let delta: i64 = (0..self.num_transitions()).map(|t| c[p][t] * y[t]).sum();
             delta == 0
         })
     }

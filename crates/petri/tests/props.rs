@@ -11,8 +11,7 @@ fn arb_ring_net() -> impl Strategy<Value = PetriNet> {
     (2usize..7, proptest::collection::vec((0usize..6, 0usize..6), 0..6), 1u32..3).prop_map(
         |(n, extras, tokens)| {
             let mut net = PetriNet::new();
-            let places: Vec<PlaceId> =
-                (0..n).map(|i| net.add_place(format!("p{i}"), 0)).collect();
+            let places: Vec<PlaceId> = (0..n).map(|i| net.add_place(format!("p{i}"), 0)).collect();
             net.set_initial_tokens(places[0], tokens);
             for i in 0..n {
                 let t = net.add_transition(format!("ring{i}"));
@@ -113,17 +112,12 @@ proptest! {
 /// A random marked graph: superposed token-carrying cycles over a shared
 /// transition set. Every place has exactly one producer and one consumer.
 fn arb_marked_graph() -> impl Strategy<Value = PetriNet> {
-    (
-        2usize..6,
-        proptest::collection::vec(proptest::collection::vec(0usize..6, 1..5), 1..4),
-    )
+    (2usize..6, proptest::collection::vec(proptest::collection::vec(0usize..6, 1..5), 1..4))
         .prop_map(|(nt, cycles)| {
             let mut net = PetriNet::new();
-            let ts: Vec<TransId> =
-                (0..nt).map(|i| net.add_transition(format!("t{i}"))).collect();
+            let ts: Vec<TransId> = (0..nt).map(|i| net.add_transition(format!("t{i}"))).collect();
             for (c, cycle) in cycles.into_iter().enumerate() {
-                let hops: Vec<TransId> =
-                    cycle.into_iter().map(|i| ts[i % nt]).collect();
+                let hops: Vec<TransId> = cycle.into_iter().map(|i| ts[i % nt]).collect();
                 for (k, w) in hops.windows(2).enumerate() {
                     let p = net.add_place(format!("c{c}p{k}"), 0);
                     net.add_arc_tp(w[0], p, 1);
@@ -194,7 +188,6 @@ fn limit_error_is_deterministic() {
     let t1 = net.add_transition("t1");
     net.connect(&[a], t0, &[b]);
     net.connect(&[b], t1, &[a]);
-    let err =
-        net.reachability_graph(ReachOptions { max_markings: 1, detect_unbounded: true });
+    let err = net.reachability_graph(ReachOptions { max_markings: 1, detect_unbounded: true });
     assert_eq!(err.unwrap_err(), ReachError::LimitExceeded(1));
 }

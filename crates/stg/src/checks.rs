@@ -104,10 +104,8 @@ pub fn signal_persistency_violations(
         for &(t, w) in sg.successors(v) {
             let fired_signal = stg.label(t).map(|l| l.signal);
             // Dummies "belong to the circuit": treat them as non-input.
-            let fired_is_noninput =
-                fired_signal.map_or(true, |s| stg.signal_kind(s).is_noninput());
-            let enabled_after: HashSet<SignalId> =
-                sg.enabled_signals(stg, w).into_iter().collect();
+            let fired_is_noninput = fired_signal.map_or(true, |s| stg.signal_kind(s).is_noninput());
+            let enabled_after: HashSet<SignalId> = sg.enabled_signals(stg, w).into_iter().collect();
             for &a in &enabled_here {
                 if Some(a) == fired_signal || enabled_after.contains(&a) {
                     continue;
@@ -197,8 +195,7 @@ pub fn commutativity_violations(stg: &Stg, sg: &StateGraph) -> Vec<Commutativity
         let edges: Vec<_> = succ_by_edge[v].iter().map(|(&e, &w)| (e, w)).collect();
         for (i, &(ea, s1)) in edges.iter().enumerate() {
             for &(eb, s2) in &edges[i + 1..] {
-                let (Some(&s3), Some(&s4)) =
-                    (succ_by_edge[s1].get(&eb), succ_by_edge[s2].get(&ea))
+                let (Some(&s3), Some(&s4)) = (succ_by_edge[s1].get(&eb), succ_by_edge[s2].get(&ea))
                 else {
                     continue;
                 };
@@ -229,11 +226,7 @@ pub fn csc_violations(stg: &Stg, sg: &StateGraph) -> Vec<CscViolation> {
         for i in 0..vertices.len() {
             for j in i + 1..vertices.len() {
                 if sets[i] != sets[j] {
-                    out.push(CscViolation {
-                        state_a: vertices[i],
-                        state_b: vertices[j],
-                        code,
-                    });
+                    out.push(CscViolation { state_a: vertices[i], state_b: vertices[j], code });
                 }
             }
         }
@@ -291,9 +284,7 @@ pub fn signal_regions(stg: &Stg, sg: &StateGraph, a: SignalId) -> SignalRegions 
 /// `(ER(a+) ∩ QR(a−)) ∪ (ER(a−) ∩ QR(a+))`, compared as binary codes.
 pub fn contradictory_codes(stg: &Stg, sg: &StateGraph, a: SignalId) -> HashSet<Code> {
     let r = signal_regions(stg, sg, a);
-    let codes = |vs: &[usize]| -> HashSet<Code> {
-        vs.iter().map(|&v| sg.state(v).code).collect()
-    };
+    let codes = |vs: &[usize]| -> HashSet<Code> { vs.iter().map(|&v| sg.state(v).code).collect() };
     let (erp, erm) = (codes(&r.er_rise), codes(&r.er_fall));
     let (qrp, qrm) = (codes(&r.qr_high), codes(&r.qr_low));
     let mut cont: HashSet<Code> = erp.intersection(&qrm).copied().collect();
@@ -321,11 +312,8 @@ pub fn has_complementary_input_sequences(stg: &Stg, sg: &StateGraph, a: SignalId
     let r = signal_regions(stg, sg, a);
     let quiescent: HashSet<usize> = r.qr_high.iter().chain(&r.qr_low).copied().collect();
     let excited: HashSet<usize> = r.er_rise.iter().chain(&r.er_fall).copied().collect();
-    let start: Vec<usize> = quiescent
-        .iter()
-        .copied()
-        .filter(|&v| cont.contains(&sg.state(v).code))
-        .collect();
+    let start: Vec<usize> =
+        quiescent.iter().copied().filter(|&v| cont.contains(&sg.state(v).code)).collect();
 
     let input_labelled = |t: TransId| -> bool {
         stg.label(t).is_some_and(|l| stg.signal_kind(l.signal) == SignalKind::Input)
@@ -359,10 +347,7 @@ pub fn has_complementary_input_sequences(stg: &Stg, sg: &StateGraph, a: SignalId
 pub fn csc_reducible(stg: &Stg, sg: &StateGraph) -> bool {
     determinism_violations(stg, sg).is_empty()
         && commutativity_violations(stg, sg).is_empty()
-        && stg
-            .noninput_signals()
-            .iter()
-            .all(|&a| !has_complementary_input_sequences(stg, sg, a))
+        && stg.noninput_signals().iter().all(|&a| !has_complementary_input_sequences(stg, sg, a))
 }
 
 /// Implementability classes of Def. 2.6, strongest first.
@@ -573,14 +558,10 @@ mod tests {
         b.initial_code_str("00");
         let stg = b.build().unwrap();
         let sg = sg_of(&stg);
-        let strict =
-            signal_persistency_violations(&stg, &sg, PersistencyPolicy::default());
+        let strict = signal_persistency_violations(&stg, &sg, PersistencyPolicy::default());
         assert!(!strict.is_empty());
-        let relaxed = signal_persistency_violations(
-            &stg,
-            &sg,
-            PersistencyPolicy { allow_arbitration: true },
-        );
+        let relaxed =
+            signal_persistency_violations(&stg, &sg, PersistencyPolicy { allow_arbitration: true });
         assert!(relaxed.is_empty());
     }
 
@@ -600,8 +581,7 @@ mod tests {
         b.initial_code_str("00");
         let stg = b.build().unwrap();
         let sg = sg_of(&stg);
-        assert!(signal_persistency_violations(&stg, &sg, PersistencyPolicy::default())
-            .is_empty());
+        assert!(signal_persistency_violations(&stg, &sg, PersistencyPolicy::default()).is_empty());
     }
 
     /// Minimal reducible CSC violation, all signals output:

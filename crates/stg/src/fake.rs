@@ -58,13 +58,8 @@ pub fn fake_conflicts(stg: &Stg, rg: &ReachabilityGraph) -> Vec<FakeConflict> {
     let mut out = Vec::new();
     for (t1, t2) in net.direct_conflict_pairs() {
         let (Some(l1), Some(l2)) = (stg.label(t1), stg.label(t2)) else { continue };
-        let mut fc = FakeConflict {
-            t1,
-            t2,
-            co_enabled: false,
-            fake_1_by_2: false,
-            fake_2_by_1: false,
-        };
+        let mut fc =
+            FakeConflict { t1, t2, co_enabled: false, fake_1_by_2: false, fake_2_by_1: false };
         // Transitions that can keep each signal edge alive.
         let others1: Vec<TransId> = stg
             .transitions_of_edge(l1.signal, l1.polarity)
@@ -83,15 +78,13 @@ pub fn fake_conflicts(stg: &Stg, rg: &ReachabilityGraph) -> Vec<FakeConflict> {
             fc.co_enabled = true;
             // Direction: t2 fires, does t1's edge survive?
             let after2 = net.fire(t2, m);
-            if !net.is_enabled(t1, &after2)
-                && others1.iter().any(|&tk| net.is_enabled(tk, &after2))
+            if !net.is_enabled(t1, &after2) && others1.iter().any(|&tk| net.is_enabled(tk, &after2))
             {
                 fc.fake_1_by_2 = true;
             }
             // Direction: t1 fires, does t2's edge survive?
             let after1 = net.fire(t1, m);
-            if !net.is_enabled(t2, &after1)
-                && others2.iter().any(|&tk| net.is_enabled(tk, &after1))
+            if !net.is_enabled(t2, &after1) && others2.iter().any(|&tk| net.is_enabled(tk, &after1))
             {
                 fc.fake_2_by_1 = true;
             }
@@ -153,6 +146,7 @@ mod tests {
         b.pt(p0, "b+/2"); // b2+
         b.arc("a+", "b+"); // b1+ after a1+
         b.arc("b+/2", "a+/2"); // a2+ after b2+
+
         // Merge place into c+.
         let pc = b.place("pc", 0);
         b.tp("b+", pc);

@@ -52,12 +52,8 @@ pub fn mutex(n: usize) -> Stg {
         let req = b.place(&format!("req{i}"), 0);
         let grant = b.place(&format!("grant{i}"), 0);
         let done = b.place(&format!("done{i}"), 0);
-        let (rp, ap, rm, am) = (
-            format!("r{i}+"),
-            format!("a{i}+"),
-            format!("r{i}-"),
-            format!("a{i}-"),
-        );
+        let (rp, ap, rm, am) =
+            (format!("r{i}+"), format!("a{i}+"), format!("r{i}-"), format!("a{i}-"));
         b.pt(idle, &rp);
         b.tp(&rp, req);
         b.pt(req, &ap);
@@ -151,8 +147,7 @@ pub fn par_handshakes(n: usize) -> Stg {
         b.output(&format!("a{i}"));
     }
     for i in 1..=n {
-        let labels =
-            [format!("r{i}+"), format!("a{i}+"), format!("r{i}-"), format!("a{i}-")];
+        let labels = [format!("r{i}+"), format!("a{i}+"), format!("r{i}-"), format!("a{i}-")];
         let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
         b.cycle(&refs);
     }
@@ -176,8 +171,7 @@ pub fn ring(n: usize) -> Stg {
         b.output(&format!("a{i}"));
     }
     for i in 1..=n {
-        let labels =
-            [format!("r{i}+"), format!("a{i}+"), format!("r{i}-"), format!("a{i}-")];
+        let labels = [format!("r{i}+"), format!("a{i}+"), format!("r{i}-"), format!("a{i}-")];
         let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
         b.seq(&refs);
         // Pass the token to the next station (wrapping around).
@@ -369,8 +363,7 @@ mod tests {
     #[test]
     fn mutex_element_is_implementable_with_arbitration() {
         let stg = mutex_element();
-        let strict =
-            check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+        let strict = check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
         assert!(strict.consistent());
         assert!(strict.safe);
         assert!(!strict.persistent(), "grant conflict must show up under strict policy");
@@ -388,8 +381,7 @@ mod tests {
         for n in [2, 3, 4, 5] {
             let stg = muller_pipeline(n);
             assert!(stg.net().is_marked_graph());
-            let report =
-                check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+            let report = check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
             assert!(report.consistent(), "muller({n}) consistent");
             assert!(report.persistent(), "muller({n}) persistent");
             assert!(report.csc_holds(), "muller({n}) CSC");
@@ -412,8 +404,7 @@ mod tests {
         for n in [1, 2, 3] {
             let stg = master_read(n);
             assert!(stg.net().is_marked_graph());
-            let report =
-                check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+            let report = check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
             assert!(report.consistent());
             assert!(report.persistent());
             assert!(report.csc_holds(), "master_read({n}) CSC");
@@ -430,19 +421,15 @@ mod tests {
 
     #[test]
     fn par_handshakes_is_gate_implementable() {
-        let report = check_explicit(
-            &par_handshakes(3),
-            SgOptions::default(),
-            PersistencyPolicy::default(),
-        );
+        let report =
+            check_explicit(&par_handshakes(3), SgOptions::default(), PersistencyPolicy::default());
         assert_eq!(report.verdict, Implementability::Gate);
     }
 
     #[test]
     fn vme_read_has_reducible_csc_violation() {
         let stg = vme_read();
-        let report =
-            check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+        let report = check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
         assert!(report.consistent());
         assert!(report.persistent());
         assert!(!report.csc_holds(), "VME read cycle is the classic CSC conflict");
@@ -486,8 +473,7 @@ mod tests {
     fn ring_state_count_is_linear() {
         for n in [1, 2, 4, 6] {
             let stg = ring(n);
-            let report =
-                check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+            let report = check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
             assert!(report.consistent(), "ring({n})");
             assert!(report.persistent(), "ring({n})");
             assert_eq!(report.verdict, Implementability::Gate, "ring({n})");

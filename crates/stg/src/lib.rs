@@ -52,16 +52,13 @@ mod stg;
 
 pub use checks::{
     check_explicit, commutativity_violations, contradictory_codes, csc_holds_for_signal,
-    csc_reducible, csc_violations, determinism_violations,
-    has_complementary_input_sequences, signal_persistency_violations, signal_regions,
-    transition_persistency_violations, CommutativityViolation, CscViolation,
-    DeterminismViolation, ExplicitReport, Implementability, PersistencyPolicy,
-    PersistencyViolation, SignalRegions, TransPersistencyViolation,
+    csc_reducible, csc_violations, determinism_violations, has_complementary_input_sequences,
+    signal_persistency_violations, signal_regions, transition_persistency_violations,
+    CommutativityViolation, CscViolation, DeterminismViolation, ExplicitReport, Implementability,
+    PersistencyPolicy, PersistencyViolation, SignalRegions, TransPersistencyViolation,
 };
 pub use fake::{fake_conflicts, fake_freedom_violations, is_fake_free, FakeConflict};
-pub use liveness::{
-    dead_transitions, home_states, non_live_transitions, sccs, SccDecomposition,
-};
+pub use liveness::{dead_transitions, home_states, non_live_transitions, sccs, SccDecomposition};
 pub use parser::{parse_g, write_g, ParseGError};
 pub use signal::{Polarity, SignalId, SignalKind, TransLabel};
 pub use state_graph::{

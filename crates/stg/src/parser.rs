@@ -8,6 +8,9 @@
 //! transitions, declared dummy names are dummy transitions, anything else
 //! is an explicit place. Transition–transition arcs go through implicit
 //! places, which the marking section can reference as `<src,dst>`.
+//!
+//! The dialect is specified in full in `docs/g-format.md` at the
+//! repository root.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -114,10 +117,7 @@ pub fn parse_g(source: &str) -> Result<Stg, ParseGError> {
                 section = Section::Graph;
             }
             ".marking" => {
-                let rest: String = std::iter::once("")
-                    .chain(tokens)
-                    .collect::<Vec<_>>()
-                    .join(" ");
+                let rest: String = std::iter::once("").chain(tokens).collect::<Vec<_>>().join(" ");
                 parse_marking(&rest, lineno, &mut marking_entries)?;
             }
             ".end" => {
@@ -186,23 +186,17 @@ fn add_arc(
         (true, true) => {
             b.arc(src, dst);
             let pname = format!("<{src},{dst}>");
-            let p = b
-                .place_by_name(&pname)
-                .expect("builder just created the implicit place");
+            let p = b.place_by_name(&pname).expect("builder just created the implicit place");
             places.insert(pname, p);
             Ok(())
         }
         (true, false) => {
-            let p = *places
-                .entry(dst.to_string())
-                .or_insert_with(|| b.place(dst, 0));
+            let p = *places.entry(dst.to_string()).or_insert_with(|| b.place(dst, 0));
             b.tp(src, p);
             Ok(())
         }
         (false, true) => {
-            let p = *places
-                .entry(src.to_string())
-                .or_insert_with(|| b.place(src, 0));
+            let p = *places.entry(src.to_string()).or_insert_with(|| b.place(src, 0));
             b.pt(p, dst);
             Ok(())
         }
@@ -231,9 +225,8 @@ fn parse_marking(
         let (name, count) = match s.split_once('=') {
             None => (s.clone(), 1u32),
             Some((n, k)) => {
-                let k: u32 = k
-                    .parse()
-                    .map_err(|_| err(lineno, format!("bad token count in `{s}`")))?;
+                let k: u32 =
+                    k.parse().map_err(|_| err(lineno, format!("bad token count in `{s}`")))?;
                 (n.to_string(), k)
             }
         };
@@ -286,11 +279,8 @@ pub fn write_g(stg: &Stg) -> String {
             let _ = writeln!(out, "{directive} {}", names.join(" "));
         }
     }
-    let dummies: Vec<&str> = net
-        .transitions()
-        .filter(|&t| stg.is_dummy(t))
-        .map(|t| net.trans_name(t))
-        .collect();
+    let dummies: Vec<&str> =
+        net.transitions().filter(|&t| stg.is_dummy(t)).map(|t| net.trans_name(t)).collect();
     if !dummies.is_empty() {
         let _ = writeln!(out, ".dummy {}", dummies.join(" "));
     }

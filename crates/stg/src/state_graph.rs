@@ -143,10 +143,8 @@ impl StateGraph {
     /// Signals enabled at vertex `v` (a signal is enabled when one of its
     /// transitions is; dummies contribute nothing).
     pub fn enabled_signals(&self, stg: &Stg, v: usize) -> Vec<SignalId> {
-        let mut out: Vec<SignalId> = self.edges[v]
-            .iter()
-            .filter_map(|&(t, _)| stg.label(t).map(|l| l.signal))
-            .collect();
+        let mut out: Vec<SignalId> =
+            self.edges[v].iter().filter_map(|&(t, _)| stg.label(t).map(|l| l.signal)).collect();
         out.sort();
         out.dedup();
         out
@@ -330,8 +328,7 @@ mod tests {
         assert_eq!(sg.len(), 4);
         assert_eq!(sg.num_edges(), 4);
         // Codes around the cycle: 00 -> 10 -> 11 -> 01 -> 00.
-        let codes: Vec<String> =
-            sg.states().iter().map(|s| s.code.to_bit_string(2)).collect();
+        let codes: Vec<String> = sg.states().iter().map(|s| s.code.to_bit_string(2)).collect();
         assert!(codes.contains(&"00".to_string()));
         assert!(codes.contains(&"10".to_string()));
         assert!(codes.contains(&"11".to_string()));

@@ -269,8 +269,7 @@ fn parse_label_with(
     signals: &HashMap<String, SignalId>,
 ) -> Result<TransLabel, StgError> {
     let (name, polarity, instance) = split_label(text)?;
-    let signal =
-        *signals.get(name).ok_or_else(|| StgError::UnknownSignal(name.to_string()))?;
+    let signal = *signals.get(name).ok_or_else(|| StgError::UnknownSignal(name.to_string()))?;
     Ok(TransLabel::with_instance(signal, polarity, instance))
 }
 

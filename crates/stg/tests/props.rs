@@ -3,16 +3,16 @@
 
 use proptest::prelude::*;
 use stgcheck_stg::{
-    build_state_graph, check_explicit, csc_violations, parse_g, write_g,
-    PersistencyPolicy, SgOptions, Stg, StgBuilder,
+    build_state_graph, check_explicit, csc_violations, parse_g, write_g, PersistencyPolicy,
+    SgOptions, Stg, StgBuilder,
 };
 
 /// Random network of four-phase handshakes with optional sequencing
 /// between channels: always safe, consistent and persistent by
 /// construction.
 fn arb_handshake_net() -> impl Strategy<Value = Stg> {
-    (1usize..5, proptest::collection::vec((0usize..5, 0usize..5), 0..4), any::<bool>())
-        .prop_map(|(n, links, first_input)| {
+    (1usize..5, proptest::collection::vec((0usize..5, 0usize..5), 0..4), any::<bool>()).prop_map(
+        |(n, links, first_input)| {
             let mut b = StgBuilder::new("random-hs");
             for i in 0..n {
                 if (i == 0) == first_input {
@@ -32,10 +32,7 @@ fn arb_handshake_net() -> impl Strategy<Value = Stg> {
             let mut seen_links = std::collections::HashSet::new();
             for (a, bidx) in links {
                 let (a, bidx) = (a % n, bidx % n);
-                if a == bidx
-                    || !seen_links.insert((a, bidx))
-                    || seen_links.contains(&(bidx, a))
-                {
+                if a == bidx || !seen_links.insert((a, bidx)) || seen_links.contains(&(bidx, a)) {
                     continue;
                 }
                 let from = format!("r{a}+");
@@ -45,7 +42,8 @@ fn arb_handshake_net() -> impl Strategy<Value = Stg> {
             }
             b.initial_code_str(&"0".repeat(n));
             b.build().expect("construction is well-formed")
-        })
+        },
+    )
 }
 
 proptest! {

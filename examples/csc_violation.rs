@@ -18,19 +18,11 @@ fn analyse(stg: &Stg) {
     println!("== {} ==", stg.name());
     println!(
         "  inputs:  {}",
-        stg.input_signals()
-            .iter()
-            .map(|&s| stg.signal_name(s))
-            .collect::<Vec<_>>()
-            .join(" ")
+        stg.input_signals().iter().map(|&s| stg.signal_name(s)).collect::<Vec<_>>().join(" ")
     );
     println!(
         "  outputs: {}",
-        stg.noninput_signals()
-            .iter()
-            .map(|&s| stg.signal_name(s))
-            .collect::<Vec<_>>()
-            .join(" ")
+        stg.noninput_signals().iter().map(|&s| stg.signal_name(s)).collect::<Vec<_>>().join(" ")
     );
 
     let mut sym = SymbolicStg::new(stg, VarOrder::Interleaved);
@@ -44,8 +36,7 @@ fn analyse(stg: &Stg) {
             println!("  CSC({name}): ok");
             continue;
         }
-        let witness =
-            analysis.witness.as_ref().expect("violated CSC carries a witness");
+        let witness = analysis.witness.as_ref().expect("violated CSC carries a witness");
         println!("  CSC({name}): VIOLATED — contradictory code {}", witness.code);
         let irreducible = sym.has_complementary_input_sequences(
             traversal.reached,

@@ -1,0 +1,10 @@
+.model csc-irreducible
+.inputs a
+.outputs b
+.graph
+a+ a-
+a- b+
+b+ b-
+b- a+
+.marking { <b-,a+> }
+.end

@@ -1,0 +1,17 @@
+.model vme-read
+.inputs dsr ldtack
+.outputs lds d dtack
+.graph
+dsr+ lds+
+lds+ ldtack+
+ldtack+ d+
+d+ dtack+
+dtack+ dsr-
+dsr- d-
+d- dtack-
+dtack- dsr+
+d- lds-
+lds- ldtack-
+ldtack- lds+
+.marking { <dtack-,dsr+> <ldtack-,lds+> }
+.end

@@ -62,10 +62,6 @@ fn main() {
     // The paper's point: same state graph, different well-formedness.
     let sg1 = build_state_graph(&d1, SgOptions::default()).unwrap();
     let sg2 = build_state_graph(&d2, SgOptions::default()).unwrap();
-    println!(
-        "D1 and D2 induce state graphs of equal size: {} == {}",
-        sg1.len(),
-        sg2.len()
-    );
+    println!("D1 and D2 induce state graphs of equal size: {} == {}", sg1.len(), sg2.len());
     println!("yet D1 is rejected (symmetric fake conflict) while D2 is accepted.");
 }

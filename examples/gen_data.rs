@@ -1,0 +1,40 @@
+//! Regenerates the `.g` files shipped under `examples/data/`.
+//!
+//! The CLI tests (`tests/cli.rs`) and the `parse_g` example read these
+//! files; running this example rewrites them from the canonical in-code
+//! generators, so the shipped data can never drift from the library.
+//!
+//! Run with: `cargo run --example gen_data`
+
+use std::fs;
+use std::path::Path;
+
+use stgcheck::stg::{gen, write_g, Stg, StgBuilder};
+
+/// The paper-style two-signal handshake: one input request, one output
+/// acknowledge, four-phase cycle. Gate-implementable.
+fn handshake() -> Stg {
+    let mut b = StgBuilder::new("handshake");
+    b.input("r");
+    b.output("a");
+    b.cycle(&["r+", "a+", "r-", "a-"]);
+    b.initial_code_str("00");
+    b.build().expect("handshake is well-formed")
+}
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/data");
+    fs::create_dir_all(&dir).expect("create examples/data");
+    let files: &[(&str, Stg)] = &[
+        ("handshake.g", handshake()),
+        ("vme_read.g", gen::vme_read()),
+        ("mutex4.g", gen::mutex(4)),
+        ("irreducible.g", gen::irreducible_csc_stg()),
+        ("muller4.g", gen::muller_pipeline(4)),
+    ];
+    for (name, stg) in files {
+        let path = dir.join(name);
+        fs::write(&path, write_g(stg)).expect("write .g file");
+        println!("wrote {}", path.display());
+    }
+}

@@ -16,10 +16,7 @@ use stgcheck::stg::gen;
 use stgcheck::stg::{build_state_graph, SgOptions};
 
 fn main() {
-    let max_n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
+    let max_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     const EXPLICIT_LIMIT: usize = 14;
 
     println!(

@@ -15,8 +15,7 @@ use stgcheck::stg::gen;
 use stgcheck::stg::{Polarity, Stg, StgBuilder};
 
 fn show_trace(stg: &Stg, trace: &[stgcheck::petri::TransId]) {
-    let pretty: Vec<String> =
-        trace.iter().map(|&t| stg.label_string(t)).collect();
+    let pretty: Vec<String> = trace.iter().map(|&t| stg.label_string(t)).collect();
     println!("  trace ({} firings): {}", trace.len(), pretty.join(" ; "));
 }
 
@@ -29,9 +28,7 @@ fn main() {
     let traversal = sym.traverse_with_rings(code);
     let b = stg.signal_by_name("b").expect("signal b exists");
     let bad = sym.inconsistent_set(b, Polarity::Rise);
-    let trace = sym
-        .extract_trace(&traversal, bad)
-        .expect("the inconsistency is reachable");
+    let trace = sym.extract_trace(&traversal, bad).expect("the inconsistency is reachable");
     println!("  shortest path to `b+` enabled while b = 1:");
     show_trace(&stg, &trace);
     println!();

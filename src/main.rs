@@ -140,10 +140,8 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let implementable = matches!(
-            report.verdict,
-            Implementability::Gate | Implementability::InputOutput
-        );
+        let implementable =
+            matches!(report.verdict, Implementability::Gate | Implementability::InputOutput);
         all_ok &= implementable;
         if cli.quiet {
             println!("{file}: {}", report.verdict);

@@ -17,12 +17,50 @@ fn data(file: &str) -> String {
     format!("{}/examples/data/{file}", env!("CARGO_MANIFEST_DIR"))
 }
 
+fn fixture(file: &str) -> String {
+    format!("{}/tests/fixtures/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The hand-written smoke fixture (explicit places, a dummy transition,
+/// comments — see docs/g-format.md) parses and verifies end-to-end.
 #[test]
-fn handshake_file_passes() {
+fn smoke_fixture_full_report() {
+    let out = Command::new(bin()).arg(fixture("smoke.g")).output().expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("safe:        true"), "{stdout}");
+    assert!(stdout.contains("CSC:         true"), "{stdout}");
+    assert!(stdout.contains("gate-implementable"), "{stdout}");
+}
+
+/// Several files in one invocation: the worst verdict drives the exit
+/// code, but every file still gets its own verdict line.
+#[test]
+fn multiple_files_report_individually() {
     let out = Command::new(bin())
-        .args(["--quiet", &data("handshake.g")])
+        .args(["--quiet", &fixture("smoke.g"), &data("irreducible.g")])
         .output()
         .expect("binary runs");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("smoke.g: gate-implementable"), "{stdout}");
+    assert!(stdout.contains("interface change needed"), "{stdout}");
+}
+
+/// Parse errors name the offending line and exit with code 2.
+#[test]
+fn unparsable_fixture_exits_2_with_line_number() {
+    let out = Command::new(bin()).arg(fixture("unparsable.g")).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 7"), "{stderr}");
+    assert!(stderr.contains("arc between two places"), "{stderr}");
+}
+
+#[test]
+fn handshake_file_passes() {
+    let out =
+        Command::new(bin()).args(["--quiet", &data("handshake.g")]).output().expect("binary runs");
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("gate-implementable"), "{stdout}");
@@ -30,10 +68,8 @@ fn handshake_file_passes() {
 
 #[test]
 fn vme_file_is_io_implementable() {
-    let out = Command::new(bin())
-        .args(["--quiet", &data("vme_read.g")])
-        .output()
-        .expect("binary runs");
+    let out =
+        Command::new(bin()).args(["--quiet", &data("vme_read.g")]).output().expect("binary runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("I/O-implementable"), "{stdout}");
@@ -41,10 +77,7 @@ fn vme_file_is_io_implementable() {
 
 #[test]
 fn full_report_mentions_csc_conflicts() {
-    let out = Command::new(bin())
-        .arg(data("vme_read.g"))
-        .output()
-        .expect("binary runs");
+    let out = Command::new(bin()).arg(data("vme_read.g")).output().expect("binary runs");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("conflict on `lds` (reducible)"), "{stdout}");
     assert!(stdout.contains("conflict on `d` (reducible)"), "{stdout}");
@@ -52,10 +85,8 @@ fn full_report_mentions_csc_conflicts() {
 
 #[test]
 fn mutex4_needs_arbitration_flag() {
-    let strict = Command::new(bin())
-        .args(["--quiet", &data("mutex4.g")])
-        .output()
-        .expect("binary runs");
+    let strict =
+        Command::new(bin()).args(["--quiet", &data("mutex4.g")]).output().expect("binary runs");
     assert!(!strict.status.success());
     let relaxed = Command::new(bin())
         .args(["--quiet", "--arbitration", &data("mutex4.g")])
@@ -77,10 +108,7 @@ fn irreducible_file_fails_with_si_verdict() {
 
 #[test]
 fn missing_file_exits_2() {
-    let out = Command::new(bin())
-        .arg("/nonexistent/never.g")
-        .output()
-        .expect("binary runs");
+    let out = Command::new(bin()).arg("/nonexistent/never.g").output().expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
 }
 

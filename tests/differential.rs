@@ -6,14 +6,12 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use stgcheck::core::{
-    cross_check_reachability, verify, SymbolicStg, TraversalStrategy, VarOrder,
-    VerifyOptions,
+    cross_check_reachability, verify, SymbolicStg, TraversalStrategy, VarOrder, VerifyOptions,
 };
 use stgcheck::stg::gen;
 use stgcheck::stg::{
-    build_state_graph, check_explicit, csc_holds_for_signal,
-    has_complementary_input_sequences, signal_persistency_violations,
-    PersistencyPolicy, SgOptions, Stg, StgBuilder,
+    build_state_graph, check_explicit, csc_holds_for_signal, has_complementary_input_sequences,
+    signal_persistency_violations, PersistencyPolicy, SgOptions, Stg, StgBuilder,
 };
 
 fn corpus() -> Vec<Stg> {
@@ -37,11 +35,9 @@ fn corpus() -> Vec<Stg> {
 #[test]
 fn reachability_agrees_on_corpus() {
     for stg in corpus() {
-        for order in [
-            VarOrder::Interleaved,
-            VarOrder::PlacesThenSignals,
-            VarOrder::SignalsThenPlaces,
-        ] {
+        for order in
+            [VarOrder::Interleaved, VarOrder::PlacesThenSignals, VarOrder::SignalsThenPlaces]
+        {
             cross_check_reachability(&stg, order)
                 .unwrap_or_else(|e| panic!("{} under {order:?}: {e}", stg.name()));
         }
@@ -52,8 +48,7 @@ fn reachability_agrees_on_corpus() {
 fn persistency_agrees_on_corpus() {
     for stg in corpus() {
         let sg = build_state_graph(&stg, SgOptions::default()).unwrap();
-        for policy in
-            [PersistencyPolicy::default(), PersistencyPolicy { allow_arbitration: true }]
+        for policy in [PersistencyPolicy::default(), PersistencyPolicy { allow_arbitration: true }]
         {
             let explicit = signal_persistency_violations(&stg, &sg, policy);
             let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
@@ -87,11 +82,8 @@ fn csc_and_reducibility_agree_on_corpus() {
                 stg.name(),
                 stg.signal_name(a)
             );
-            let sym_mcis = sym.has_complementary_input_sequences(
-                t.reached,
-                a,
-                analysis.contradictory,
-            );
+            let sym_mcis =
+                sym.has_complementary_input_sequences(t.reached, a, analysis.contradictory);
             assert_eq!(
                 has_complementary_input_sequences(&stg, &sg, a),
                 sym_mcis,
@@ -106,8 +98,7 @@ fn csc_and_reducibility_agree_on_corpus() {
 #[test]
 fn verdicts_agree_on_fake_free_corpus() {
     for stg in corpus() {
-        let explicit =
-            check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+        let explicit = check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
         let symbolic = verify(&stg, VerifyOptions::default()).unwrap();
         if symbolic.fake_free() {
             assert_eq!(explicit.verdict, symbolic.verdict, "{}", stg.name());
@@ -215,19 +206,10 @@ fn random_stgs_agree_between_engines() {
         let stg = random_stg(seed);
         // Some random nets may deadlock or be tiny — that's fine, the
         // engines must still agree.
-        let explicit =
-            check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+        let explicit = check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
         let symbolic = verify(&stg, VerifyOptions::default()).unwrap();
-        assert_eq!(
-            explicit.states as u128,
-            symbolic.num_states,
-            "seed {seed}: state counts"
-        );
-        assert_eq!(
-            explicit.consistent(),
-            symbolic.consistent(),
-            "seed {seed}: consistency"
-        );
+        assert_eq!(explicit.states as u128, symbolic.num_states, "seed {seed}: state counts");
+        assert_eq!(explicit.consistent(), symbolic.consistent(), "seed {seed}: consistency");
         assert_eq!(explicit.safe, symbolic.safe(), "seed {seed}: safety");
         assert_eq!(
             explicit.persistency.is_empty(),

@@ -62,11 +62,7 @@ fn fig3_d1_d2_equivalence() {
     // Transition-level: non-persistent. Signal-level: persistent.
     let tp = stgcheck::stg::transition_persistency_violations(&d1, &sg1);
     assert!(!tp.is_empty());
-    let sp = stgcheck::stg::signal_persistency_violations(
-        &d1,
-        &sg1,
-        PersistencyPolicy::default(),
-    );
+    let sp = stgcheck::stg::signal_persistency_violations(&d1, &sg1, PersistencyPolicy::default());
     assert!(sp.is_empty());
 }
 

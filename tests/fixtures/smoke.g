@@ -1,0 +1,19 @@
+# Hand-written smoke fixture for the stgcheck CLI (tests/cli.rs).
+#
+# A two-signal four-phase handshake written the verbose way, to exercise
+# parser features the generated examples/data/*.g files do not use:
+# explicit places, a dummy transition, and a comment-heavy layout.
+# See docs/g-format.md for the full dialect.
+.model smoke
+.inputs req
+.outputs ack
+.dummy sync
+.graph
+p0 req+          # explicit place p0 feeds the rising request
+req+ ack+
+ack+ sync        # dummy transition between the phases
+sync req-
+req- ack-
+ack- p0
+.marking { p0 }
+.end

@@ -1,0 +1,8 @@
+# Malformed on purpose: the arc line below names two places, which is
+# rejected (Petri nets are bipartite). tests/cli.rs expects exit code 2
+# and a parse error naming the line.
+.model broken
+.inputs x
+.graph
+p0 p1
+.end

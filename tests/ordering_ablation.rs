@@ -21,10 +21,7 @@ fn interleaved_beats_naive_on_par_handshakes() {
     // Independent components: the interleaved order is linear in n, the
     // places/signals-separated one couples every signal to every place
     // region.
-    assert!(
-        good < separated,
-        "interleaved {good} should beat separated {separated}"
-    );
+    assert!(good < separated, "interleaved {good} should beat separated {separated}");
     // And it is *small* in absolute terms: a few nodes per handshake.
     assert!(good < 200, "got {good}");
 }

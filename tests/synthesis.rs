@@ -63,9 +63,8 @@ fn equilibria_are_quiescent_states() {
         for s in stg.signals() {
             assignment[sym.signal_var(s).index()] = state.code.get(s);
         }
-        let stable = fs.iter().all(|f| {
-            sym.manager().eval(f.on, &assignment) == state.code.get(f.signal)
-        });
+        let stable =
+            fs.iter().all(|f| sym.manager().eval(f.on, &assignment) == state.code.get(f.signal));
         let excited: Vec<SignalId> = sg.enabled_noninput_signals(&stg, v);
         assert_eq!(
             stable,
@@ -101,8 +100,8 @@ fn sop_strings_round_trip_through_expression_parser() {
             })
             .collect::<Vec<_>>()
             .join(" | ");
-        let expr = BoolExpr::parse(&normalised)
-            .unwrap_or_else(|e| panic!("{sop} -> {normalised}: {e}"));
+        let expr =
+            BoolExpr::parse(&normalised).unwrap_or_else(|e| panic!("{sop} -> {normalised}: {e}"));
         // Evaluate both on all signal codes.
         let n = stg.num_signals();
         for bits in 0..(1u32 << n) {

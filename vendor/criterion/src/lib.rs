@@ -1,0 +1,217 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment of this repository has no network access, so the
+//! workspace vendors the *subset* of the Criterion API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! It is a real (if simple) harness: each benchmark is warmed up once,
+//! then timed over an adaptive number of iterations (targeting ~200 ms of
+//! wall time per benchmark, capped by [`BenchmarkGroup::sample_size`]
+//! batches), and the median per-iteration time is printed as
+//!
+//! ```text
+//! bdd/and/8              time:   12.345 µs/iter  (21 iters x 5 samples)
+//! ```
+//!
+//! There is no statistical analysis, no plotting and no baseline
+//! comparison. If the registry ever becomes reachable, swap the
+//! `criterion` entry in the workspace `Cargo.toml` back to the crates.io
+//! version; no bench source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level handle passed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 5 }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        let name = name.into();
+        if name.is_empty() {
+            BenchmarkId { id: format!("{param}") }
+        } else {
+            BenchmarkId { id: format!("{name}/{param}") }
+        }
+    }
+
+    /// A benchmark identified by its parameter value alone.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{param}") }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (default 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark; `f` drives the [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Runs one parameterised benchmark, passing `input` through to `f`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Finishes the group (present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    median: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher { samples, median: None, iters: 0 }
+    }
+
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that fills
+        // roughly 40 ms per sample, so short routines are still resolvable.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(40);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times.push(start.elapsed() / iters as u32);
+        }
+        times.sort();
+        self.median = Some(times[times.len() / 2]);
+        self.iters = iters;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        let label = format!("{group}/{id}");
+        match self.median {
+            Some(t) => println!(
+                "{label:<50} time: {:>12}  ({} iters x {} samples)",
+                format_duration(t),
+                self.iters,
+                self.samples
+            ),
+            None => println!("{label:<50} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns/iter")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs/iter", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms/iter", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_a_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::new("", "x").id, "x");
+        assert_eq!(BenchmarkId::from_parameter(16).id, "16");
+    }
+}
