@@ -1,0 +1,20 @@
+.model master-read-2
+.inputs req a1 a2
+.outputs ack r1 r2
+.graph
+req+ r1+
+r1+ a1+
+a1+ ack+
+req- r1-
+r1- a1-
+a1- ack-
+req+ r2+
+r2+ a2+
+a2+ ack+
+req- r2-
+r2- a2-
+a2- ack-
+ack+ req-
+ack- req+
+.marking { <ack-,req+> }
+.end

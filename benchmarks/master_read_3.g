@@ -1,0 +1,26 @@
+.model master-read-3
+.inputs req a1 a2 a3
+.outputs ack r1 r2 r3
+.graph
+req+ r1+
+r1+ a1+
+a1+ ack+
+req- r1-
+r1- a1-
+a1- ack-
+req+ r2+
+r2+ a2+
+a2+ ack+
+req- r2-
+r2- a2-
+a2- ack-
+req+ r3+
+r3+ a3+
+a3+ ack+
+req- r3-
+r3- a3-
+a3- ack-
+ack+ req-
+ack- req+
+.marking { <ack-,req+> }
+.end

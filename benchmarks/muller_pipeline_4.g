@@ -1,0 +1,18 @@
+.model muller-4
+.inputs c0
+.outputs c1 c2 c3
+.graph
+c0+ c1+
+c1+ c0-
+c0- c1-
+c1- c0+
+c1+ c2+
+c2+ c1-
+c1- c2-
+c2- c1+
+c2+ c3+
+c3+ c2-
+c2- c3-
+c3- c2+
+.marking { <c1-,c0+> <c2-,c1+> <c3-,c2+> }
+.end

@@ -1,0 +1,34 @@
+.model muller-8
+.inputs c0
+.outputs c1 c2 c3 c4 c5 c6 c7
+.graph
+c0+ c1+
+c1+ c0-
+c0- c1-
+c1- c0+
+c1+ c2+
+c2+ c1-
+c1- c2-
+c2- c1+
+c2+ c3+
+c3+ c2-
+c2- c3-
+c3- c2+
+c3+ c4+
+c4+ c3-
+c3- c4-
+c4- c3+
+c4+ c5+
+c5+ c4-
+c4- c5-
+c5- c4+
+c5+ c6+
+c6+ c5-
+c5- c6-
+c6- c5+
+c6+ c7+
+c7+ c6-
+c6- c7-
+c7- c6+
+.marking { <c1-,c0+> <c2-,c1+> <c3-,c2+> <c4-,c3+> <c5-,c4+> <c6-,c5+> <c7-,c6+> }
+.end

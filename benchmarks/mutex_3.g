@@ -1,0 +1,36 @@
+.model mutex-3
+.inputs r1 r2 r3
+.outputs a1 a2 a3
+.graph
+a1- m
+a2- m
+a3- m
+m a1+
+m a2+
+m a3+
+a1- idle1
+idle1 r1+
+r1+ req1
+req1 a1+
+a1+ grant1
+grant1 r1-
+r1- done1
+done1 a1-
+a2- idle2
+idle2 r2+
+r2+ req2
+req2 a2+
+a2+ grant2
+grant2 r2-
+r2- done2
+done2 a2-
+a3- idle3
+idle3 r3+
+r3+ req3
+req3 a3+
+a3+ grant3
+grant3 r3-
+r3- done3
+done3 a3-
+.marking { m idle1 idle2 idle3 }
+.end

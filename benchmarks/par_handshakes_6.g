@@ -1,0 +1,30 @@
+.model par-hs-6
+.inputs r1 r2 r3 r4 r5 r6
+.outputs a1 a2 a3 a4 a5 a6
+.graph
+r1+ a1+
+a1+ r1-
+r1- a1-
+a1- r1+
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- r2+
+r3+ a3+
+a3+ r3-
+r3- a3-
+a3- r3+
+r4+ a4+
+a4+ r4-
+r4- a4-
+a4- r4+
+r5+ a5+
+a5+ r5-
+r5- a5-
+a5- r5+
+r6+ a6+
+a6+ r6-
+r6- a6-
+a6- r6+
+.marking { <a1-,r1+> <a2-,r2+> <a3-,r3+> <a4-,r4+> <a5-,r5+> <a6-,r6+> }
+.end

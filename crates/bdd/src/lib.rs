@@ -19,6 +19,9 @@
 //!   column of Table 1);
 //! * variable-ordering support: any static order at creation time and a
 //!   rebuild-based [`BddManager::reorder`] used by the ordering ablation;
+//! * a compact serialised-BDD interchange ([`SerializedBdd`]) for moving
+//!   functions between managers with compatible orders — the frontier
+//!   exchange of `stgcheck-core`'s parallel sharded traversal engine;
 //! * a boolean-expression AST with a parser ([`BoolExpr`]) that serves as
 //!   reference semantics for the property tests.
 //!
@@ -50,8 +53,10 @@ mod node;
 mod ops;
 mod quant;
 mod reorder;
+mod serialize;
 
 pub use analysis::Cubes;
 pub use expr::{BoolExpr, ParseExprError};
 pub use manager::{BddManager, ManagerStats};
 pub use node::{Bdd, Literal, Var};
+pub use serialize::{SerializeError, SerializedBdd};

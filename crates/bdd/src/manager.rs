@@ -346,6 +346,14 @@ impl BddManager {
         levels.into_iter().map(|l| self.var_at_level[l as usize]).collect()
     }
 
+    /// The support of `f` as a positive cube — the quantification prefix
+    /// that abstracts exactly the variables `f` depends on. Used by the
+    /// image engines to derive per-transition prefixes from their cubes.
+    pub fn support_cube(&mut self, f: Bdd) -> Bdd {
+        let vars = self.support(f);
+        self.vars_cube(&vars)
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> ManagerStats {
         ManagerStats {
@@ -413,8 +421,8 @@ impl BddManager {
             stack.push(n.hi);
         }
         let mut reclaimed = 0;
-        for i in 2..self.nodes.len() {
-            if marked[i] || self.nodes[i].is_dead() {
+        for (i, &kept) in marked.iter().enumerate().skip(2) {
+            if kept || self.nodes[i].is_dead() {
                 continue;
             }
             let n = self.nodes[i];

@@ -288,6 +288,29 @@ impl BddManager {
         self.caches.and_exists.insert((a, b, c), r);
         r
     }
+
+    /// N-ary generalisation of [`BddManager::and_exists`]:
+    /// `∃ vars(c) . (f₀ ∧ f₁ ∧ … ∧ fₙ)`.
+    ///
+    /// The first `n − 1` conjuncts are combined pairwise; the final
+    /// product is fused with the quantification so the full conjunction is
+    /// never materialised. An empty slice yields `∃c.TRUE = TRUE`.
+    pub fn and_exists_many(&mut self, fs: &[Bdd], c: Bdd) -> Bdd {
+        match fs {
+            [] => Bdd::TRUE,
+            [f] => self.exists(*f, c),
+            [init @ .., last] => {
+                let mut acc = init[0];
+                for &f in &init[1..] {
+                    acc = self.and(acc, f);
+                    if acc.is_false() {
+                        return Bdd::FALSE;
+                    }
+                }
+                self.and_exists(acc, *last, c)
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -171,7 +171,7 @@ mod tests {
     fn rejects_incomplete_order() {
         let mut m = BddManager::new();
         let vars = m.new_vars("x", 3);
-        let _ = m.rebuild_with_order(&vars[..2].to_vec(), &[]);
+        let _ = m.rebuild_with_order(&vars[..2], &[]);
     }
 
     #[test]

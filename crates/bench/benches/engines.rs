@@ -1,0 +1,86 @@
+//! Image-engine comparison: the per-transition baseline vs. the clustered
+//! partitioned-relation engine vs. the parallel sharded engine, on the
+//! workloads the acceptance story names (`muller_pipeline(10)` and the
+//! wider scalable families).
+//!
+//! The three engines compute the identical `Reached` BDD
+//! (`tests/engines.rs` asserts it); this bench measures what each one
+//! pays for it. Expectations: clustering amortises cache hits on nets
+//! with overlapping supports; the sharded engine needs real cores — on a
+//! single-CPU host its sync overhead makes it a regression, which is
+//! exactly the kind of fact the engine column exists to surface.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stgcheck_core::{EngineKind, EngineOptions, SymbolicStg, VarOrder};
+use stgcheck_stg::{gen, Code};
+
+fn engine_configs() -> Vec<(&'static str, EngineOptions)> {
+    vec![
+        ("per-transition", EngineOptions::default()),
+        ("clustered", EngineOptions { kind: EngineKind::Clustered, ..Default::default() }),
+        (
+            "parallel-2",
+            EngineOptions { kind: EngineKind::ParallelSharded, jobs: 2, ..Default::default() },
+        ),
+        (
+            "parallel-4",
+            EngineOptions { kind: EngineKind::ParallelSharded, jobs: 4, ..Default::default() },
+        ),
+    ]
+}
+
+fn bench_engines_muller10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines/muller10");
+    let stg = gen::muller_pipeline(10);
+    for (name, opts) in engine_configs() {
+        group.bench_function(BenchmarkId::from_parameter(name), |bencher| {
+            bencher.iter(|| {
+                let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+                let t = sym.traverse_with_engine(Code::ZERO, &opts);
+                std::hint::black_box(t.stats.num_states)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engines_master_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines/master_read8");
+    let stg = gen::master_read(8);
+    for (name, opts) in engine_configs() {
+        group.bench_function(BenchmarkId::from_parameter(name), |bencher| {
+            bencher.iter(|| {
+                let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+                let code = sym.effective_initial_code().unwrap();
+                let t = sym.traverse_with_engine(code, &opts);
+                std::hint::black_box(t.stats.num_states)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustered_cap_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines/cluster_cap");
+    let stg = gen::muller_pipeline(12);
+    for cap in [1usize, 4, 8, 16] {
+        let opts =
+            EngineOptions { kind: EngineKind::Clustered, max_cluster: cap, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |bencher, _| {
+            bencher.iter(|| {
+                let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+                let t = sym.traverse_with_engine(Code::ZERO, &opts);
+                std::hint::black_box(t.stats.num_states)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engines_muller10,
+    bench_engines_master_read,
+    bench_clustered_cap_sweep
+);
+criterion_main!(benches);

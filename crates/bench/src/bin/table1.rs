@@ -1,24 +1,32 @@
 //! Regenerates the paper's Table 1: for every benchmark STG, the number of
 //! places and signals, the reachable state count, the peak and final BDD
 //! sizes, and the CPU time of each verification phase (T+C, NI-p, Com,
-//! CSC) plus the total.
+//! CSC) plus the total — with an engine column naming the image engine
+//! that ran the traversal.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p stgcheck-bench --bin table1 [--explicit] [--order <strategy>]
+//! cargo run --release -p stgcheck-bench --bin table1 [--explicit] \
+//!     [--order <strategy>] [--engine <engine>|all] [--jobs <n>] [--small]
 //! ```
 //!
 //! * `--explicit` additionally times the explicit state-graph baseline on
 //!   the workloads where it is feasible (the paper's motivation: symbolic
 //!   beats explicit enumeration as soon as the state space grows);
 //! * `--order interleaved|places|signals|declaration` selects the variable
-//!   ordering strategy (default: interleaved).
+//!   ordering strategy (default: interleaved);
+//! * `--engine per-transition|clustered|parallel|all` selects the image
+//!   engine (default: per-transition); `all` prints one row per engine so
+//!   the engines can be compared line by line;
+//! * `--jobs <n>` sets the worker count for the parallel engine;
+//! * `--small` runs the quick workload set across **all** engines — the
+//!   CI smoke configuration that keeps the engine column honest.
 
 use std::time::Instant;
 
-use stgcheck_bench::table1_workloads;
-use stgcheck_core::{verify, SymbolicReport, VarOrder, VerifyOptions};
+use stgcheck_bench::{quick_workloads, table1_workloads};
+use stgcheck_core::{verify, EngineKind, SymbolicReport, VarOrder, VerifyOptions};
 use stgcheck_stg::{build_state_graph, PersistencyPolicy, SgOptions};
 
 fn parse_order(s: &str) -> VarOrder {
@@ -34,19 +42,54 @@ fn parse_order(s: &str) -> VarOrder {
     }
 }
 
+const ALL_ENGINES: [EngineKind; 3] =
+    [EngineKind::PerTransition, EngineKind::Clustered, EngineKind::ParallelSharded];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let explicit = args.iter().any(|a| a == "--explicit");
+    let small = args.iter().any(|a| a == "--small");
     let order = args
         .iter()
         .position(|a| a == "--order")
         .and_then(|i| args.get(i + 1))
         .map(|s| parse_order(s))
         .unwrap_or_default();
+    let jobs: usize = match args.iter().position(|a| a == "--jobs").map(|i| args.get(i + 1)) {
+        None => 0,
+        Some(Some(v)) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--jobs needs a number, got `{v}`");
+            std::process::exit(2);
+        }),
+        Some(None) => {
+            eprintln!("--jobs needs a value");
+            std::process::exit(2);
+        }
+    };
+    let engine_arg = match args.iter().position(|a| a == "--engine").map(|i| args.get(i + 1)) {
+        None => None,
+        Some(Some(v)) => Some(v.as_str()),
+        Some(None) => {
+            eprintln!("--engine needs a value");
+            std::process::exit(2);
+        }
+    };
+    let engines: Vec<EngineKind> = match engine_arg {
+        None if small => ALL_ENGINES.to_vec(),
+        None => vec![EngineKind::PerTransition],
+        Some("all") => ALL_ENGINES.to_vec(),
+        Some(s) => match s.parse() {
+            Ok(kind) => vec![kind],
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+    };
 
     println!("stgcheck — Table 1 reproduction (order: {order:?})");
-    println!("columns: example, places, signals, reachable states, BDD peak/final nodes,");
-    println!("         CPU seconds for T+C / NI-p / Com / CSC / total");
+    println!("columns: example, engine, places, signals, reachable states, BDD peak/final");
+    println!("         nodes, CPU seconds for T+C / NI-p / Com / CSC / total");
     if explicit {
         println!("         + explicit baseline seconds (— where infeasible)");
     }
@@ -59,52 +102,56 @@ fn main() {
     println!("{header}");
     println!("{}", "-".repeat(header.len()));
 
-    for w in table1_workloads() {
-        let opts = VerifyOptions {
-            order,
-            policy: PersistencyPolicy { allow_arbitration: w.arbitration },
-            ..VerifyOptions::default()
-        };
-        let report = match verify(&w.stg, opts) {
-            Ok(r) => r,
-            Err(e) => {
-                println!("{:<16} verification aborted: {e}", w.name);
-                continue;
-            }
-        };
-        let mut row = report.table1_row();
-        if explicit {
-            if w.explicit_feasible {
-                let start = Instant::now();
-                let sg = build_state_graph(&w.stg, SgOptions::default());
-                let secs = start.elapsed().as_secs_f64();
-                match sg {
-                    Ok(sg) => {
-                        assert_eq!(
-                            sg.len() as u128,
-                            report.num_states,
-                            "{}: explicit and symbolic disagree",
-                            w.name
-                        );
-                        row.push_str(&format!(" {secs:>10.3}"));
-                    }
-                    Err(e) => row.push_str(&format!(" {e:>10}")),
+    let workloads = if small { quick_workloads() } else { table1_workloads() };
+    for w in workloads {
+        for &kind in &engines {
+            let opts = VerifyOptions {
+                order,
+                policy: PersistencyPolicy { allow_arbitration: w.arbitration },
+                engine: stgcheck_core::EngineOptions { kind, jobs, ..Default::default() },
+            };
+            let report = match verify(&w.stg, opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    println!("{:<16} verification aborted: {e}", w.name);
+                    continue;
                 }
-            } else {
-                row.push_str(&format!(" {:>10}", "—"));
+            };
+            let mut row = report.table1_row();
+            if explicit {
+                if w.explicit_feasible {
+                    let start = Instant::now();
+                    let sg = build_state_graph(&w.stg, SgOptions::default());
+                    let secs = start.elapsed().as_secs_f64();
+                    match sg {
+                        Ok(sg) => {
+                            assert_eq!(
+                                sg.len() as u128,
+                                report.num_states,
+                                "{}: explicit and symbolic disagree",
+                                w.name
+                            );
+                            row.push_str(&format!(" {secs:>10.3}"));
+                        }
+                        Err(e) => row.push_str(&format!(" {e:>10}")),
+                    }
+                } else {
+                    row.push_str(&format!(" {:>10}", "—"));
+                }
             }
+            let verdict = match report.verdict {
+                stgcheck_stg::Implementability::Gate => "gate",
+                stgcheck_stg::Implementability::InputOutput => "i/o",
+                stgcheck_stg::Implementability::SpeedIndependent => "si-only",
+                stgcheck_stg::Implementability::NotImplementable => "reject",
+            };
+            row.push_str(&format!(" {verdict:>10}"));
+            println!("{row}");
         }
-        let verdict = match report.verdict {
-            stgcheck_stg::Implementability::Gate => "gate",
-            stgcheck_stg::Implementability::InputOutput => "i/o",
-            stgcheck_stg::Implementability::SpeedIndependent => "si-only",
-            stgcheck_stg::Implementability::NotImplementable => "reject",
-        };
-        row.push_str(&format!(" {verdict:>10}"));
-        println!("{row}");
     }
     println!();
     println!("Shape expectations (paper Section 6): state counts grow exponentially in n");
     println!("while BDD sizes and CPU stay moderate; NI-p/Com are negligible on marked");
     println!("graphs (muller, master-read); mutex rows exercise the conflict machinery.");
+    println!("Engines must agree on every column except the CPU times (and iterations).");
 }

@@ -7,6 +7,7 @@ use stgcheck_bdd::{Bdd, Literal};
 use stgcheck_stg::{Polarity, SignalId, SignalKind};
 
 use crate::encode::{StateWitness, SymbolicStg};
+use crate::engine::{run_fixpoint, FixpointSpec, StepDirection};
 
 /// The four characteristic regions of one signal, projected to binary
 /// codes (`∃p` applied, paper notation):
@@ -147,10 +148,7 @@ impl SymbolicStg<'_> {
             let e = mgr.or(e_rise, e_fall);
             mgr.and(reached, e)
         };
-        let start = {
-            let s = mgr.and(qr_state, cont);
-            s
-        };
+        let start = mgr.and(qr_state, cont);
         if start.is_false() {
             return false;
         }
@@ -162,33 +160,22 @@ impl SymbolicStg<'_> {
                 stg.label(t).is_some_and(|l| stg.signal_kind(l.signal) == SignalKind::Input)
             })
             .collect();
-        // Backward frozen fixpoint.
-        let mut set = start;
-        loop {
-            let mut grown = set;
-            for &t in &input_transitions {
-                let pre = self.preimage(grown, t);
-                let mgr = self.manager_mut();
-                let pre = mgr.and(pre, reached);
-                grown = mgr.or(grown, pre);
-            }
-            if grown == set {
-                break;
-            }
-            set = grown;
-        }
-        // Forward frozen fixpoint.
-        loop {
-            let mut grown = set;
-            for &t in &input_transitions {
-                let img = self.image(grown, t);
-                grown = self.manager_mut().or(grown, img);
-            }
-            if grown == set {
-                break;
-            }
-            set = grown;
-        }
+        // Backward frozen fixpoint, confined to the reachable set; then
+        // the forward frozen fixpoint from its result. Both run through
+        // the shared engine loop — with GC disabled, because the caller
+        // (and [`crate::verify`]'s CSC phase) holds handles like
+        // `er_state`, `cont` and its sibling signals' contradictory sets
+        // that a collection here would dangle.
+        let opts = *self.engine();
+        let backward = FixpointSpec {
+            direction: StepDirection::Backward,
+            within: Some(reached),
+            gc: false,
+            ..FixpointSpec::forward_full()
+        };
+        let set = run_fixpoint(self, &opts, &backward, &input_transitions, start).reached;
+        let forward = FixpointSpec { gc: false, ..FixpointSpec::forward_full() };
+        let set = run_fixpoint(self, &opts, &forward, &input_transitions, set).reached;
         let mgr = self.manager_mut();
         let hit = mgr.and(set, er_state);
         let hit = mgr.and(hit, cont);

@@ -15,6 +15,8 @@ use stgcheck_bdd::{Bdd, BddManager, Literal, Var};
 use stgcheck_petri::{PlaceId, TransId};
 use stgcheck_stg::{Code, Polarity, SignalId, Stg};
 
+use crate::engine::EngineOptions;
+
 /// Static variable-ordering strategies for the place/signal variables.
 ///
 /// The paper (Section 6) observes that "BDDs may have an exponential size
@@ -58,6 +60,8 @@ pub struct TransCubes {
 pub struct SymbolicStg<'a> {
     stg: &'a Stg,
     mgr: BddManager,
+    order: VarOrder,
+    engine: EngineOptions,
     place_vars: Vec<Var>,
     signal_vars: Vec<Var>,
     trans_cubes: Vec<TransCubes>,
@@ -235,12 +239,39 @@ impl<'a> SymbolicStg<'a> {
         }
         let places_cube = mgr.vars_cube(&place_vars);
         let signals_cube = mgr.vars_cube(&signal_vars);
-        SymbolicStg { stg, mgr, place_vars, signal_vars, trans_cubes, places_cube, signals_cube }
+        SymbolicStg {
+            stg,
+            mgr,
+            order,
+            engine: EngineOptions::default(),
+            place_vars,
+            signal_vars,
+            trans_cubes,
+            places_cube,
+            signals_cube,
+        }
     }
 
     /// The STG being analysed.
     pub fn stg(&self) -> &'a Stg {
         self.stg
+    }
+
+    /// The ordering strategy this context was built under. The parallel
+    /// engine uses it to build level-compatible worker contexts.
+    pub fn order(&self) -> VarOrder {
+        self.order
+    }
+
+    /// The image-engine configuration driving every fixed-point loop
+    /// (traversal, frozen-marking inference, frozen-input CSC checks).
+    pub fn engine(&self) -> &EngineOptions {
+        &self.engine
+    }
+
+    /// Selects the image engine for subsequent fixed-point loops.
+    pub fn set_engine(&mut self, engine: EngineOptions) {
+        self.engine = engine;
     }
 
     /// Shared access to the underlying manager (for stats and decoding).

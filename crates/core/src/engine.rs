@@ -1,0 +1,729 @@
+//! The pluggable image-engine layer: one shared fixed-point loop, three
+//! interchangeable ways to compute the per-iteration frontier step.
+//!
+//! The paper's Fig. 5 traversal, the frozen-marking traversal of Section
+//! 5.1 and the frozen-input fixpoints of Section 5.3 are all instances of
+//! the same loop: grow a set by (pre-)images until nothing new appears.
+//! [`run_fixpoint`] is that loop, parametrised by a [`FixpointSpec`]
+//! (direction, marking-only vs. full-state, optional confinement set,
+//! ring recording) and an [`EngineOptions`] selecting *how* the frontier
+//! step is computed:
+//!
+//! * [`EngineKind::PerTransition`] — the baseline: one δ application per
+//!   transition, chained or strict-BFS, exactly the paper's formulation;
+//! * [`EngineKind::Clustered`] — transitions greedily grouped by support
+//!   overlap into partitioned relations (Burch/Clarke/Long style); each
+//!   transition's step collapses to one fused
+//!   [`stgcheck_bdd::BddManager::and_exists`] over a *before* cube plus
+//!   one product with an *after* cube, so the memoisation cache is shared
+//!   across the cluster's overlapping supports;
+//! * [`EngineKind::ParallelSharded`] — transitions sharded across
+//!   `std::thread::scope` workers, each owning a private
+//!   [`stgcheck_bdd::BddManager`]; frontiers cross threads as
+//!   [`SerializedBdd`] snapshots, every worker closes its shard locally,
+//!   and the main thread OR-joins the partial closures per iteration.
+//!
+//! All three compute the same least fixpoint, so they return the same
+//! canonical `Reached` BDD — `tests/engines.rs` asserts this on every
+//! benchmark family and on random STGs.
+
+use std::collections::BTreeSet;
+use std::sync::mpsc;
+
+use stgcheck_bdd::{Bdd, Literal, SerializedBdd, Var};
+use stgcheck_petri::TransId;
+
+use crate::encode::SymbolicStg;
+use crate::traverse::TraversalStrategy;
+
+/// How many live nodes trigger a garbage collection between steps (shared
+/// by every engine and by the per-worker managers of the sharded engine).
+pub(crate) const GC_THRESHOLD: usize = 500_000;
+
+/// Selects the image engine that drives the fixed-point loops.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum EngineKind {
+    /// One δ application per transition — the paper's formulation and the
+    /// byte-for-byte baseline. Honours [`TraversalStrategy`].
+    #[default]
+    PerTransition,
+    /// Transitions partitioned by support overlap; each step is a fused
+    /// `and_exists` over the cluster's enabling/update cubes. Always
+    /// chained (cluster by cluster).
+    Clustered,
+    /// Transitions sharded across worker threads with private BDD
+    /// managers; partial frontier closures are OR-joined per iteration.
+    ParallelSharded,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EngineKind::PerTransition => "per-transition",
+            EngineKind::Clustered => "clustered",
+            EngineKind::ParallelSharded => "parallel",
+        })
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "per-transition" | "per-trans" | "baseline" => Ok(EngineKind::PerTransition),
+            "clustered" | "cluster" => Ok(EngineKind::Clustered),
+            "parallel" | "sharded" | "parallel-sharded" => Ok(EngineKind::ParallelSharded),
+            other => Err(format!(
+                "unknown engine `{other}` (expected per-transition, clustered or parallel)"
+            )),
+        }
+    }
+}
+
+/// Engine configuration, [`stgcheck_stg::SgOptions`]-style: a plain
+/// options struct with a sensible [`Default`], threaded through
+/// [`crate::VerifyOptions`] and the CLI.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct EngineOptions {
+    /// Which engine computes the frontier step.
+    pub kind: EngineKind,
+    /// Frontier strategy for [`EngineKind::PerTransition`] (the clustered
+    /// and sharded engines always chain).
+    pub strategy: TraversalStrategy,
+    /// Worker threads for [`EngineKind::ParallelSharded`]; `0` means the
+    /// machine's available parallelism.
+    pub jobs: usize,
+    /// Maximum transitions per cluster for [`EngineKind::Clustered`];
+    /// `0` means the default of 8.
+    pub max_cluster: usize,
+}
+
+impl EngineOptions {
+    /// The worker-thread count after resolving `jobs == 0` to the
+    /// machine's available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+
+    /// The cluster-size cap after resolving `max_cluster == 0`.
+    pub fn effective_max_cluster(&self) -> usize {
+        if self.max_cluster > 0 {
+            self.max_cluster
+        } else {
+            8
+        }
+    }
+}
+
+/// Which δ the loop applies.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum StepDirection {
+    /// Successors: `δ(M, t)`.
+    Forward,
+    /// Predecessors: `δ⁻¹(M, t)`.
+    Backward,
+}
+
+/// One fixed-point problem for [`run_fixpoint`].
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct FixpointSpec {
+    /// Marking-only δ (ignore signal variables) instead of the full-state
+    /// δ — the Section 5.1 frozen traversal building block.
+    pub marking_only: bool,
+    /// Forward or backward images.
+    pub direction: StepDirection,
+    /// Confine every per-transition step to this set (the Section 5.3
+    /// backward fixpoint is confined to `Reached`).
+    pub within: Option<Bdd>,
+    /// Record the strict-BFS onion rings (`rings[0]` = init). Only
+    /// supported by the per-transition engine under
+    /// [`TraversalStrategy::Bfs`].
+    pub record_rings: bool,
+    /// Allow threshold-triggered garbage collection in the *main*
+    /// manager during this loop. Must be `false` whenever the caller
+    /// holds BDD handles that are not reachable from the permanent
+    /// roots, the loop's live sets or `within` — [`stgcheck_bdd::BddManager::gc`]
+    /// dangles every unrooted handle. Worker managers of the sharded
+    /// engine always collect (no foreign handles live there).
+    pub gc: bool,
+}
+
+impl FixpointSpec {
+    /// The plain forward full-state traversal of Fig. 5.
+    pub fn forward_full() -> FixpointSpec {
+        FixpointSpec {
+            marking_only: false,
+            direction: StepDirection::Forward,
+            within: None,
+            record_rings: false,
+            gc: true,
+        }
+    }
+
+    /// Forward traversal over marking variables only.
+    pub fn forward_markings() -> FixpointSpec {
+        FixpointSpec { marking_only: true, ..FixpointSpec::forward_full() }
+    }
+}
+
+/// Result of one [`run_fixpoint`] call.
+pub(crate) struct FixpointOutcome {
+    /// The least fixpoint: everything reachable from `init` under the
+    /// spec's step.
+    pub reached: Bdd,
+    /// Outer iterations until convergence (engine-dependent; only the
+    /// final set is engine-independent).
+    pub iterations: usize,
+    /// Strict-BFS rings when requested, empty otherwise.
+    pub rings: Vec<Bdd>,
+    /// Highest per-worker peak of live BDD nodes (0 for the sequential
+    /// engines, whose peak shows up in the main manager).
+    pub shard_peak_nodes: usize,
+}
+
+/// Runs the shared fixed-point loop with the selected engine.
+pub(crate) fn run_fixpoint(
+    sym: &mut SymbolicStg<'_>,
+    opts: &EngineOptions,
+    spec: &FixpointSpec,
+    transitions: &[TransId],
+    init: Bdd,
+) -> FixpointOutcome {
+    debug_assert!(
+        !spec.record_rings
+            || (opts.kind == EngineKind::PerTransition && opts.strategy == TraversalStrategy::Bfs),
+        "rings require the strict-BFS per-transition engine"
+    );
+    match opts.kind {
+        EngineKind::PerTransition => run_per_transition(sym, opts, spec, transitions, init),
+        EngineKind::Clustered => run_clustered(sym, opts, spec, transitions, init),
+        EngineKind::ParallelSharded => run_parallel(sym, opts, spec, transitions, init),
+    }
+}
+
+/// One δ application under the spec, confined to `within` when set.
+fn apply_one(sym: &mut SymbolicStg<'_>, spec: &FixpointSpec, set: Bdd, t: TransId) -> Bdd {
+    let img = match (spec.direction, spec.marking_only) {
+        (StepDirection::Forward, false) => sym.image(set, t),
+        (StepDirection::Forward, true) => sym.image_marking(set, t),
+        (StepDirection::Backward, false) => sym.preimage(set, t),
+        (StepDirection::Backward, true) => sym.preimage_marking(set, t),
+    };
+    match spec.within {
+        Some(w) => sym.manager_mut().and(img, w),
+        None => img,
+    }
+}
+
+/// Collects between steps when the manager has grown past
+/// [`GC_THRESHOLD`], protecting the permanent cubes, the loop's live
+/// sets, the recorded rings, the confinement set and the engine's own
+/// cubes.
+fn maybe_gc(
+    sym: &mut SymbolicStg<'_>,
+    spec: &FixpointSpec,
+    live: &[Bdd],
+    rings: &[Bdd],
+    engine_roots: &[Bdd],
+) {
+    if !spec.gc || sym.manager().live_nodes() <= GC_THRESHOLD {
+        return;
+    }
+    let mut roots = sym.permanent_roots();
+    roots.extend_from_slice(live);
+    roots.extend_from_slice(rings);
+    roots.extend_from_slice(engine_roots);
+    if let Some(w) = spec.within {
+        roots.push(w);
+    }
+    sym.manager_mut().gc(&roots);
+}
+
+// ---------------------------------------------------------------------------
+// Per-transition engine (the baseline).
+// ---------------------------------------------------------------------------
+
+fn run_per_transition(
+    sym: &mut SymbolicStg<'_>,
+    opts: &EngineOptions,
+    spec: &FixpointSpec,
+    transitions: &[TransId],
+    init: Bdd,
+) -> FixpointOutcome {
+    let mut reached = init;
+    let mut from = init;
+    let mut rings = if spec.record_rings { vec![init] } else { Vec::new() };
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let to = match opts.strategy {
+            TraversalStrategy::Chained => {
+                let mut acc = from;
+                for &t in transitions {
+                    let img = apply_one(sym, spec, acc, t);
+                    acc = sym.manager_mut().or(acc, img);
+                    // Intermediate sets inside one chained sweep are the
+                    // memory peak on deep pipelines: collect eagerly,
+                    // keeping only the running accumulator.
+                    maybe_gc(sym, spec, &[reached, acc], &rings, &[]);
+                }
+                acc
+            }
+            TraversalStrategy::Bfs => {
+                let mut acc = from;
+                for &t in transitions {
+                    let img = apply_one(sym, spec, from, t);
+                    acc = sym.manager_mut().or(acc, img);
+                    maybe_gc(sym, spec, &[reached, from, acc], &rings, &[]);
+                }
+                acc
+            }
+        };
+        let new = sym.manager_mut().diff(to, reached);
+        if new.is_false() {
+            break;
+        }
+        reached = sym.manager_mut().or(reached, new);
+        if spec.record_rings {
+            rings.push(new);
+        }
+        from = new;
+        maybe_gc(sym, spec, &[reached, from], &rings, &[]);
+    }
+    FixpointOutcome { reached, iterations, rings, shard_peak_nodes: 0 }
+}
+
+// ---------------------------------------------------------------------------
+// Clustered engine: partitioned transition relations via fused cubes.
+// ---------------------------------------------------------------------------
+
+/// A transition's δ folded into three cubes (Section 4 algebra):
+///
+/// * `before` — what must hold pre-firing: predecessor places marked,
+///   strict successor places empty, the signal at its pre-firing value;
+/// * `after` — what holds post-firing: successor places marked, strict
+///   predecessor places empty, the signal at its post-firing value;
+/// * `quant` — the variables the firing touches.
+///
+/// Then `δ(M,t) = and_exists(M, before, quant) ∧ after` and the exact
+/// pre-image is the mirror `and_exists(M, after, quant) ∧ before` —
+/// equivalent to the four-step cofactor/product pipeline of
+/// [`SymbolicStg::image`], but one fused cache-friendly operation.
+struct FusedCubes {
+    before: Bdd,
+    after: Bdd,
+    quant: Bdd,
+}
+
+fn build_fused_cubes(
+    sym: &mut SymbolicStg<'_>,
+    marking_only: bool,
+    transitions: &[TransId],
+) -> Vec<FusedCubes> {
+    let mut out = Vec::with_capacity(transitions.len());
+    for &t in transitions {
+        let net = sym.stg().net();
+        let pre: Vec<_> = net.preset(t).iter().map(|&(p, _)| p).collect();
+        let post: Vec<_> = net.postset(t).iter().map(|&(p, _)| p).collect();
+        let mut before = Vec::new();
+        let mut after = Vec::new();
+        let mut quant: Vec<Var> = Vec::new();
+        for &p in &pre {
+            let v = sym.place_var(p);
+            quant.push(v);
+            before.push(Literal::positive(v));
+            if !post.contains(&p) {
+                after.push(Literal::negative(v));
+            }
+        }
+        for &p in &post {
+            let v = sym.place_var(p);
+            if !pre.contains(&p) {
+                quant.push(v);
+                before.push(Literal::negative(v));
+            }
+            after.push(Literal::positive(v));
+        }
+        if !marking_only {
+            if let Some(label) = sym.stg().label(t) {
+                let v = sym.signal_var(label.signal);
+                quant.push(v);
+                before.push(Literal::new(v, label.polarity.value_before()));
+                after.push(Literal::new(v, label.polarity.value_after()));
+            }
+        }
+        let before = sym.manager_mut().cube(&before);
+        let after = sym.manager_mut().cube(&after);
+        let quant = sym.manager_mut().vars_cube(&quant);
+        out.push(FusedCubes { before, after, quant });
+    }
+    out
+}
+
+/// One fused δ application (forward or backward) confined to `within`.
+fn fused_apply(
+    sym: &mut SymbolicStg<'_>,
+    spec: &FixpointSpec,
+    cubes: &FusedCubes,
+    set: Bdd,
+) -> Bdd {
+    let (select, reimpose) = match spec.direction {
+        StepDirection::Forward => (cubes.before, cubes.after),
+        StepDirection::Backward => (cubes.after, cubes.before),
+    };
+    let mgr = sym.manager_mut();
+    let moved = mgr.and_exists_many(&[set, select], cubes.quant);
+    let img = mgr.and(moved, reimpose);
+    match spec.within {
+        Some(w) => sym.manager_mut().and(img, w),
+        None => img,
+    }
+}
+
+/// Greedy support-overlap clustering: seed a cluster with the first
+/// unassigned transition, then repeatedly absorb the unassigned
+/// transition sharing the most variables with the cluster's accumulated
+/// support, until the cap is hit or nothing overlaps. Deterministic.
+fn cluster_by_support(supports: &[BTreeSet<Var>], max_cluster: usize) -> Vec<Vec<usize>> {
+    let n = supports.len();
+    let mut assigned = vec![false; n];
+    let mut clusters = Vec::new();
+    for seed in 0..n {
+        if assigned[seed] {
+            continue;
+        }
+        assigned[seed] = true;
+        let mut cluster = vec![seed];
+        let mut support = supports[seed].clone();
+        while cluster.len() < max_cluster {
+            let mut best: Option<(usize, usize)> = None;
+            for (i, sup) in supports.iter().enumerate() {
+                if assigned[i] {
+                    continue;
+                }
+                let overlap = sup.intersection(&support).count();
+                if overlap > 0 && best.is_none_or(|(b, _)| overlap > b) {
+                    best = Some((overlap, i));
+                }
+            }
+            let Some((_, i)) = best else { break };
+            assigned[i] = true;
+            support.extend(supports[i].iter().copied());
+            cluster.push(i);
+        }
+        clusters.push(cluster);
+    }
+    clusters
+}
+
+fn run_clustered(
+    sym: &mut SymbolicStg<'_>,
+    opts: &EngineOptions,
+    spec: &FixpointSpec,
+    transitions: &[TransId],
+    init: Bdd,
+) -> FixpointOutcome {
+    let fused = build_fused_cubes(sym, spec.marking_only, transitions);
+    let supports: Vec<BTreeSet<Var>> =
+        fused.iter().map(|f| sym.manager().support(f.quant).into_iter().collect()).collect();
+    let clusters = cluster_by_support(&supports, opts.effective_max_cluster());
+    let engine_roots: Vec<Bdd> = fused.iter().flat_map(|f| [f.before, f.after, f.quant]).collect();
+    let mut reached = init;
+    let mut from = init;
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        // Chained across clusters, breadth-first within each cluster: the
+        // cluster's transitions all fire from the same accumulator, so
+        // their fused and_exists calls hit the same cache lines.
+        let mut acc = from;
+        for cluster in &clusters {
+            let mut delta = Bdd::FALSE;
+            for &i in cluster {
+                let img = fused_apply(sym, spec, &fused[i], acc);
+                delta = sym.manager_mut().or(delta, img);
+            }
+            acc = sym.manager_mut().or(acc, delta);
+            maybe_gc(sym, spec, &[reached, acc], &[], &engine_roots);
+        }
+        let new = sym.manager_mut().diff(acc, reached);
+        if new.is_false() {
+            break;
+        }
+        reached = sym.manager_mut().or(reached, new);
+        from = new;
+        maybe_gc(sym, spec, &[reached, from], &[], &engine_roots);
+    }
+    FixpointOutcome { reached, iterations, rings: Vec::new(), shard_peak_nodes: 0 }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sharded engine.
+// ---------------------------------------------------------------------------
+
+/// A worker's local closure: everything reachable from `from` using only
+/// the shard's transitions (chained, with the worker's own GC).
+fn shard_closure(
+    w: &mut SymbolicStg<'_>,
+    spec: &FixpointSpec,
+    shard: &[TransId],
+    from: Bdd,
+) -> Bdd {
+    let mut reached = from;
+    let mut front = from;
+    loop {
+        let mut acc = front;
+        for &t in shard {
+            let img = apply_one(w, spec, acc, t);
+            acc = w.manager_mut().or(acc, img);
+            maybe_gc(w, spec, &[reached, acc], &[], &[]);
+        }
+        let new = w.manager_mut().diff(acc, reached);
+        if new.is_false() {
+            return reached;
+        }
+        reached = w.manager_mut().or(reached, new);
+        front = new;
+        maybe_gc(w, spec, &[reached, front], &[], &[]);
+    }
+}
+
+/// A shard below this many transitions cannot amortise the per-iteration
+/// export/broadcast/join round trip: run such fixpoints sequentially.
+/// Keeps the auxiliary loops (per-signal inference, frozen-input CSC
+/// checks, tiny nets) from paying thread setup for trivial work.
+const MIN_SHARD_TRANSITIONS: usize = 4;
+
+fn run_parallel(
+    sym: &mut SymbolicStg<'_>,
+    opts: &EngineOptions,
+    spec: &FixpointSpec,
+    transitions: &[TransId],
+    init: Bdd,
+) -> FixpointOutcome {
+    let jobs = opts.effective_jobs().min(transitions.len() / MIN_SHARD_TRANSITIONS);
+    if jobs < 2 {
+        // Degenerate shard count: the sequential chained loop computes
+        // the same fixpoint without thread overhead.
+        let seq = EngineOptions {
+            kind: EngineKind::PerTransition,
+            strategy: TraversalStrategy::Chained,
+            ..*opts
+        };
+        return run_per_transition(sym, &seq, spec, transitions, init);
+    }
+    let stg = sym.stg();
+    let order = sym.order();
+    let within_ser = spec.within.map(|w| sym.manager().export_bdd(w));
+    let marking_only = spec.marking_only;
+    let direction = spec.direction;
+    let chunk = transitions.len().div_ceil(jobs);
+    std::thread::scope(|scope| {
+        let (res_tx, res_rx) = mpsc::channel::<(SerializedBdd, usize)>();
+        let mut cmd_txs: Vec<mpsc::Sender<SerializedBdd>> = Vec::new();
+        for shard in transitions.chunks(chunk) {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<SerializedBdd>();
+            cmd_txs.push(cmd_tx);
+            let res_tx = res_tx.clone();
+            let shard: Vec<TransId> = shard.to_vec();
+            let within_ser = within_ser.clone();
+            scope.spawn(move || {
+                // Each worker owns a full symbolic context; the
+                // deterministic declaration sequence guarantees its
+                // variable levels line up with the main manager's, which
+                // is what makes the serialised interchange sound.
+                let mut w = SymbolicStg::new(stg, order);
+                let within = within_ser.map(|s| w.manager_mut().import_bdd(&s));
+                let wspec =
+                    FixpointSpec { marking_only, direction, within, record_rings: false, gc: true };
+                while let Ok(frontier) = cmd_rx.recv() {
+                    let from = w.manager_mut().import_bdd(&frontier);
+                    let local = shard_closure(&mut w, &wspec, &shard, from);
+                    let out = w.manager().export_bdd(local);
+                    if res_tx.send((out, w.manager().peak_live_nodes())).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut reached = init;
+        let mut from = init;
+        let mut iterations = 0;
+        let mut shard_peak = 0;
+        loop {
+            iterations += 1;
+            let frontier = sym.manager().export_bdd(from);
+            for tx in &cmd_txs {
+                tx.send(frontier.clone()).expect("worker alive");
+            }
+            let mut to = from;
+            for _ in 0..cmd_txs.len() {
+                let (ser, peak) = res_rx.recv().expect("worker result");
+                let part = sym.manager_mut().import_bdd(&ser);
+                to = sym.manager_mut().or(to, part);
+                shard_peak = shard_peak.max(peak);
+            }
+            let new = sym.manager_mut().diff(to, reached);
+            if new.is_false() {
+                break;
+            }
+            reached = sym.manager_mut().or(reached, new);
+            from = new;
+            maybe_gc(sym, spec, &[reached, from], &[], &[]);
+        }
+        drop(cmd_txs); // workers see a closed channel and exit
+        FixpointOutcome { reached, iterations, rings: Vec::new(), shard_peak_nodes: shard_peak }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::VarOrder;
+    use stgcheck_stg::{gen, Code};
+
+    /// The fused before/after/quant formulation must agree with the
+    /// four-step cofactor/product pipeline on every transition, forward
+    /// and backward, full-state and marking-only.
+    #[test]
+    fn fused_cubes_match_sequential_images() {
+        for stg in [gen::mutex_element(), gen::muller_pipeline(4), gen::vme_read()] {
+            let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+            let code = sym.effective_initial_code().unwrap();
+            let t = sym.traverse(code, TraversalStrategy::Chained);
+            let transitions: Vec<_> = stg.net().transitions().collect();
+            for marking_only in [false, true] {
+                let fused = build_fused_cubes(&mut sym, marking_only, &transitions);
+                for direction in [StepDirection::Forward, StepDirection::Backward] {
+                    let spec = FixpointSpec {
+                        marking_only,
+                        direction,
+                        within: None,
+                        record_rings: false,
+                        gc: true,
+                    };
+                    for (i, &tr) in transitions.iter().enumerate() {
+                        let a = apply_one(&mut sym, &spec, t.reached, tr);
+                        let b = fused_apply(&mut sym, &spec, &fused[i], t.reached);
+                        assert_eq!(
+                            a,
+                            b,
+                            "{} t={} dir={direction:?} marking={marking_only}",
+                            stg.name(),
+                            stg.net().trans_name(tr)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Self-loop places exercise the pre ∩ post corner of the fused cubes.
+    #[test]
+    fn fused_cubes_handle_self_loops() {
+        let mut b = stgcheck_stg::StgBuilder::new("selfloop");
+        b.input("x");
+        let l = b.place("l", 1);
+        let src = b.place("src", 1);
+        let dst = b.place("dst", 0);
+        b.pt(l, "x+");
+        b.tp("x+", l);
+        b.pt(src, "x+");
+        b.tp("x+", dst);
+        b.initial_code_str("0");
+        let stg = b.build().unwrap();
+        let mut sym = SymbolicStg::new(&stg, VarOrder::PlacesThenSignals);
+        let init = sym.initial_state(Code::ZERO);
+        let transitions: Vec<_> = stg.net().transitions().collect();
+        let fused = build_fused_cubes(&mut sym, false, &transitions);
+        let spec = FixpointSpec::forward_full();
+        let xp = stg.net().trans_by_name("x+").unwrap();
+        let i = transitions.iter().position(|&t| t == xp).unwrap();
+        let seq = apply_one(&mut sym, &spec, init, xp);
+        let fus = fused_apply(&mut sym, &spec, &fused[i], init);
+        assert_eq!(seq, fus);
+        assert!(!fus.is_false());
+        // And backward inverts it exactly.
+        let back_spec = FixpointSpec { direction: StepDirection::Backward, ..spec };
+        let back = fused_apply(&mut sym, &back_spec, &fused[i], fus);
+        assert_eq!(back, init);
+    }
+
+    #[test]
+    fn clustering_is_a_partition_and_respects_cap() {
+        let stg = gen::muller_pipeline(6);
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let transitions: Vec<_> = stg.net().transitions().collect();
+        let fused = build_fused_cubes(&mut sym, false, &transitions);
+        let supports: Vec<BTreeSet<Var>> =
+            fused.iter().map(|f| sym.manager().support(f.quant).into_iter().collect()).collect();
+        for cap in [1, 3, 8] {
+            let clusters = cluster_by_support(&supports, cap);
+            let mut seen = vec![false; transitions.len()];
+            for cluster in &clusters {
+                assert!(!cluster.is_empty() && cluster.len() <= cap);
+                for &i in cluster {
+                    assert!(!seen[i], "transition {i} assigned twice");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "cap {cap} left transitions unassigned");
+        }
+        // A pipeline's neighbouring transitions share support: with a
+        // non-trivial cap, some cluster must hold more than one.
+        let clusters = cluster_by_support(&supports, 8);
+        assert!(clusters.iter().any(|c| c.len() > 1));
+    }
+
+    #[test]
+    fn engine_kind_parses_and_displays() {
+        for (s, k) in [
+            ("per-transition", EngineKind::PerTransition),
+            ("clustered", EngineKind::Clustered),
+            ("parallel", EngineKind::ParallelSharded),
+        ] {
+            assert_eq!(s.parse::<EngineKind>().unwrap(), k);
+            assert_eq!(k.to_string().parse::<EngineKind>().unwrap(), k);
+        }
+        assert!("banana".parse::<EngineKind>().is_err());
+    }
+
+    #[test]
+    fn all_engines_reach_the_same_fixpoint() {
+        let stg = gen::master_read(3);
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let code = sym.effective_initial_code().unwrap();
+        let init = sym.initial_state(code);
+        let transitions: Vec<_> = stg.net().transitions().collect();
+        let spec = FixpointSpec::forward_full();
+        let base = run_fixpoint(&mut sym, &EngineOptions::default(), &spec, &transitions, init);
+        for opts in [
+            EngineOptions { strategy: TraversalStrategy::Bfs, ..EngineOptions::default() },
+            EngineOptions {
+                kind: EngineKind::Clustered,
+                max_cluster: 1,
+                ..EngineOptions::default()
+            },
+            EngineOptions { kind: EngineKind::Clustered, ..EngineOptions::default() },
+            EngineOptions {
+                kind: EngineKind::ParallelSharded,
+                jobs: 1,
+                ..EngineOptions::default()
+            },
+            EngineOptions {
+                kind: EngineKind::ParallelSharded,
+                jobs: 3,
+                ..EngineOptions::default()
+            },
+        ] {
+            let out = run_fixpoint(&mut sym, &opts, &spec, &transitions, init);
+            assert_eq!(out.reached, base.reached, "{opts:?}");
+        }
+    }
+}

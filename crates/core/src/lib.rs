@@ -13,6 +13,12 @@
 //!   pipelines — no next-state variables (Section 4);
 //! * [`SymbolicStg::traverse`] is the fixed-point traversal of Fig. 5,
 //!   chained or strict-BFS, with peak/final BDD statistics;
+//! * a pluggable image-engine layer ([`EngineKind`], [`EngineOptions`])
+//!   behind one shared fixed-point loop: the per-transition baseline,
+//!   support-clustered partitioned relations with fused `and_exists`
+//!   steps, and a parallel sharded engine that splits transitions across
+//!   worker threads with private BDD managers (see
+//!   `docs/traversal-engines.md`);
 //! * the checks of Section 5: safeness, consistency, transition and
 //!   signal persistency (Fig. 6), CSC via excitation/quiescent regions,
 //!   CSC-reducibility via frozen-input traversal, determinism, and fake
@@ -41,6 +47,7 @@ mod consistency;
 mod csc;
 mod deadlock;
 mod encode;
+mod engine;
 mod fake;
 mod image;
 mod logic;
@@ -53,9 +60,12 @@ mod verify;
 pub use consistency::ConsistencyViolation;
 pub use csc::{CodeRegions, CscAnalysis};
 pub use encode::{StateWitness, SymbolicStg, TransCubes, VarOrder};
+pub use engine::{EngineKind, EngineOptions};
 pub use logic::{LogicError, SignalFunction};
 pub use persistency::{SymSignalViolation, SymTransViolation};
 pub use safety::SafetyViolation;
 pub use trace::RingTraversal;
-pub use traverse::{cross_check_reachability, Traversal, TraversalStats, TraversalStrategy};
+pub use traverse::{
+    cross_check_reachability, format_states, Traversal, TraversalStats, TraversalStrategy,
+};
 pub use verify::{verify, PhaseTimes, SymbolicReport, VerifyError, VerifyOptions};

@@ -109,7 +109,7 @@ impl SymbolicStg<'_> {
                     if lj.is_some_and(|l| l.signal == a) {
                         continue; // same signal: not "another signal"
                     }
-                    let b_noninput = lj.map_or(true, |l| stg.signal_kind(l.signal).is_noninput());
+                    let b_noninput = lj.is_none_or(|l| stg.signal_kind(l.signal).is_noninput());
                     let is_violation = if a_noninput {
                         !(policy.allow_arbitration && b_noninput)
                     } else {

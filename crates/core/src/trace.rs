@@ -13,7 +13,8 @@ use stgcheck_petri::TransId;
 use stgcheck_stg::Code;
 
 use crate::encode::SymbolicStg;
-use crate::traverse::TraversalStats;
+use crate::engine::{run_fixpoint, EngineKind, EngineOptions, FixpointSpec};
+use crate::traverse::{TraversalStats, TraversalStrategy};
 
 /// A traversal that retained its frontier rings for trace extraction.
 #[derive(Clone, Debug)]
@@ -28,39 +29,29 @@ pub struct RingTraversal {
 
 impl SymbolicStg<'_> {
     /// Strict-BFS traversal that records one ring per step (chaining would
-    /// skew the distance metric, so this always uses the BFS frontier).
+    /// skew the distance metric, so this always runs the per-transition
+    /// engine under the BFS frontier, whatever engine is selected).
     pub fn traverse_with_rings(&mut self, code: Code) -> RingTraversal {
         let start = std::time::Instant::now();
         self.manager_mut().reset_peak();
         let init = self.initial_state(code);
         let transitions: Vec<_> = self.stg().net().transitions().collect();
-        let mut reached = init;
-        let mut rings = vec![init];
-        let mut from = init;
-        let mut iterations = 0;
-        loop {
-            iterations += 1;
-            let mut acc = Bdd::FALSE;
-            for &t in &transitions {
-                let img = self.image(from, t);
-                acc = self.manager_mut().or(acc, img);
-            }
-            let new = self.manager_mut().diff(acc, reached);
-            if new.is_false() {
-                break;
-            }
-            reached = self.manager_mut().or(reached, new);
-            rings.push(new);
-            from = new;
-        }
+        let opts = EngineOptions {
+            kind: EngineKind::PerTransition,
+            strategy: TraversalStrategy::Bfs,
+            ..*self.engine()
+        };
+        let spec = FixpointSpec { record_rings: true, ..FixpointSpec::forward_full() };
+        let out = run_fixpoint(self, &opts, &spec, &transitions, init);
         let stats = TraversalStats {
-            iterations,
+            iterations: out.iterations,
             peak_nodes: self.manager().peak_live_nodes(),
-            final_nodes: self.manager().size(reached),
-            num_states: self.manager().sat_count(reached),
+            worker_peak_nodes: 0,
+            final_nodes: self.manager().size(out.reached),
+            num_states: self.manager().sat_count(out.reached),
             seconds: start.elapsed().as_secs_f64(),
         };
-        RingTraversal { reached, rings, stats }
+        RingTraversal { reached: out.reached, rings: out.rings, stats }
     }
 
     /// Extracts a shortest firing sequence from the initial state to some

@@ -1,4 +1,7 @@
 //! Symbolic reachability traversal (Fig. 5 of the paper) with statistics.
+//!
+//! The fixed-point loop itself lives in [`crate::engine`]; this module
+//! wraps it with the paper's statistics and the initial-code machinery.
 
 use std::time::Instant;
 
@@ -6,6 +9,7 @@ use stgcheck_bdd::Bdd;
 use stgcheck_stg::{Code, Polarity, SgError, SgOptions, SignalId};
 
 use crate::encode::SymbolicStg;
+use crate::engine::{run_fixpoint, EngineKind, EngineOptions, FixpointSpec};
 
 /// Frontier strategy for the fixed-point loop.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -27,14 +31,41 @@ pub enum TraversalStrategy {
 pub struct TraversalStats {
     /// Outer fixed-point iterations until convergence.
     pub iterations: usize,
-    /// Peak live BDD nodes during the traversal.
+    /// Peak live BDD nodes during the traversal (main manager).
     pub peak_nodes: usize,
+    /// Highest peak of any worker manager (parallel engine only, else 0).
+    pub worker_peak_nodes: usize,
     /// Size of the final `Reached` BDD in nodes.
     pub final_nodes: usize,
-    /// Number of reachable full states (`sat_count` of `Reached`).
+    /// Number of reachable full states (`sat_count` of `Reached`),
+    /// saturating at `u128::MAX` beyond 2¹²⁸ states — display through
+    /// [`format_states`] to make the saturation explicit.
     pub num_states: u128,
     /// Wall-clock seconds spent.
     pub seconds: f64,
+}
+
+impl TraversalStats {
+    /// `true` when [`TraversalStats::num_states`] hit the `u128` ceiling
+    /// and only records a lower bound.
+    pub fn states_saturated(&self) -> bool {
+        self.num_states == u128::MAX
+    }
+
+    /// The state count rendered with an explicit saturation marker.
+    pub fn states_display(&self) -> String {
+        format_states(self.num_states)
+    }
+}
+
+/// Renders a saturating state count: the exact number, or `>2^128` when
+/// the `u128` counter saturated (systems with more than 128 variables).
+pub fn format_states(n: u128) -> String {
+    if n == u128::MAX {
+        ">2^128".to_string()
+    } else {
+        n.to_string()
+    }
 }
 
 /// Result of a symbolic traversal: the reachable set and its statistics.
@@ -46,82 +77,51 @@ pub struct Traversal {
     pub stats: TraversalStats,
 }
 
-/// How many live nodes trigger a garbage collection between iterations.
-const GC_THRESHOLD: usize = 500_000;
-
 impl SymbolicStg<'_> {
-    /// Runs the symbolic traversal of Fig. 5 from `(m₀, code)`.
+    /// Runs the symbolic traversal of Fig. 5 from `(m₀, code)` with the
+    /// per-transition baseline engine and the given frontier strategy.
     ///
     /// Returns the set of reachable full states. Consistency is *not*
     /// checked here — [`SymbolicStg::check_consistency`] inspects the
     /// result, and [`crate::verify`] combines both exactly like the
     /// paper's "T+C" phase.
     pub fn traverse(&mut self, code: Code, strategy: TraversalStrategy) -> Traversal {
+        let opts = EngineOptions { kind: EngineKind::PerTransition, strategy, ..*self.engine() };
+        self.traverse_with_engine(code, &opts)
+    }
+
+    /// Runs the Fig. 5 traversal with the engine currently selected via
+    /// [`SymbolicStg::set_engine`].
+    pub fn traverse_engine(&mut self, code: Code) -> Traversal {
+        let opts = *self.engine();
+        self.traverse_with_engine(code, &opts)
+    }
+
+    /// Runs the Fig. 5 traversal with an explicit engine configuration.
+    pub fn traverse_with_engine(&mut self, code: Code, opts: &EngineOptions) -> Traversal {
         let start = Instant::now();
         self.manager_mut().reset_peak();
         let init = self.initial_state(code);
         let transitions: Vec<_> = self.stg().net().transitions().collect();
-        let mut reached = init;
-        let mut from = init;
-        let mut iterations = 0;
-        loop {
-            iterations += 1;
-            let to = match strategy {
-                TraversalStrategy::Chained => {
-                    let mut acc = from;
-                    for &t in &transitions {
-                        let img = self.image(acc, t);
-                        acc = self.manager_mut().or(acc, img);
-                        // Intermediate sets inside one chained sweep are
-                        // the memory peak on deep pipelines: collect
-                        // eagerly, keeping only the running accumulator.
-                        if self.manager().live_nodes() > GC_THRESHOLD {
-                            let mut roots = self.permanent_roots();
-                            roots.extend([reached, acc]);
-                            self.manager_mut().gc(&roots);
-                        }
-                    }
-                    acc
-                }
-                TraversalStrategy::Bfs => {
-                    let mut acc = from;
-                    for &t in &transitions {
-                        let img = self.image(from, t);
-                        acc = self.manager_mut().or(acc, img);
-                        if self.manager().live_nodes() > GC_THRESHOLD {
-                            let mut roots = self.permanent_roots();
-                            roots.extend([reached, from, acc]);
-                            self.manager_mut().gc(&roots);
-                        }
-                    }
-                    acc
-                }
-            };
-            let new = self.manager_mut().diff(to, reached);
-            if new.is_false() {
-                break;
-            }
-            reached = self.manager_mut().or(reached, new);
-            from = new;
-            if self.manager().live_nodes() > GC_THRESHOLD {
-                let mut roots = self.permanent_roots();
-                roots.extend([reached, from]);
-                self.manager_mut().gc(&roots);
-            }
-        }
+        let out = run_fixpoint(self, opts, &FixpointSpec::forward_full(), &transitions, init);
         let stats = TraversalStats {
-            iterations,
+            iterations: out.iterations,
             peak_nodes: self.manager().peak_live_nodes(),
-            final_nodes: self.manager().size(reached),
-            num_states: self.manager().sat_count(reached),
+            worker_peak_nodes: out.shard_peak_nodes,
+            final_nodes: self.manager().size(out.reached),
+            num_states: self.manager().sat_count(out.reached),
             seconds: start.elapsed().as_secs_f64(),
         };
-        Traversal { reached, stats }
+        Traversal { reached: out.reached, stats }
     }
 
     /// Marking-only traversal with the edges of `frozen` signals removed —
     /// the building block of the paper's initial-code inference (Section
     /// 5.1) and of the frozen-input CSC-reducibility check (Section 5.3).
+    ///
+    /// Runs through the shared engine loop, so the selected engine and
+    /// the `GC_THRESHOLD` policy apply here exactly as they do to the
+    /// main traversal.
     pub fn traverse_markings_frozen(&mut self, frozen: &[SignalId]) -> Bdd {
         let net = self.stg().net();
         let m0 = net.initial_marking();
@@ -137,22 +137,8 @@ impl SymbolicStg<'_> {
                 Some(l) => !frozen.contains(&l.signal),
             })
             .collect();
-        let mut reached = init;
-        let mut from = init;
-        loop {
-            let mut acc = from;
-            for &t in &transitions {
-                let img = self.image_marking(acc, t);
-                acc = self.manager_mut().or(acc, img);
-            }
-            let new = self.manager_mut().diff(acc, reached);
-            if new.is_false() {
-                break;
-            }
-            reached = self.manager_mut().or(reached, new);
-            from = new;
-        }
-        reached
+        let opts = *self.engine();
+        run_fixpoint(self, &opts, &FixpointSpec::forward_markings(), &transitions, init).reached
     }
 
     /// Symbolic initial-code inference (paper Section 5.1): for each

@@ -18,19 +18,22 @@ use stgcheck_stg::{Code, FakeConflict, Implementability, PersistencyPolicy, SgEr
 use crate::consistency::ConsistencyViolation;
 use crate::csc::CscAnalysis;
 use crate::encode::{SymbolicStg, VarOrder};
+use crate::engine::EngineOptions;
 use crate::persistency::{SymSignalViolation, SymTransViolation};
 use crate::safety::SafetyViolation;
-use crate::traverse::{TraversalStats, TraversalStrategy};
+use crate::traverse::{format_states, TraversalStats};
 
 /// Options for [`verify`].
 #[derive(Copy, Clone, Debug, Default)]
 pub struct VerifyOptions {
     /// Variable-ordering strategy.
     pub order: VarOrder,
-    /// Traversal frontier strategy.
-    pub strategy: TraversalStrategy,
     /// Persistency interpretation (arbitration points).
     pub policy: PersistencyPolicy,
+    /// Image engine driving every fixed-point loop, including the
+    /// frontier strategy of the per-transition engine
+    /// ([`EngineOptions::strategy`]).
+    pub engine: EngineOptions,
 }
 
 /// Wall-clock seconds per verification phase — the CPU columns of Table 1.
@@ -53,6 +56,8 @@ pub struct PhaseTimes {
 pub struct SymbolicReport {
     /// Model name.
     pub name: String,
+    /// Image engine that ran the traversal (Table 1 "engine" column).
+    pub engine: String,
     /// Net and interface dimensions (Table 1 columns).
     pub places: usize,
     /// Number of signals.
@@ -118,14 +123,17 @@ impl SymbolicReport {
         self.csc.iter().all(|a| a.holds)
     }
 
-    /// Renders the report as the row format of the paper's Table 1.
+    /// Renders the report as the row format of the paper's Table 1, plus
+    /// the engine column. The state count saturates explicitly
+    /// (`>2^128`) instead of silently printing `u128::MAX`.
     pub fn table1_row(&self) -> String {
         format!(
-            "{:<16} {:>6} {:>7} {:>12} {:>9} {:>8} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            "{:<16} {:>14} {:>6} {:>7} {:>12} {:>9} {:>8} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
             self.name,
+            self.engine,
             self.places,
             self.signals,
-            self.num_states,
+            format_states(self.num_states),
             self.bdd_peak,
             self.bdd_final,
             self.times.traversal_consistency,
@@ -139,8 +147,9 @@ impl SymbolicReport {
     /// The header matching [`SymbolicReport::table1_row`].
     pub fn table1_header() -> String {
         format!(
-            "{:<16} {:>6} {:>7} {:>12} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "{:<16} {:>14} {:>6} {:>7} {:>12} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
             "example",
+            "engine",
             "places",
             "signals",
             "states",
@@ -182,11 +191,13 @@ impl std::error::Error for VerifyError {}
 pub fn verify(stg: &Stg, opts: VerifyOptions) -> Result<SymbolicReport, VerifyError> {
     let total_start = Instant::now();
     let mut sym = SymbolicStg::new(stg, opts.order);
+    let engine = opts.engine;
+    sym.set_engine(engine);
 
     // Phase 1: traversal + consistency (+ safeness).
     let t0 = Instant::now();
     let initial_code = sym.effective_initial_code().map_err(VerifyError::InitialCode)?;
-    let traversal = sym.traverse(initial_code, opts.strategy);
+    let traversal = sym.traverse_engine(initial_code);
     let reached = traversal.reached;
     let consistency = sym.check_consistency(reached);
     let safety = sym.check_safeness(reached);
@@ -241,6 +252,7 @@ pub fn verify(stg: &Stg, opts: VerifyOptions) -> Result<SymbolicReport, VerifyEr
     let total = total_start.elapsed().as_secs_f64();
     Ok(SymbolicReport {
         name: stg.name().to_string(),
+        engine: engine.kind.to_string(),
         places: stg.net().num_places(),
         signals: stg.num_signals(),
         num_states: traversal.stats.num_states,

@@ -104,7 +104,7 @@ pub fn signal_persistency_violations(
         for &(t, w) in sg.successors(v) {
             let fired_signal = stg.label(t).map(|l| l.signal);
             // Dummies "belong to the circuit": treat them as non-input.
-            let fired_is_noninput = fired_signal.map_or(true, |s| stg.signal_kind(s).is_noninput());
+            let fired_is_noninput = fired_signal.is_none_or(|s| stg.signal_kind(s).is_noninput());
             let enabled_after: HashSet<SignalId> = sg.enabled_signals(stg, w).into_iter().collect();
             for &a in &enabled_here {
                 if Some(a) == fired_signal || enabled_after.contains(&a) {

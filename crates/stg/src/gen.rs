@@ -20,7 +20,8 @@
 //!   textbook *reducible* CSC violation.
 //!
 //! The `*_stg` fixtures each violate exactly one implementability
-//! condition.
+//! condition. [`random_safe_stg`] additionally produces seeded random
+//! safe STGs for the differential test suites.
 
 use crate::stg::{Stg, StgBuilder};
 
@@ -342,6 +343,118 @@ pub fn fig3_d2() -> Stg {
     b.build().expect("fixture is well-formed")
 }
 
+/// The persistent benchmark corpus shipped under `benchmarks/`: each
+/// fixture's file name paired with the generator output it must match
+/// byte-for-byte. The single source of truth for `examples/gen_data.rs`
+/// (which writes the files) and for the differential and engine
+/// equivalence suites (which read them back).
+pub fn benchmark_fixtures() -> Vec<(&'static str, Stg)> {
+    vec![
+        ("muller_pipeline_4.g", muller_pipeline(4)),
+        ("muller_pipeline_8.g", muller_pipeline(8)),
+        ("master_read_2.g", master_read(2)),
+        ("master_read_3.g", master_read(3)),
+        ("par_handshakes_6.g", par_handshakes(6)),
+        ("mutex_3.g", mutex(3)),
+    ]
+}
+
+/// Minimal deterministic xorshift64* stream — keeps [`random_safe_stg`]
+/// reproducible without a `rand` dependency in this crate.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        // Splash the seed so small consecutive seeds diverge immediately,
+        // and keep the state non-zero (xorshift's fixed point).
+        XorShift(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish value in `0..n`.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// `true` with probability `num/den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+}
+
+/// A random safe, consistent-by-construction STG: a set of per-signal
+/// 4-phase cycles (`x+ … x-`) connected by token-conserving random
+/// cross-causality arcs, occasionally spiced with a free-choice place
+/// between two rising edges so the conflict/persistency/fake machinery
+/// gets exercised. Deterministic in `seed`.
+///
+/// Used by the differential suites: whatever the outcome (CSC conflicts,
+/// non-persistency, deadlock), every engine — explicit or symbolic, any
+/// image engine — must agree on it.
+pub fn random_safe_stg(seed: u64) -> Stg {
+    let mut rng = XorShift::new(seed);
+    let n_signals = 2 + rng.below(4); // 2..=5
+    let mut b = StgBuilder::new(format!("random-{seed}"));
+    let mut names = Vec::new();
+    for i in 0..n_signals {
+        let name = format!("x{i}");
+        if rng.chance(1, 2) {
+            b.input(&name);
+        } else {
+            b.output(&name);
+        }
+        names.push(name);
+    }
+    // Each signal gets its own cycle: xi+ -> xi- -> xi+ (token on the
+    // closing arc).
+    for name in &names {
+        let plus = format!("{name}+");
+        let minus = format!("{name}-");
+        b.arc(&plus, &minus);
+        b.marked_arc(&minus, &plus);
+    }
+    // Random cross-causality: cycles `xi+ -> xj+ -> xi+` with one token,
+    // enforcing alternation while conserving tokens (keeps the net safe
+    // and live).
+    let pairs = rng.below(n_signals + 1);
+    let mut seen_links = std::collections::HashSet::new();
+    for _ in 0..pairs {
+        let i = rng.below(n_signals);
+        let j = rng.below(n_signals);
+        if i == j || !seen_links.insert((i, j)) || seen_links.contains(&(j, i)) {
+            continue;
+        }
+        let from = format!("x{i}+");
+        let back = format!("x{j}+");
+        b.arc(&from, &back);
+        b.marked_arc(&back, &from);
+    }
+    // Occasionally a free-choice place between two rising edges, refilled
+    // by both falling edges.
+    if n_signals >= 2 && rng.chance(2, 5) {
+        let i = rng.below(n_signals);
+        let mut j = rng.below(n_signals);
+        if i == j {
+            j = (j + 1) % n_signals;
+        }
+        let p = b.place("choice", 1);
+        b.pt(p, &format!("x{i}+"));
+        b.pt(p, &format!("x{j}+"));
+        b.tp(&format!("x{i}-"), p);
+        b.tp(&format!("x{j}-"), p);
+    }
+    b.initial_code_str(&"0".repeat(n_signals));
+    b.build().expect("random construction is well-formed")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +592,18 @@ mod tests {
             assert_eq!(report.verdict, Implementability::Gate, "ring({n})");
             assert_eq!(states(&stg), 4 * n, "ring({n}) visits 4 states per station");
         }
+    }
+
+    #[test]
+    fn random_safe_stg_is_deterministic_and_diverse() {
+        for seed in 0..10u64 {
+            let a = crate::parser::write_g(&random_safe_stg(seed));
+            let b = crate::parser::write_g(&random_safe_stg(seed));
+            assert_eq!(a, b, "seed {seed}");
+        }
+        let signal_counts: std::collections::HashSet<usize> =
+            (0..20).map(|s| random_safe_stg(s).num_signals()).collect();
+        assert!(signal_counts.len() > 1, "seeds should vary the shape");
     }
 
     #[test]

@@ -148,7 +148,6 @@ pub fn parse_g(source: &str) -> Result<Stg, ParseGError> {
     }
 
     // Apply the marking.
-    let mut b = b;
     for (name, tokens) in marking_entries {
         let canonical = canonical_place_name(&name);
         let Some(&p) = places_seen.get(&canonical) else {
@@ -215,7 +214,7 @@ fn parse_marking(
         .and_then(|s| s.strip_suffix('}'))
         .ok_or_else(|| err(lineno, "marking must be wrapped in { }"))?;
     // Tokens are place names, `<t,t>` implicit names, optionally `=k`.
-    let mut chars = inner.chars().peekable();
+    let chars = inner.chars();
     let mut current = String::new();
     let mut depth = 0u32;
     let flush = |s: &mut String, out: &mut Vec<(String, u32)>| -> Result<(), ParseGError> {
@@ -234,7 +233,7 @@ fn parse_marking(
         s.clear();
         Ok(())
     };
-    while let Some(c) = chars.next() {
+    for c in chars {
         match c {
             '<' => {
                 depth += 1;

@@ -1,8 +1,12 @@
-//! Regenerates the `.g` files shipped under `examples/data/`.
+//! Regenerates the `.g` files shipped under `examples/data/` and the
+//! persistent benchmark fixtures under `benchmarks/`.
 //!
-//! The CLI tests (`tests/cli.rs`) and the `parse_g` example read these
-//! files; running this example rewrites them from the canonical in-code
-//! generators, so the shipped data can never drift from the library.
+//! The CLI tests (`tests/cli.rs`) and the `parse_g` example read the
+//! example data; the differential and engine-equivalence suites
+//! (`tests/differential.rs`, `tests/engines.rs`) and `table1` read the
+//! benchmark fixtures. Running this example rewrites all of them from
+//! the canonical in-code generators, so the shipped data can never drift
+//! from the library.
 //!
 //! Run with: `cargo run --example gen_data`
 
@@ -35,6 +39,16 @@ fn main() {
     for (name, stg) in files {
         let path = dir.join(name);
         fs::write(&path, write_g(stg)).expect("write .g file");
+        println!("wrote {}", path.display());
+    }
+
+    // The persistent benchmark corpus: the classic scalable families at
+    // the sizes the differential suites and `table1 --small` exercise.
+    let bench_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("benchmarks");
+    fs::create_dir_all(&bench_dir).expect("create benchmarks/");
+    for (name, stg) in gen::benchmark_fixtures() {
+        let path = bench_dir.join(name);
+        fs::write(&path, write_g(&stg)).expect("write benchmark fixture");
         println!("wrote {}", path.display());
     }
 }

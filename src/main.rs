@@ -5,6 +5,10 @@
 //!
 //!   --arbitration        allow non-input/non-input disabling (arbiters)
 //!   --order <o>          interleaved|places|signals|declaration
+//!   --engine <e>         per-transition|clustered|parallel (default:
+//!                        per-transition; see docs/traversal-engines.md)
+//!   --jobs <n>           worker threads for --engine parallel (default:
+//!                        available parallelism)
 //!   --bfs                strict breadth-first traversal (default: chained)
 //!   --quiet              only print the verdict line per file
 //! ```
@@ -25,6 +29,7 @@ struct Cli {
 
 fn usage() -> &'static str {
     "usage: stgcheck [--arbitration] [--order interleaved|places|signals|declaration] \
+     [--engine per-transition|clustered|parallel] [--jobs N] \
      [--bfs] [--quiet] file.g [file2.g ...]"
 }
 
@@ -36,7 +41,7 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
             "--arbitration" => {
                 cli.options.policy = PersistencyPolicy { allow_arbitration: true };
             }
-            "--bfs" => cli.options.strategy = TraversalStrategy::Bfs,
+            "--bfs" => cli.options.engine.strategy = TraversalStrategy::Bfs,
             "--quiet" => cli.quiet = true,
             "--order" => {
                 let v = it.next().ok_or("--order needs a value")?;
@@ -47,6 +52,15 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
                     "declaration" => VarOrder::Declaration,
                     other => return Err(format!("unknown order `{other}`")),
                 };
+            }
+            "--engine" => {
+                let v = it.next().ok_or("--engine needs a value")?;
+                cli.options.engine.kind = v.parse()?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                cli.options.engine.jobs =
+                    v.parse().map_err(|_| format!("--jobs needs a number, got `{v}`"))?;
             }
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with('-') => {

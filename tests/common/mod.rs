@@ -1,0 +1,20 @@
+//! Helpers shared by the integration suites that read the checked-in
+//! `benchmarks/` corpus. The corpus contents themselves have one source
+//! of truth: `stgcheck::stg::gen::benchmark_fixtures`.
+
+use std::path::Path;
+
+use stgcheck::stg::{gen, parse_g, Stg};
+
+/// Parses one checked-in fixture from `benchmarks/`.
+pub fn fixture(name: &str) -> Stg {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("benchmarks").join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e} (run `cargo run --example gen_data`)", path.display()));
+    parse_g(&source).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Every checked-in benchmark fixture, parsed from disk.
+pub fn fixture_corpus() -> Vec<Stg> {
+    gen::benchmark_fixtures().into_iter().map(|(name, _)| fixture(name)).collect()
+}

@@ -2,25 +2,28 @@
 //! (`stgcheck-stg`) and the symbolic BDD checker (`stgcheck-core`) must
 //! agree on every property, for every benchmark family and fixture, and
 //! for randomly generated safe STGs.
+//!
+//! The scalable families come from the persistent fixtures under
+//! `benchmarks/` (parsed from disk, so the `.g` corpus itself is under
+//! test); regenerate them with `cargo run --example gen_data`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+mod common;
+
+use common::{fixture, fixture_corpus};
 use stgcheck::core::{
     cross_check_reachability, verify, SymbolicStg, TraversalStrategy, VarOrder, VerifyOptions,
 };
 use stgcheck::stg::gen;
 use stgcheck::stg::{
     build_state_graph, check_explicit, csc_holds_for_signal, has_complementary_input_sequences,
-    signal_persistency_violations, PersistencyPolicy, SgOptions, Stg, StgBuilder,
+    signal_persistency_violations, PersistencyPolicy, SgOptions, Stg,
 };
 
 fn corpus() -> Vec<Stg> {
-    vec![
+    let mut all = fixture_corpus();
+    all.extend([
         gen::mutex_element(),
-        gen::mutex(3),
-        gen::muller_pipeline(4),
         gen::muller_pipeline(7),
-        gen::master_read(2),
         gen::master_read(4),
         gen::par_handshakes(4),
         gen::vme_read(),
@@ -29,7 +32,20 @@ fn corpus() -> Vec<Stg> {
         gen::nonpersistent_stg(),
         gen::fig3_d1(),
         gen::fig3_d2(),
-    ]
+    ]);
+    all
+}
+
+#[test]
+fn fixtures_match_their_generators() {
+    for (name, fresh) in gen::benchmark_fixtures() {
+        let on_disk = fixture(name);
+        assert_eq!(
+            stgcheck::stg::write_g(&on_disk),
+            stgcheck::stg::write_g(&fresh),
+            "{name} drifted from its generator — rerun `cargo run --example gen_data`"
+        );
+    }
 }
 
 #[test]
@@ -137,73 +153,10 @@ fn dead_transitions_agree_between_engines() {
     }
 }
 
-/// Generates a random safe, consistent-by-construction STG: a set of
-/// signal cycles (`x+ … x-`) connected by random cross-causality arcs that
-/// never add tokens, so the net stays 1-safe and live enough to explore.
-fn random_stg(seed: u64) -> Stg {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let n_signals = rng.gen_range(2..=5);
-    let mut b = StgBuilder::new(format!("random-{seed}"));
-    let mut names = Vec::new();
-    for i in 0..n_signals {
-        let name = format!("x{i}");
-        if rng.gen_bool(0.5) {
-            b.input(&name);
-        } else {
-            b.output(&name);
-        }
-        names.push(name);
-    }
-    // Each signal gets its own 4-phase cycle: xi+ -> xi- -> xi+ (token on
-    // the closing arc).
-    for name in &names {
-        let plus = format!("{name}+");
-        let minus = format!("{name}-");
-        b.arc(&plus, &minus);
-        b.marked_arc(&minus, &plus);
-    }
-    // Random cross-causality: a few marked "ready" places from one
-    // signal's edge to another's, always paired with a return arc so
-    // tokens are conserved in a cycle (keeps the net safe and live).
-    let pairs = rng.gen_range(0..=n_signals);
-    let mut seen_links = std::collections::HashSet::new();
-    for _ in 0..pairs {
-        let i = rng.gen_range(0..n_signals);
-        let j = rng.gen_range(0..n_signals);
-        if i == j || !seen_links.insert((i, j)) || seen_links.contains(&(j, i)) {
-            continue;
-        }
-        let from = format!("x{i}+");
-        let back = format!("x{j}+");
-        // cycle: xi+ -> xj+ -> xi+ with one token: enforces alternation.
-        b.arc(&from, &back);
-        b.marked_arc(&back, &from);
-    }
-    // Occasionally add a free-choice place between two rising edges, so
-    // the conflict/persistency/fake machinery gets exercised too. The
-    // place is refilled by both falling edges, keeping the net safe-ish;
-    // whatever the outcome (non-persistency, unsafety, deadlock), the two
-    // engines must agree on it.
-    if n_signals >= 2 && rng.gen_bool(0.4) {
-        let i = rng.gen_range(0..n_signals);
-        let mut j = rng.gen_range(0..n_signals);
-        if i == j {
-            j = (j + 1) % n_signals;
-        }
-        let p = b.place("choice", 1);
-        b.pt(p, &format!("x{i}+"));
-        b.pt(p, &format!("x{j}+"));
-        b.tp(&format!("x{i}-"), p);
-        b.tp(&format!("x{j}-"), p);
-    }
-    b.initial_code_str(&"0".repeat(n_signals));
-    b.build().expect("random construction is well-formed")
-}
-
 #[test]
 fn random_stgs_agree_between_engines() {
     for seed in 0..40u64 {
-        let stg = random_stg(seed);
+        let stg = gen::random_safe_stg(seed);
         // Some random nets may deadlock or be tiny — that's fine, the
         // engines must still agree.
         let explicit = check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());

@@ -1,0 +1,166 @@
+//! Image-engine equivalence suite: `PerTransition`, `Clustered` and
+//! `ParallelSharded` must produce the *identical* `Reached` BDD (the
+//! same canonical handle in the same manager) and the same state count
+//! on every benchmark family fixture, on the pathological generators,
+//! and on random STGs.
+//!
+//! The frozen-marking traversal and the full verification pipeline are
+//! covered too, so a future engine cannot drift on any of the loops it
+//! drives.
+
+mod common;
+
+use common::{fixture, fixture_corpus};
+use stgcheck::core::{
+    verify, EngineKind, EngineOptions, SymbolicStg, TraversalStrategy, VarOrder, VerifyOptions,
+};
+use stgcheck::stg::{gen, Stg};
+
+/// Benchmark-family fixtures plus the fixtures that violate each
+/// implementability condition in isolation.
+fn corpus() -> Vec<Stg> {
+    let mut all = fixture_corpus();
+    all.extend([
+        gen::mutex_element(),
+        gen::vme_read(),
+        gen::ring(4),
+        gen::csc_violation_stg(),
+        gen::irreducible_csc_stg(),
+        gen::nonpersistent_stg(),
+        gen::fig3_d1(),
+        gen::fig3_d2(),
+    ]);
+    all
+}
+
+/// Every engine configuration under test. `jobs: 2` forces genuine
+/// sharding even on single-CPU hosts.
+fn engines() -> Vec<(&'static str, EngineOptions)> {
+    vec![
+        ("per-transition/chained", EngineOptions::default()),
+        (
+            "per-transition/bfs",
+            EngineOptions { strategy: TraversalStrategy::Bfs, ..Default::default() },
+        ),
+        ("clustered", EngineOptions { kind: EngineKind::Clustered, ..Default::default() }),
+        (
+            "clustered/cap1",
+            EngineOptions { kind: EngineKind::Clustered, max_cluster: 1, ..Default::default() },
+        ),
+        (
+            "parallel/2",
+            EngineOptions { kind: EngineKind::ParallelSharded, jobs: 2, ..Default::default() },
+        ),
+        (
+            "parallel/4",
+            EngineOptions { kind: EngineKind::ParallelSharded, jobs: 4, ..Default::default() },
+        ),
+    ]
+}
+
+#[test]
+fn engines_agree_on_reached_for_every_family() {
+    for stg in corpus() {
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let code = sym.effective_initial_code().unwrap();
+        let base = sym.traverse_with_engine(code, &EngineOptions::default());
+        for (name, opts) in engines() {
+            let t = sym.traverse_with_engine(code, &opts);
+            // Canonicity: the same set must be the same handle.
+            assert_eq!(t.reached, base.reached, "{}: {name} reached differs", stg.name());
+            assert_eq!(
+                t.stats.num_states,
+                base.stats.num_states,
+                "{}: {name} state count differs",
+                stg.name()
+            );
+            assert_eq!(
+                t.stats.final_nodes,
+                base.stats.final_nodes,
+                "{}: {name} final BDD size differs",
+                stg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_random_stgs() {
+    for seed in 0..25u64 {
+        let stg = gen::random_safe_stg(seed);
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let code = sym.effective_initial_code().unwrap();
+        let base = sym.traverse_with_engine(code, &EngineOptions::default());
+        for (name, opts) in engines() {
+            let t = sym.traverse_with_engine(code, &opts);
+            assert_eq!(t.reached, base.reached, "seed {seed}: {name}");
+            assert_eq!(t.stats.num_states, base.stats.num_states, "seed {seed}: {name}");
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_frozen_marking_traversal() {
+    // The Section 5.1 building block (initial-code inference) runs
+    // through the same engine loop: freeze each signal in turn and
+    // compare the frozen reachable-marking sets across engines.
+    for stg in [fixture("muller_pipeline_4.g"), fixture("mutex_3.g"), gen::vme_read()] {
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        for s in stg.signals() {
+            sym.set_engine(EngineOptions::default());
+            let base = sym.traverse_markings_frozen(&[s]);
+            for (name, opts) in engines() {
+                sym.set_engine(opts);
+                let frozen = sym.traverse_markings_frozen(&[s]);
+                assert_eq!(
+                    frozen,
+                    base,
+                    "{} frozen({}) differs under {name}",
+                    stg.name(),
+                    stg.signal_name(s)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_verification_verdicts_are_engine_independent() {
+    for stg in corpus() {
+        let base = verify(&stg, VerifyOptions::default()).unwrap();
+        for kind in [EngineKind::Clustered, EngineKind::ParallelSharded] {
+            let opts = VerifyOptions {
+                engine: EngineOptions { kind, jobs: 2, ..Default::default() },
+                ..VerifyOptions::default()
+            };
+            let report = verify(&stg, opts).unwrap();
+            assert_eq!(report.verdict, base.verdict, "{}: {kind}", stg.name());
+            assert_eq!(report.num_states, base.num_states, "{}: {kind}", stg.name());
+            assert_eq!(report.bdd_final, base.bdd_final, "{}: {kind}", stg.name());
+            assert_eq!(report.safe(), base.safe(), "{}: {kind}", stg.name());
+            assert_eq!(report.consistent(), base.consistent(), "{}: {kind}", stg.name());
+            assert_eq!(report.persistent(), base.persistent(), "{}: {kind}", stg.name());
+            assert_eq!(report.csc_holds(), base.csc_holds(), "{}: {kind}", stg.name());
+            assert_eq!(
+                report.irreducible_signals,
+                base.irreducible_signals,
+                "{}: {kind}",
+                stg.name()
+            );
+            assert_eq!(report.engine, kind.to_string(), "{}", stg.name());
+        }
+    }
+}
+
+#[test]
+fn parallel_engine_reports_worker_peaks() {
+    let stg = gen::muller_pipeline(8);
+    let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+    let code = sym.effective_initial_code().unwrap();
+    let opts = EngineOptions { kind: EngineKind::ParallelSharded, jobs: 2, ..Default::default() };
+    let t = sym.traverse_with_engine(code, &opts);
+    assert!(t.stats.worker_peak_nodes > 0, "sharded run must report worker peaks");
+    // Sequential engines leave the worker column at zero.
+    let seq = sym.traverse(code, TraversalStrategy::Chained);
+    assert_eq!(seq.stats.worker_peak_nodes, 0);
+}
