@@ -1,0 +1,260 @@
+//! The hot lookup structures of the manager: lossy direct-mapped
+//! operation caches and the cheap multiplicative hasher shared with the
+//! per-level unique tables.
+//!
+//! The recursive algorithms (`and`, `ite`, `exists`, …) probe a cache on
+//! every call, so the cache is the single hottest data structure after
+//! the unique tables. A general-purpose `HashMap` pays for open
+//! addressing metadata, SipHash, growth and tombstones on that path; a
+//! BDD operation cache needs none of it, because memoisation is *lossy
+//! by design* — forgetting an entry costs a recomputation, never
+//! correctness. Each cache is therefore a fixed-size power-of-two array
+//! indexed by a multiplicative (Fibonacci) hash: a probe is one multiply,
+//! one shift and one compare, an insert is an unconditional overwrite,
+//! and neither ever allocates once the array exists.
+//!
+//! The per-level unique tables *cannot* be lossy (they guarantee
+//! canonicity), so they stay exact maps — but they share the same
+//! [`CheapHasher`], replacing SipHash with the multiplicative mix.
+//!
+//! All caches are cleared on garbage collection and after sifting: both
+//! can reclaim node slots, and a stale entry holding a recycled handle
+//! would alias an unrelated function. In-place level swaps alone do *not*
+//! invalidate entries — handles keep denoting the same boolean functions,
+//! and every cached fact is function-level, not order-level.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::manager::BinOp;
+use crate::node::Bdd;
+
+/// `BuildHasher` plugging [`CheapHasher`] into `HashMap`.
+pub(crate) type CheapBuildHasher = BuildHasherDefault<CheapHasher>;
+
+/// Multiplicative hasher for small fixed-width keys (node handles and
+/// handle pairs). Each written word is folded into the state with a
+/// rotate + xor and one Fibonacci multiply — far cheaper than SipHash
+/// and amply mixing for arena indices, which are dense small integers.
+#[derive(Default)]
+pub(crate) struct CheapHasher(u64);
+
+/// 2⁶⁴ / φ, the classic Fibonacci-hashing multiplier.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for CheapHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(29) ^ v).wrapping_mul(FIB);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// One entry of a [`DirectCache`]: a 3-word key plus the memoised result.
+#[derive(Copy, Clone)]
+struct Slot {
+    a: u32,
+    b: u32,
+    c: u32,
+    r: Bdd,
+}
+
+/// Key word that no live probe ever uses (`u32::MAX` is neither a node
+/// index in practice nor a `BinOp` discriminant), marking an empty slot.
+const EMPTY: u32 = u32::MAX;
+
+const EMPTY_SLOT: Slot = Slot { a: EMPTY, b: EMPTY, c: EMPTY, r: Bdd::FALSE };
+
+/// A fixed-size, direct-mapped, lossy memoisation cache.
+///
+/// * power-of-two slot count, chosen at construction and never resized;
+/// * one multiplicative hash per probe, no secondary probing;
+/// * insert overwrites whatever lives in the slot (no tombstones, no
+///   collision chains, no allocation on the apply path);
+/// * the backing array is allocated lazily on the first insert, so idle
+///   managers (per-worker managers of the sharded engine, short-lived
+///   test managers) stay cheap.
+pub(crate) struct DirectCache {
+    slots: Vec<Slot>,
+    bits: u32,
+}
+
+impl DirectCache {
+    /// A cache with `1 << bits` slots (allocated on first use).
+    pub(crate) fn new(bits: u32) -> DirectCache {
+        DirectCache { slots: Vec::new(), bits }
+    }
+
+    #[inline]
+    fn index(&self, a: u32, b: u32, c: u32) -> usize {
+        // One odd-constant multiply per word; the products' high bits are
+        // already well mixed, so xor-combining and taking the top slice
+        // spreads dense arena indices evenly.
+        let h = (a as u64).wrapping_mul(FIB)
+            ^ (b as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ (c as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+        (h >> (64 - self.bits)) as usize
+    }
+
+    #[inline]
+    fn get(&self, a: u32, b: u32, c: u32) -> Option<Bdd> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let s = &self.slots[self.index(a, b, c)];
+        if s.a == a && s.b == b && s.c == c {
+            Some(s.r)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, a: u32, b: u32, c: u32, r: Bdd) {
+        debug_assert!(a != EMPTY, "cache key collides with the empty sentinel");
+        if self.slots.is_empty() {
+            self.slots = vec![EMPTY_SLOT; 1 << self.bits];
+        }
+        let idx = self.index(a, b, c);
+        self.slots[idx] = Slot { a, b, c, r };
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill(EMPTY_SLOT);
+    }
+}
+
+/// The manager's operation caches, one direct-mapped array per shape:
+/// negation (unary), the binary connectives and quantifiers keyed by
+/// `(op, f, g)`, and the two ternary fused operations.
+pub(crate) struct OpCaches {
+    not: DirectCache,
+    bin: DirectCache,
+    ite: DirectCache,
+    and_exists: DirectCache,
+}
+
+impl Default for OpCaches {
+    fn default() -> OpCaches {
+        OpCaches {
+            not: DirectCache::new(14),
+            bin: DirectCache::new(16),
+            ite: DirectCache::new(14),
+            and_exists: DirectCache::new(15),
+        }
+    }
+}
+
+impl OpCaches {
+    #[inline]
+    pub(crate) fn not_get(&self, f: Bdd) -> Option<Bdd> {
+        self.not.get(f.0, 0, 0)
+    }
+
+    #[inline]
+    pub(crate) fn not_insert(&mut self, f: Bdd, r: Bdd) {
+        self.not.insert(f.0, 0, 0, r);
+    }
+
+    #[inline]
+    pub(crate) fn bin_get(&self, op: BinOp, f: Bdd, g: Bdd) -> Option<Bdd> {
+        self.bin.get(op as u32, f.0, g.0)
+    }
+
+    #[inline]
+    pub(crate) fn bin_insert(&mut self, op: BinOp, f: Bdd, g: Bdd, r: Bdd) {
+        self.bin.insert(op as u32, f.0, g.0, r);
+    }
+
+    #[inline]
+    pub(crate) fn ite_get(&self, f: Bdd, g: Bdd, h: Bdd) -> Option<Bdd> {
+        self.ite.get(f.0, g.0, h.0)
+    }
+
+    #[inline]
+    pub(crate) fn ite_insert(&mut self, f: Bdd, g: Bdd, h: Bdd, r: Bdd) {
+        self.ite.insert(f.0, g.0, h.0, r);
+    }
+
+    #[inline]
+    pub(crate) fn and_exists_get(&self, f: Bdd, g: Bdd, c: Bdd) -> Option<Bdd> {
+        self.and_exists.get(f.0, g.0, c.0)
+    }
+
+    #[inline]
+    pub(crate) fn and_exists_insert(&mut self, f: Bdd, g: Bdd, c: Bdd, r: Bdd) {
+        self.and_exists.insert(f.0, g.0, c.0, r);
+    }
+
+    /// Forgets every entry. Must run whenever node slots may be recycled
+    /// (GC, sifting's dead-node reclamation, rebuild).
+    pub(crate) fn clear(&mut self) {
+        self.not.clear();
+        self.bin.clear();
+        self.ite.clear();
+        self.and_exists.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_cache_round_trip_and_lossiness() {
+        let mut c = DirectCache::new(4); // 16 slots — collisions guaranteed
+        assert_eq!(c.get(1, 2, 3), None);
+        c.insert(1, 2, 3, Bdd(7));
+        assert_eq!(c.get(1, 2, 3), Some(Bdd(7)));
+        // Same slot, different key: the old entry is lossily evicted and
+        // the probe for it misses rather than aliasing.
+        for k in 0..64u32 {
+            c.insert(k, k + 1, k + 2, Bdd(k + 10));
+        }
+        for k in 0..64u32 {
+            let got = c.get(k, k + 1, k + 2);
+            assert!(got.is_none() || got == Some(Bdd(k + 10)));
+        }
+        c.clear();
+        for k in 0..64u32 {
+            assert_eq!(c.get(k, k + 1, k + 2), None);
+        }
+    }
+
+    #[test]
+    fn cheap_hasher_spreads_dense_keys() {
+        // Dense small integers (arena indices) must not collapse onto a
+        // handful of slots.
+        let mut buckets = std::collections::HashSet::new();
+        let cache = DirectCache::new(10);
+        for i in 0..1024u32 {
+            buckets.insert(cache.index(i, i / 2, 0));
+        }
+        assert!(buckets.len() > 512, "only {} distinct buckets", buckets.len());
+    }
+}

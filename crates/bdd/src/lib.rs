@@ -10,15 +10,22 @@
 //! * a hash-consed node arena with per-level unique tables
 //!   ([`BddManager`]), mark-and-sweep garbage collection and peak-size
 //!   statistics (the "BDD size" columns of the paper's Table 1);
-//! * memoised boolean operations (`not`, `and`, `or`, `xor`, `ite`, …);
+//! * memoised boolean operations (`not`, `and`, `or`, `xor`, `ite`, …)
+//!   backed by fixed-size direct-mapped lossy caches with cheap
+//!   multiplicative hashing — no allocation on the apply path;
 //! * *cube cofactors* and existential/universal abstraction — the exact
 //!   primitives from which the paper assembles the Petri-net transition
 //!   function (Section 4), plus the fused relational product
 //!   [`BddManager::and_exists`];
 //! * satisfying-assignment counting and enumeration (the "# of states"
 //!   column of Table 1);
-//! * variable-ordering support: any static order at creation time and a
-//!   rebuild-based [`BddManager::reorder`] used by the ordering ablation;
+//! * variable-ordering support: any static order at creation time, a
+//!   rebuild-based [`BddManager::reorder`] used by the ordering
+//!   ablation, and **in-place dynamic reordering** — the handle-
+//!   preserving [`BddManager::swap_levels`] primitive, Rudell-style
+//!   grouped sifting ([`BddManager::sift`],
+//!   [`BddManager::set_var_groups`]) and the automatic growth trigger
+//!   [`BddManager::reorder_due`] (see `docs/reordering.md`);
 //! * a compact serialised-BDD interchange ([`SerializedBdd`]) for moving
 //!   functions between managers with compatible orders — the frontier
 //!   exchange of `stgcheck-core`'s parallel sharded traversal engine;
@@ -46,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod cache;
 mod dot;
 mod expr;
 mod manager;
@@ -54,9 +62,11 @@ mod ops;
 mod quant;
 mod reorder;
 mod serialize;
+mod sift;
 
 pub use analysis::Cubes;
 pub use expr::{BoolExpr, ParseExprError};
 pub use manager::{BddManager, ManagerStats};
 pub use node::{Bdd, Literal, Var};
 pub use serialize::{SerializeError, SerializedBdd};
+pub use sift::SiftStats;

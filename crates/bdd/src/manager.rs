@@ -3,10 +3,16 @@
 
 use std::collections::HashMap;
 
+use crate::cache::{CheapBuildHasher, OpCaches};
 use crate::node::{Bdd, Level, Literal, Node, Var, DEAD_LEVEL, TERMINAL_LEVEL};
 
+/// One per-level unique table: `(lo, hi) -> node`, exact (canonicity
+/// depends on it) but hashed with the cheap multiplicative mix shared
+/// with the operation caches.
+pub(crate) type UniqueTable = HashMap<(Bdd, Bdd), Bdd, CheapBuildHasher>;
+
 /// Operation codes for the binary-operation cache.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub(crate) enum BinOp {
     And,
     Or,
@@ -14,27 +20,6 @@ pub(crate) enum BinOp {
     Exists,
     Forall,
     CofactorCube,
-}
-
-/// Memoisation caches for the recursive algorithms.
-///
-/// All caches are cleared on garbage collection (entries may refer to dead
-/// nodes) and on rebuild.
-#[derive(Default)]
-pub(crate) struct OpCaches {
-    pub not: HashMap<Bdd, Bdd>,
-    pub bin: HashMap<(BinOp, Bdd, Bdd), Bdd>,
-    pub ite: HashMap<(Bdd, Bdd, Bdd), Bdd>,
-    pub and_exists: HashMap<(Bdd, Bdd, Bdd), Bdd>,
-}
-
-impl OpCaches {
-    fn clear(&mut self) {
-        self.not.clear();
-        self.bin.clear();
-        self.ite.clear();
-        self.and_exists.clear();
-    }
 }
 
 /// Statistics snapshot of a [`BddManager`].
@@ -53,6 +38,11 @@ pub struct ManagerStats {
     pub gc_reclaimed: usize,
     /// Number of declared variables.
     pub num_vars: usize,
+    /// Number of in-place sifting passes ([`BddManager::sift`]) performed.
+    pub sift_runs: usize,
+    /// Total adjacent-level swaps executed by sifting and
+    /// [`BddManager::swap_levels`].
+    pub sift_swaps: usize,
 }
 
 /// A manager for Reduced Ordered Binary Decision Diagrams.
@@ -76,17 +66,25 @@ pub struct ManagerStats {
 /// ```
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
-    free: Vec<u32>,
+    pub(crate) free: Vec<u32>,
     /// One unique table per level: `(lo, hi) -> node`.
-    subtables: Vec<HashMap<(Bdd, Bdd), Bdd>>,
+    pub(crate) subtables: Vec<UniqueTable>,
     var_names: Vec<String>,
-    var_at_level: Vec<Var>,
-    level_of_var: Vec<Level>,
+    pub(crate) var_at_level: Vec<Var>,
+    pub(crate) level_of_var: Vec<Level>,
     pub(crate) caches: OpCaches,
-    live: usize,
-    peak_live: usize,
+    pub(crate) live: usize,
+    pub(crate) peak_live: usize,
     gc_runs: usize,
     gc_reclaimed: usize,
+    /// Variable groups that sift as one block (empty = every variable on
+    /// its own); see [`BddManager::set_var_groups`].
+    pub(crate) groups: Vec<Vec<Var>>,
+    /// Live-node count right after the last sifting pass — the baseline
+    /// of the automatic-reorder growth trigger.
+    pub(crate) sift_baseline: usize,
+    pub(crate) sift_runs: usize,
+    pub(crate) sift_swaps: usize,
 }
 
 impl Default for BddManager {
@@ -122,6 +120,10 @@ impl BddManager {
             peak_live: 0,
             gc_runs: 0,
             gc_reclaimed: 0,
+            groups: Vec::new(),
+            sift_baseline: 0,
+            sift_runs: 0,
+            sift_swaps: 0,
         }
     }
 
@@ -134,7 +136,7 @@ impl BddManager {
         self.var_names.push(name.into());
         self.level_of_var.push(self.var_at_level.len() as Level);
         self.var_at_level.push(v);
-        self.subtables.push(HashMap::new());
+        self.subtables.push(UniqueTable::default());
         v
     }
 
@@ -207,6 +209,20 @@ impl BddManager {
 
     /// Hash-consing constructor — the only way nodes are created.
     pub(crate) fn mk(&mut self, level: Level, lo: Bdd, hi: Bdd) -> Bdd {
+        self.mk_counted(level, lo, hi, &mut None)
+    }
+
+    /// The [`BddManager::mk`] body, optionally keeping sifting reference
+    /// counts in step when a node is genuinely created (a found node
+    /// already owns its child references; the caller accounts for its own
+    /// new edge to the returned node either way).
+    pub(crate) fn mk_counted(
+        &mut self,
+        level: Level,
+        lo: Bdd,
+        hi: Bdd,
+        refs: &mut Option<&mut Vec<u32>>,
+    ) -> Bdd {
         debug_assert!(!self.node(lo).is_dead() && !self.node(hi).is_dead());
         debug_assert!(self.level(lo) > level && self.level(hi) > level);
         if lo == hi {
@@ -231,6 +247,18 @@ impl BddManager {
         self.live += 1;
         if self.live > self.peak_live {
             self.peak_live = self.live;
+        }
+        if let Some(refs) = refs {
+            if id.index() >= refs.len() {
+                refs.resize(self.nodes.len(), 0);
+            }
+            refs[id.index()] = 0; // the caller adds its own parent edge
+            if !lo.is_terminal() {
+                refs[lo.index()] += 1;
+            }
+            if !hi.is_terminal() {
+                refs[hi.index()] += 1;
+            }
         }
         id
     }
@@ -362,7 +390,49 @@ impl BddManager {
             gc_runs: self.gc_runs,
             gc_reclaimed: self.gc_reclaimed,
             num_vars: self.num_vars(),
+            sift_runs: self.sift_runs,
+            sift_swaps: self.sift_swaps,
         }
+    }
+
+    /// Declares which variables must stay adjacent and move as one block
+    /// during [`BddManager::sift`] — e.g. a signal together with the
+    /// places encoding its local handshake in the interleaved STG order.
+    ///
+    /// Variables not mentioned in any group sift individually. Groups
+    /// must be pairwise disjoint; each group's variables must occupy
+    /// adjacent levels *at sift time* (sifting itself preserves block
+    /// adjacency, so groups that are contiguous when declared stay so).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group names an undeclared variable or a variable
+    /// appears in two groups.
+    pub fn set_var_groups(&mut self, groups: Vec<Vec<Var>>) {
+        let mut seen = vec![false; self.num_vars()];
+        for g in &groups {
+            for v in g {
+                assert!(v.index() < self.num_vars(), "group names undeclared variable {v:?}");
+                assert!(!seen[v.index()], "variable {v:?} appears in two groups");
+                seen[v.index()] = true;
+            }
+        }
+        self.groups = groups;
+    }
+
+    /// The sifting groups declared via [`BddManager::set_var_groups`].
+    pub fn var_groups(&self) -> &[Vec<Var>] {
+        &self.groups
+    }
+
+    /// `true` when the automatic-reorder growth heuristic fires: the
+    /// live-node count has grown past twice the count measured right
+    /// after the previous sifting pass (with a floor that keeps trivial
+    /// managers from reordering at all). Consulted by the traversal
+    /// engines between fixed-point iterations under `--reorder auto`.
+    pub fn reorder_due(&self) -> bool {
+        const AUTO_SIFT_FLOOR: usize = 256;
+        self.live > (2 * self.sift_baseline).max(AUTO_SIFT_FLOOR)
     }
 
     /// Number of live decision nodes.

@@ -28,15 +28,15 @@ impl BddManager {
         if f.is_true() {
             return Bdd::FALSE;
         }
-        if let Some(&r) = self.caches.not.get(&f) {
+        if let Some(r) = self.caches.not_get(f) {
             return r;
         }
         let n = *self.node(f);
         let lo = self.not(n.lo);
         let hi = self.not(n.hi);
         let r = self.mk(n.level, lo, hi);
-        self.caches.not.insert(f, r);
-        self.caches.not.insert(r, f);
+        self.caches.not_insert(f, r);
+        self.caches.not_insert(r, f);
         r
     }
 
@@ -52,8 +52,8 @@ impl BddManager {
         if g.is_true() || f == g {
             return f;
         }
-        let key = (BinOp::And, f.min(g), f.max(g));
-        if let Some(&r) = self.caches.bin.get(&key) {
+        let (a, b) = (f.min(g), f.max(g));
+        if let Some(r) = self.caches.bin_get(BinOp::And, a, b) {
             return r;
         }
         let top = self.level(f).min(self.level(g));
@@ -62,7 +62,7 @@ impl BddManager {
         let lo = self.and(f0, g0);
         let hi = self.and(f1, g1);
         let r = self.mk(top, lo, hi);
-        self.caches.bin.insert(key, r);
+        self.caches.bin_insert(BinOp::And, a, b, r);
         r
     }
 
@@ -77,8 +77,8 @@ impl BddManager {
         if g.is_false() || f == g {
             return f;
         }
-        let key = (BinOp::Or, f.min(g), f.max(g));
-        if let Some(&r) = self.caches.bin.get(&key) {
+        let (a, b) = (f.min(g), f.max(g));
+        if let Some(r) = self.caches.bin_get(BinOp::Or, a, b) {
             return r;
         }
         let top = self.level(f).min(self.level(g));
@@ -87,7 +87,7 @@ impl BddManager {
         let lo = self.or(f0, g0);
         let hi = self.or(f1, g1);
         let r = self.mk(top, lo, hi);
-        self.caches.bin.insert(key, r);
+        self.caches.bin_insert(BinOp::Or, a, b, r);
         r
     }
 
@@ -108,8 +108,8 @@ impl BddManager {
         if g.is_true() {
             return self.not(f);
         }
-        let key = (BinOp::Xor, f.min(g), f.max(g));
-        if let Some(&r) = self.caches.bin.get(&key) {
+        let (a, b) = (f.min(g), f.max(g));
+        if let Some(r) = self.caches.bin_get(BinOp::Xor, a, b) {
             return r;
         }
         let top = self.level(f).min(self.level(g));
@@ -118,7 +118,7 @@ impl BddManager {
         let lo = self.xor(f0, g0);
         let hi = self.xor(f1, g1);
         let r = self.mk(top, lo, hi);
-        self.caches.bin.insert(key, r);
+        self.caches.bin_insert(BinOp::Xor, a, b, r);
         r
     }
 
@@ -159,7 +159,7 @@ impl BddManager {
         if g.is_false() && h.is_true() {
             return self.not(f);
         }
-        if let Some(&r) = self.caches.ite.get(&(f, g, h)) {
+        if let Some(r) = self.caches.ite_get(f, g, h) {
             return r;
         }
         let top = self.level(f).min(self.level(g)).min(self.level(h));
@@ -169,7 +169,7 @@ impl BddManager {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(top, lo, hi);
-        self.caches.ite.insert((f, g, h), r);
+        self.caches.ite_insert(f, g, h, r);
         r
     }
 

@@ -107,8 +107,7 @@ impl BddManager {
         if c.is_true() || f.is_terminal() {
             return f;
         }
-        let key = (BinOp::CofactorCube, f, c);
-        if let Some(&r) = self.caches.bin.get(&key) {
+        if let Some(r) = self.caches.bin_get(BinOp::CofactorCube, f, c) {
             return r;
         }
         let fl = self.level(f);
@@ -132,7 +131,7 @@ impl BddManager {
             let hi = self.cofactor_rec(fn_.hi, c);
             self.mk(fl, lo, hi)
         };
-        self.caches.bin.insert(key, r);
+        self.caches.bin_insert(BinOp::CofactorCube, f, c, r);
         r
     }
 
@@ -168,8 +167,7 @@ impl BddManager {
         if c.is_true() {
             return f;
         }
-        let key = (BinOp::Exists, f, c);
-        if let Some(&r) = self.caches.bin.get(&key) {
+        if let Some(r) = self.caches.bin_get(BinOp::Exists, f, c) {
             return r;
         }
         let fl = self.level(f);
@@ -186,7 +184,7 @@ impl BddManager {
             let hi = self.exists_rec(fn_.hi, c);
             self.mk(fl, lo, hi)
         };
-        self.caches.bin.insert(key, r);
+        self.caches.bin_insert(BinOp::Exists, f, c, r);
         r
     }
 
@@ -207,8 +205,7 @@ impl BddManager {
         if c.is_true() {
             return f;
         }
-        let key = (BinOp::Forall, f, c);
-        if let Some(&r) = self.caches.bin.get(&key) {
+        if let Some(r) = self.caches.bin_get(BinOp::Forall, f, c) {
             return r;
         }
         let fl = self.level(f);
@@ -225,7 +222,7 @@ impl BddManager {
             let hi = self.forall_rec(fn_.hi, c);
             self.mk(fl, lo, hi)
         };
-        self.caches.bin.insert(key, r);
+        self.caches.bin_insert(BinOp::Forall, f, c, r);
         r
     }
 
@@ -252,7 +249,7 @@ impl BddManager {
             return self.and(f, g);
         }
         let (a, b) = (f.min(g), f.max(g));
-        if let Some(&r) = self.caches.and_exists.get(&(a, b, c)) {
+        if let Some(r) = self.caches.and_exists_get(a, b, c) {
             return r;
         }
         let top = self.level(f).min(self.level(g));
@@ -264,7 +261,7 @@ impl BddManager {
         }
         if c2.is_true() {
             let r = self.and(f, g);
-            self.caches.and_exists.insert((a, b, c), r);
+            self.caches.and_exists_insert(a, b, c, r);
             return r;
         }
         let (f0, f1) = self.cofactors_at(f, top);
@@ -285,7 +282,7 @@ impl BddManager {
             let hi = self.and_exists_rec(f1, g1, c2);
             self.mk(top, lo, hi)
         };
-        self.caches.and_exists.insert((a, b, c), r);
+        self.caches.and_exists_insert(a, b, c, r);
         r
     }
 

@@ -48,8 +48,15 @@ impl BddManager {
     pub fn reorder(&mut self, order: &[Var], roots: &[Bdd]) -> Vec<Bdd> {
         let (mut fresh, mapped) = self.rebuild_with_order(order, roots);
         // Keep the historical peak across the swap: a reorder should not
-        // erase the high-water mark used in reports.
+        // erase the high-water mark used in reports. Sifting metadata
+        // survives too — variable identities are preserved, so the
+        // declared groups stay meaningful, and the pass/swap counters
+        // keep accumulating.
         fresh.absorb_peak(self.peak_live_nodes());
+        fresh.groups = std::mem::take(&mut self.groups);
+        fresh.sift_runs = self.sift_runs;
+        fresh.sift_swaps = self.sift_swaps;
+        fresh.sift_baseline = fresh.live_nodes();
         *self = fresh;
         mapped
     }

@@ -1,0 +1,662 @@
+//! In-place dynamic variable reordering: the adjacent-level swap
+//! primitive and Rudell-style sifting.
+//!
+//! The paper warns that "BDDs may have an exponential size if appropriate
+//! heuristics for variable ordering are not used". Static orders from the
+//! encoding layer only help until the reachable-set shape drifts away
+//! from the net shape mid-traversal; at that point the order must change
+//! *without* rebuilding the manager (the rebuild-based
+//! [`BddManager::reorder`] is far too expensive to run between fixpoint
+//! iterations, and it invalidates every outstanding handle).
+//!
+//! The machinery here is the classic alternative:
+//!
+//! * [`BddManager::swap_levels`] exchanges two *adjacent* levels by
+//!   rewiring only the nodes of those two levels inside their unique
+//!   tables. Every node keeps its arena slot, so every [`Bdd`] handle
+//!   keeps denoting the same boolean function — no caller cooperation
+//!   needed.
+//! * [`BddManager::sift`] moves each variable (or each declared *group*
+//!   of variables, see [`BddManager::set_var_groups`]) through the whole
+//!   order by repeated adjacent swaps and parks it at the position that
+//!   minimises the live-node count — Rudell's sifting, with the usual
+//!   1.2× growth abort per direction.
+//!
+//! During a sifting pass the manager temporarily maintains exact
+//! reference counts so that nodes orphaned by a swap are reclaimed
+//! immediately; the size signal that drives the search is therefore the
+//! true live count, not live-plus-garbage. Outside sifting, a bare
+//! `swap_levels` leaves orphans to the next garbage collection.
+
+use crate::manager::BddManager;
+use crate::node::{Bdd, Level, Node, Var, DEAD_LEVEL};
+
+/// Outcome of one sifting pass ([`BddManager::sift`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SiftStats {
+    /// Live decision nodes when the pass started (after the initial GC).
+    pub nodes_before: usize,
+    /// Live decision nodes when the pass finished.
+    pub nodes_after: usize,
+    /// Adjacent-level swaps executed.
+    pub swaps: usize,
+    /// Variable blocks (groups or singletons) sifted.
+    pub blocks_sifted: usize,
+}
+
+/// Abort a sifting direction once the live count exceeds 6/5 (= 1.2×) of
+/// the size at the start of the block's sift — Rudell's max-growth guard.
+const MAX_GROWTH_NUM: usize = 6;
+const MAX_GROWTH_DEN: usize = 5;
+
+/// Exact per-node reference counts, alive only for the duration of one
+/// sifting pass. `refs[i]` counts parent edges into node `i` plus one per
+/// occurrence in the pass's protected root set.
+type Refs = Vec<u32>;
+
+impl BddManager {
+    /// Exchanges the variables at `level` and `level + 1` in place.
+    ///
+    /// Only nodes at those two levels are touched; all other levels, and
+    /// crucially all outstanding [`Bdd`] handles, are untouched — every
+    /// handle denotes the same boolean function before and after. Nodes
+    /// at `level` that depended on the rising variable are rewritten in
+    /// their own arena slot; nodes that did not simply sink one level.
+    ///
+    /// A swap can orphan nodes of the rising level (when every parent
+    /// rewrote them away) and can create nodes at the sinking level. An
+    /// orphan stays canonically registered and is reclaimed by the next
+    /// [`BddManager::gc`]; during [`BddManager::sift`] the internal
+    /// reference counter reclaims it immediately instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level + 1` is not a declared level.
+    pub fn swap_levels(&mut self, level: usize) {
+        assert!(level + 1 < self.num_vars(), "swap_levels({level}) needs two adjacent levels");
+        self.swap_adjacent(level, &mut None);
+    }
+
+    /// The swap primitive, optionally maintaining sifting ref-counts.
+    fn swap_adjacent(&mut self, l: usize, refs: &mut Option<&mut Refs>) {
+        let la = l as Level;
+        let lb = la + 1;
+        let xs: Vec<Bdd> = self.subtables[l].drain().map(|(_, id)| id).collect();
+        let ys: Vec<Bdd> = self.subtables[l + 1].drain().map(|(_, id)| id).collect();
+        // Partition the upper level before any relabelling: a node whose
+        // children avoid level l+1 does not interact with the swap.
+        let mut dep = Vec::new();
+        let mut indep = Vec::new();
+        for &x in &xs {
+            let n = self.nodes[x.index()];
+            if self.level(n.lo) == lb || self.level(n.hi) == lb {
+                dep.push(x);
+            } else {
+                indep.push(x);
+            }
+        }
+        // The rising variable's nodes keep their structure; only their
+        // level changes. Their children live strictly below l+1, so the
+        // order invariant holds at level l.
+        for &y in &ys {
+            self.nodes[y.index()].level = la;
+            let n = self.nodes[y.index()];
+            let prev = self.subtables[l].insert((n.lo, n.hi), y);
+            debug_assert!(prev.is_none(), "rising node collides in its new table");
+        }
+        // Independent upper nodes sink one level unchanged. They cannot
+        // collide: the sinking level's table holds only other sunk nodes
+        // so far, and those were pairwise distinct functions already.
+        for &x in &indep {
+            self.nodes[x.index()].level = lb;
+            let n = self.nodes[x.index()];
+            let prev = self.subtables[l + 1].insert((n.lo, n.hi), x);
+            debug_assert!(prev.is_none(), "sinking node collides in its new table");
+        }
+        // Dependent nodes are rewritten in place:
+        //   ite(x, f1, f0) = ite(y, ite(x, f11, f01), ite(x, f10, f00))
+        // The slot keeps its identity (handles stay valid); the children
+        // become fresh or shared nodes at the sinking level. A rewritten
+        // node cannot collide with a rising node — equality would force
+        // both new children x-free, contradicting lo != hi — nor with
+        // another rewrite, by canonicity of the originals.
+        for &x in &dep {
+            let n = self.nodes[x.index()];
+            let (f0, f1) = (n.lo, n.hi);
+            let (f00, f01) = if self.level(f0) == la {
+                let m = self.nodes[f0.index()];
+                (m.lo, m.hi)
+            } else {
+                (f0, f0)
+            };
+            let (f10, f11) = if self.level(f1) == la {
+                let m = self.nodes[f1.index()];
+                (m.lo, m.hi)
+            } else {
+                (f1, f1)
+            };
+            let lo = self.mk_counted(lb, f00, f10, refs);
+            let hi = self.mk_counted(lb, f01, f11, refs);
+            debug_assert_ne!(lo, hi, "dependent node became redundant in a swap");
+            self.bump(lo, refs);
+            self.bump(hi, refs);
+            self.nodes[x.index()] = Node { level: la, lo, hi };
+            let prev = self.subtables[l].insert((lo, hi), x);
+            debug_assert!(prev.is_none(), "rewritten node collides in its table");
+            // Release the old children only now that the new ones are
+            // anchored — the cofactors above may share subgraphs with
+            // them.
+            self.drop_ref(f0, refs);
+            self.drop_ref(f1, refs);
+        }
+        let (va, vb) = (self.var_at_level[l], self.var_at_level[l + 1]);
+        self.var_at_level[l] = vb;
+        self.var_at_level[l + 1] = va;
+        self.level_of_var[va.index()] = lb;
+        self.level_of_var[vb.index()] = la;
+        self.sift_swaps += 1;
+    }
+
+    /// Adds one parent reference to `f` (no-op outside sifting).
+    fn bump(&mut self, f: Bdd, refs: &mut Option<&mut Refs>) {
+        if let Some(refs) = refs {
+            if !f.is_terminal() {
+                refs[f.index()] += 1;
+            }
+        }
+    }
+
+    /// Removes one parent reference from `f`, reclaiming it (and
+    /// cascading into its children) when the count hits zero. No-op
+    /// outside sifting.
+    fn drop_ref(&mut self, f: Bdd, refs: &mut Option<&mut Refs>) {
+        let Some(refs) = refs else { return };
+        let mut stack = vec![f];
+        while let Some(g) = stack.pop() {
+            if g.is_terminal() {
+                continue;
+            }
+            let i = g.index();
+            debug_assert!(refs[i] > 0, "ref underflow on node {i}");
+            refs[i] -= 1;
+            if refs[i] == 0 {
+                let n = self.nodes[i];
+                let removed = self.subtables[n.level as usize].remove(&(n.lo, n.hi));
+                debug_assert_eq!(removed, Some(g), "dying node missing from its table");
+                self.nodes[i].level = DEAD_LEVEL;
+                self.free.push(i as u32);
+                self.live -= 1;
+                stack.push(n.lo);
+                stack.push(n.hi);
+            }
+        }
+    }
+
+    /// Sifts every variable to a locally optimal level, in place.
+    ///
+    /// `roots` are the functions that must survive: the pass starts with
+    /// a [`BddManager::gc`] over exactly these roots (any handle not
+    /// reachable from them dangles afterwards, exactly as for `gc`), and
+    /// every root handle remains valid *unchanged* — in-place swaps never
+    /// move a function to a different slot.
+    ///
+    /// Variables grouped via [`BddManager::set_var_groups`] move as one
+    /// block. Blocks are processed in decreasing order of their current
+    /// node count (Rudell's heuristic); each walks to the nearer end of
+    /// the order, then the far end, aborting a direction when the live
+    /// count exceeds 1.2× the block's starting size, and finally parks at
+    /// the best position seen.
+    ///
+    /// The operation caches are cleared (reclaimed slots may be recycled)
+    /// and the automatic-reorder baseline ([`BddManager::reorder_due`])
+    /// is reset to the final live count.
+    pub fn sift(&mut self, roots: &[Bdd]) -> SiftStats {
+        let groups = self.groups.clone();
+        self.sift_pass(roots, &groups)
+    }
+
+    /// Like [`BddManager::sift`] but with an explicit grouping, ignoring
+    /// (and not replacing) the stored one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group names an undeclared variable, a variable appears
+    /// in two groups, or a group's variables are not at adjacent levels.
+    pub fn sift_grouped(&mut self, roots: &[Bdd], groups: &[Vec<Var>]) -> SiftStats {
+        self.sift_pass(roots, groups)
+    }
+
+    fn sift_pass(&mut self, roots: &[Bdd], groups: &[Vec<Var>]) -> SiftStats {
+        let swaps_at_entry = self.sift_swaps;
+        // Exact live set: reclaim garbage so the size signal is truthful,
+        // and so the reference counts below are complete.
+        self.gc(roots);
+        let before = self.live;
+        let mut stats =
+            SiftStats { nodes_before: before, nodes_after: before, swaps: 0, blocks_sifted: 0 };
+        if self.num_vars() < 2 {
+            self.finish_sift(&mut stats, swaps_at_entry);
+            return stats;
+        }
+        // Parent-edge counts over the now-exact live graph, plus one
+        // count per root occurrence so protected functions never die.
+        let mut refs: Refs = vec![0; self.nodes.len()];
+        for node in self.nodes.iter().skip(2) {
+            if node.is_dead() {
+                continue;
+            }
+            if !node.lo.is_terminal() {
+                refs[node.lo.index()] += 1;
+            }
+            if !node.hi.is_terminal() {
+                refs[node.hi.index()] += 1;
+            }
+        }
+        for &r in roots {
+            if !r.is_terminal() {
+                refs[r.index()] += 1;
+            }
+        }
+        let mut blocks = self.build_blocks(groups);
+        // Rudell's processing order: heaviest block first, sized by its
+        // current unique-table occupancy.
+        let mut heaviest: Vec<(usize, Var)> = blocks
+            .iter()
+            .map(|b| (b.iter().map(|&v| self.subtables[self.level_of(v)].len()).sum(), b[0]))
+            .collect();
+        heaviest.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+        for (_, key) in heaviest {
+            let idx = blocks
+                .iter()
+                .position(|b| b.contains(&key))
+                .expect("sifted block vanished from the layout");
+            self.sift_block(&mut blocks, idx, &mut refs);
+            stats.blocks_sifted += 1;
+        }
+        self.finish_sift(&mut stats, swaps_at_entry);
+        stats
+    }
+
+    fn finish_sift(&mut self, stats: &mut SiftStats, swaps_at_entry: usize) {
+        stats.nodes_after = self.live;
+        stats.swaps = self.sift_swaps - swaps_at_entry;
+        // Reclaimed slots may be recycled by the next operation; stale
+        // memo entries must not resurrect them.
+        self.caches.clear();
+        self.sift_baseline = self.live;
+        self.sift_runs += 1;
+    }
+
+    /// The current level layout as a list of blocks (grouped variables
+    /// merged, everything else singleton), top to bottom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group is not contiguous in the current order.
+    fn build_blocks(&self, groups: &[Vec<Var>]) -> Vec<Vec<Var>> {
+        let n = self.num_vars();
+        let mut group_of: Vec<Option<usize>> = vec![None; n];
+        for (gi, g) in groups.iter().enumerate() {
+            let lo = g.iter().map(|&v| self.level_of(v)).min().unwrap_or(0);
+            let hi = g.iter().map(|&v| self.level_of(v)).max().unwrap_or(0);
+            assert!(
+                g.is_empty() || hi - lo + 1 == g.len(),
+                "sift group {gi} is not contiguous in the current order"
+            );
+            for &v in g {
+                assert!(v.index() < n, "group names undeclared variable {v:?}");
+                assert!(group_of[v.index()].is_none(), "variable {v:?} appears in two groups");
+                group_of[v.index()] = Some(gi);
+            }
+        }
+        let mut blocks = Vec::new();
+        let mut level = 0;
+        while level < n {
+            let v = self.var_at(level);
+            match group_of[v.index()] {
+                Some(gi) => {
+                    let len = groups[gi].len();
+                    let mut block: Vec<Var> =
+                        (level..level + len).map(|l| self.var_at(l)).collect();
+                    block.sort_by_key(|&v| self.level_of(v));
+                    level += len;
+                    blocks.push(block);
+                }
+                None => {
+                    blocks.push(vec![v]);
+                    level += 1;
+                }
+            }
+        }
+        blocks
+    }
+
+    /// Sifts the block at `start` (an index into `blocks`) to its locally
+    /// optimal position, updating `blocks` to the final layout.
+    fn sift_block(&mut self, blocks: &mut [Vec<Var>], start: usize, refs: &mut Refs) {
+        let nblocks = blocks.len();
+        if nblocks < 2 {
+            return;
+        }
+        let limit = self.live * MAX_GROWTH_NUM / MAX_GROWTH_DEN;
+        let mut best_size = self.live;
+        let mut best_pos = start;
+        let mut pos = start;
+        // Walk to the nearer end first: fewer swaps wasted if the best
+        // position turns out to be on the far side.
+        let down_first = start >= nblocks / 2;
+        for phase in 0..2 {
+            let go_down = down_first == (phase == 0);
+            if go_down {
+                while pos + 1 < nblocks {
+                    self.swap_neighbor_blocks(blocks, pos, refs);
+                    pos += 1;
+                    if self.live < best_size {
+                        best_size = self.live;
+                        best_pos = pos;
+                    } else if self.live > limit {
+                        break;
+                    }
+                }
+            } else {
+                while pos > 0 {
+                    self.swap_neighbor_blocks(blocks, pos - 1, refs);
+                    pos -= 1;
+                    if self.live < best_size {
+                        best_size = self.live;
+                        best_pos = pos;
+                    } else if self.live > limit {
+                        break;
+                    }
+                }
+            }
+        }
+        while pos < best_pos {
+            self.swap_neighbor_blocks(blocks, pos, refs);
+            pos += 1;
+        }
+        while pos > best_pos {
+            self.swap_neighbor_blocks(blocks, pos - 1, refs);
+            pos -= 1;
+        }
+    }
+
+    /// Swaps the adjacent blocks at indices `i` and `i + 1` by bubbling
+    /// each variable of the lower block up through the upper block — the
+    /// only block motion sifting ever performs, so declared groups stay
+    /// contiguous at every observable point.
+    fn swap_neighbor_blocks(&mut self, blocks: &mut [Vec<Var>], i: usize, refs: &mut Refs) {
+        let top = blocks[i].iter().map(|&v| self.level_of(v)).min().expect("empty sift block");
+        let len_a = blocks[i].len();
+        let len_b = blocks[i + 1].len();
+        let mut refs_opt = Some(refs);
+        for k in 0..len_b {
+            // The lower block's k-th variable sits at `top + len_a + k`;
+            // bubble it up to `top + k`.
+            for l in ((top + k)..(top + len_a + k)).rev() {
+                self.swap_adjacent(l, &mut refs_opt);
+            }
+        }
+        blocks.swap(i, i + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Literal;
+
+    /// `f` evaluated over all assignments of `n` variables.
+    fn truth_table(m: &BddManager, f: Bdd, n: usize) -> Vec<bool> {
+        (0..(1u32 << n))
+            .map(|bits| {
+                let a: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+                m.eval(f, &a)
+            })
+            .collect()
+    }
+
+    fn three_var_setup() -> (BddManager, Vec<Var>, Bdd) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars("x", 3);
+        let (v0, v1, v2) = (m.var(vars[0]), m.var(vars[1]), m.var(vars[2]));
+        let a = m.and(v0, v1);
+        let f = m.or(a, v2);
+        (m, vars, f)
+    }
+
+    #[test]
+    fn swap_preserves_semantics_and_handles() {
+        let (mut m, vars, f) = three_var_setup();
+        let before = truth_table(&m, f, 3);
+        m.swap_levels(0);
+        assert_eq!(m.var_at(0), vars[1]);
+        assert_eq!(m.var_at(1), vars[0]);
+        assert_eq!(m.level_of(vars[0]), 1);
+        m.check_invariants();
+        assert_eq!(truth_table(&m, f, 3), before);
+        // Swapping back restores the original order and function.
+        m.swap_levels(0);
+        assert_eq!(m.order(), vars);
+        m.check_invariants();
+        assert_eq!(truth_table(&m, f, 3), before);
+    }
+
+    #[test]
+    fn swap_is_local_to_two_levels() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars("x", 5);
+        let mut f = m.zero();
+        for &v in &vars {
+            let lv = m.var(v);
+            f = m.xor(f, lv);
+        }
+        let before = truth_table(&m, f, 5);
+        let deep_nodes: Vec<usize> = (3..5).map(|l| m.subtables[l].len()).collect();
+        m.swap_levels(0);
+        m.check_invariants();
+        // Levels 3 and 4 are untouched by a (0,1) swap.
+        assert_eq!((3..5).map(|l| m.subtables[l].len()).collect::<Vec<_>>(), deep_nodes);
+        assert_eq!(truth_table(&m, f, 5), before);
+    }
+
+    #[test]
+    fn sift_shrinks_the_separated_multiplier_pattern() {
+        // (a0∧b0)∨(a1∧b1)∨… under the separated order is exponential;
+        // sifting must find an interleaving-quality order.
+        let n = 6;
+        let mut m = BddManager::new();
+        let avars = m.new_vars("a", n);
+        let bvars = m.new_vars("b", n);
+        let mut f = m.zero();
+        for i in 0..n {
+            let (ai, bi) = (m.var(avars[i]), m.var(bvars[i]));
+            let t = m.and(ai, bi);
+            f = m.or(f, t);
+        }
+        let bad_size = m.size(f);
+        let stats = m.sift(&[f]);
+        m.check_invariants();
+        assert_eq!(stats.nodes_before, bad_size);
+        assert!(stats.swaps > 0);
+        assert_eq!(stats.nodes_after, m.live_nodes());
+        assert!(
+            m.size(f) < bad_size,
+            "sifting should shrink the separated pattern: {} vs {bad_size}",
+            m.size(f)
+        );
+        // The optimum for this function is 2 nodes per term.
+        assert_eq!(m.size(f), 2 * n);
+    }
+
+    #[test]
+    fn sift_agrees_with_semantic_rebuild() {
+        let (mut m, _, f) = three_var_setup();
+        let before = truth_table(&m, f, 3);
+        m.sift(&[f]);
+        assert_eq!(truth_table(&m, f, 3), before);
+        // Rebuilding under the sifted order in a fresh manager yields a
+        // function of identical size and semantics: the in-place result
+        // is canonical for the order it found.
+        let order = m.order();
+        let (m2, roots) = m.rebuild_with_order(&order, &[f]);
+        assert_eq!(m2.size(roots[0]), m.size(f));
+        assert_eq!(truth_table(&m2, roots[0], 3), before);
+    }
+
+    #[test]
+    fn sift_preserves_peak_high_water() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars("x", 8);
+        let mut f = m.zero();
+        for pair in vars.chunks(2) {
+            let (a, b) = (m.var(pair[0]), m.var(pair[1]));
+            let t = m.and(a, b);
+            f = m.or(f, t);
+        }
+        let peak_before = m.peak_live_nodes();
+        m.sift(&[f]);
+        assert!(m.peak_live_nodes() >= peak_before, "sift lost the high-water mark");
+        assert!(m.peak_live_nodes() >= m.live_nodes());
+    }
+
+    #[test]
+    fn grouped_sift_keeps_blocks_adjacent() {
+        let n = 4;
+        let mut m = BddManager::new();
+        let avars = m.new_vars("a", n);
+        let bvars = m.new_vars("b", n);
+        // Group each (aᵢ, bᵢ) pair; build the function under an order
+        // where the pairs are separated.
+        let groups: Vec<Vec<Var>> = (0..n).map(|i| vec![avars[i], bvars[i]]).collect();
+        let mut f = m.zero();
+        for i in 0..n {
+            let (ai, bi) = (m.var(avars[i]), m.var(bvars[i]));
+            let t = m.and(ai, bi);
+            f = m.or(f, t);
+        }
+        // Interleave first so the groups are contiguous, then sift with
+        // the grouping and check the pairs never separate.
+        let mut order = Vec::new();
+        for i in 0..n {
+            order.push(avars[i]);
+            order.push(bvars[i]);
+        }
+        let roots = m.reorder(&order, &[f]);
+        let f = roots[0];
+        let tt = truth_table(&m, f, 2 * n);
+        m.sift_grouped(&[f], &groups);
+        m.check_invariants();
+        assert_eq!(truth_table(&m, f, 2 * n), tt);
+        for g in &groups {
+            let (la, lb) = (m.level_of(g[0]), m.level_of(g[1]));
+            assert_eq!(la.abs_diff(lb), 1, "group {g:?} was split by sifting");
+        }
+    }
+
+    #[test]
+    fn stored_groups_drive_plain_sift() {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let z = m.new_var("z");
+        m.set_var_groups(vec![vec![x, y]]);
+        assert_eq!(m.var_groups(), &[vec![x, y]]);
+        let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
+        let a = m.xor(vx, vy);
+        let f = m.and(a, vz);
+        let tt = truth_table(&m, f, 3);
+        let stats = m.sift(&[f]);
+        assert_eq!(stats.blocks_sifted, 2); // the (x,y) block and z
+        assert_eq!(truth_table(&m, f, 3), tt);
+        assert_eq!(m.level_of(x).abs_diff(m.level_of(y)), 1);
+    }
+
+    #[test]
+    fn sift_reclaims_orphans_immediately() {
+        let n = 5;
+        let mut m = BddManager::new();
+        let avars = m.new_vars("a", n);
+        let bvars = m.new_vars("b", n);
+        let mut f = m.zero();
+        for i in 0..n {
+            let (ai, bi) = (m.var(avars[i]), m.var(bvars[i]));
+            let t = m.and(ai, bi);
+            f = m.or(f, t);
+        }
+        m.sift(&[f]);
+        // Everything still live is reachable from the root: a GC finds
+        // nothing further to reclaim.
+        assert_eq!(m.gc(&[f]), 0, "sift left garbage behind");
+    }
+
+    #[test]
+    fn reorder_trigger_fires_and_resets() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars("x", 12);
+        assert!(!m.reorder_due(), "empty manager must not want a reorder");
+        // Parity over 12 variables: ~2·12 nodes — still below the floor.
+        let mut f = m.zero();
+        for &v in &vars {
+            let lv = m.var(v);
+            f = m.xor(f, lv);
+        }
+        assert!(!m.reorder_due());
+        // Pile up distinct functions until the floor is crossed.
+        let mut gs = Vec::new();
+        for i in 0..vars.len() {
+            for j in 0..vars.len() {
+                if i != j {
+                    let (a, b) = (m.var(vars[i]), m.var(vars[j]));
+                    let t1 = m.and(a, b);
+                    let t2 = m.xor(f, t1);
+                    gs.push(t2);
+                }
+            }
+        }
+        assert!(m.live_nodes() > 256);
+        assert!(m.reorder_due());
+        let mut roots = gs.clone();
+        roots.push(f);
+        m.sift(&roots);
+        // The baseline resets: no immediate re-trigger.
+        assert!(!m.reorder_due() || m.live_nodes() > 2 * m.stats().live_nodes);
+    }
+
+    #[test]
+    fn public_swap_orphans_are_gc_food() {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        // f = x (independent of y): swapping moves the node down without
+        // orphaning anything.
+        let f = m.var(x);
+        m.swap_levels(0);
+        m.check_invariants();
+        assert_eq!(m.level_of(x), 1);
+        assert!(m.eval(f, &[true, false]));
+        assert!(!m.eval(f, &[false, true]));
+        // g = x∧y: the swap rewrites the root in place and orphans the
+        // old child when nothing else shares it.
+        let g0 = m.var(x);
+        let g1 = m.var(y);
+        let g = m.and(g0, g1);
+        let live = m.live_nodes();
+        m.swap_levels(0);
+        m.check_invariants();
+        assert!(m.live_nodes() >= live - 1);
+        let reclaimed = m.gc(&[f, g]);
+        m.check_invariants();
+        // Whatever the swap orphaned is reclaimable, and the kept
+        // functions still evaluate correctly.
+        assert!(reclaimed <= 2);
+        let tt: Vec<bool> = [(false, false), (true, false), (false, true), (true, true)]
+            .iter()
+            .map(|&(xv, yv)| m.eval(g, &[xv, yv]))
+            .collect();
+        assert_eq!(tt, vec![false, false, false, true]);
+        let lits = [Literal::positive(x), Literal::positive(y)];
+        let cube = m.cube(&lits);
+        assert_eq!(cube, g);
+    }
+}

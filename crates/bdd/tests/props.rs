@@ -172,6 +172,100 @@ proptest! {
         prop_assert_eq!(f, f2);
     }
 
+    /// An adjacent-level swap preserves every root's semantics, keeps the
+    /// invariants, and never loses the peak high-water mark.
+    #[test]
+    fn swap_levels_preserves_semantics(e in arb_expr(), l in 0..NVARS - 1) {
+        let (mut m, f) = compile(&e);
+        let peak_before = m.peak_live_nodes();
+        m.swap_levels(l);
+        m.check_invariants();
+        prop_assert!(m.peak_live_nodes() >= peak_before);
+        for bits in 0..(1u32 << NVARS) {
+            let a = assignment_from_bits(bits);
+            let expected = e.eval(&|name| {
+                let idx: usize = name[1..].parse().ok()?;
+                a.get(idx).copied()
+            });
+            prop_assert_eq!(m.eval(f, &a), expected);
+        }
+        // A second swap of the same levels restores the original order.
+        let order_after_one = m.order();
+        m.swap_levels(l);
+        m.check_invariants();
+        prop_assert_ne!(m.order(), order_after_one);
+        for bits in 0..(1u32 << NVARS) {
+            let a = assignment_from_bits(bits);
+            prop_assert_eq!(m.eval(f, &a), e.eval(&|name| {
+                let idx: usize = name[1..].parse().ok()?;
+                a.get(idx).copied()
+            }));
+        }
+    }
+
+    /// In-place sifting preserves the root handle and its semantics, and
+    /// the result agrees with a semantic rebuild under the sifted order:
+    /// same size (i.e. the in-place graph is canonical for that order)
+    /// and the same function.
+    #[test]
+    fn sift_agrees_with_rebuild_with_order(e in arb_expr()) {
+        let (mut m, f) = compile(&e);
+        let peak_before = m.peak_live_nodes();
+        let stats = m.sift(&[f]);
+        m.check_invariants();
+        prop_assert!(m.peak_live_nodes() >= peak_before);
+        prop_assert_eq!(stats.nodes_after, m.live_nodes());
+        // Nothing dead survives a sift: its internal refcounting reclaims
+        // orphans eagerly.
+        prop_assert_eq!(m.gc(&[f]), 0);
+        let order = m.order();
+        let (m2, roots) = m.rebuild_with_order(&order, &[f]);
+        m2.check_invariants();
+        prop_assert_eq!(m2.size(roots[0]), m.size(f));
+        for bits in 0..(1u32 << NVARS) {
+            let a = assignment_from_bits(bits);
+            let expected = e.eval(&|name| {
+                let idx: usize = name[1..].parse().ok()?;
+                a.get(idx).copied()
+            });
+            prop_assert_eq!(m.eval(f, &a), expected);
+            prop_assert_eq!(m2.eval(roots[0], &a), expected);
+        }
+    }
+
+    /// Grouped sifting keeps every declared pair at adjacent levels and
+    /// still preserves semantics on multiple simultaneous roots.
+    #[test]
+    fn grouped_sift_preserves_blocks_and_roots(e1 in arb_expr(), e2 in arb_expr()) {
+        let (mut m, _) = compile(&e1);
+        let vars: Vec<Var> = (0..NVARS).map(Var::from_index).collect();
+        let resolve = |name: &str| -> Option<Var> {
+            let idx: usize = name[1..].parse().ok()?;
+            vars.get(idx).copied()
+        };
+        let f = e1.to_bdd(&mut m, &resolve);
+        let g = e2.to_bdd(&mut m, &resolve);
+        let groups: Vec<Vec<Var>> = vars.chunks(2).map(<[Var]>::to_vec).collect();
+        m.sift_grouped(&[f, g], &groups);
+        m.check_invariants();
+        for pair in &groups {
+            prop_assert_eq!(m.level_of(pair[0]).abs_diff(m.level_of(pair[1])), 1);
+        }
+        for bits in 0..(1u32 << NVARS) {
+            let a = assignment_from_bits(bits);
+            let ef = e1.eval(&|name| {
+                let idx: usize = name[1..].parse().ok()?;
+                a.get(idx).copied()
+            });
+            let eg = e2.eval(&|name| {
+                let idx: usize = name[1..].parse().ok()?;
+                a.get(idx).copied()
+            });
+            prop_assert_eq!(m.eval(f, &a), ef);
+            prop_assert_eq!(m.eval(g, &a), eg);
+        }
+    }
+
     /// Cube enumeration partitions the on-set: cubes are disjoint and their
     /// union is the function.
     #[test]

@@ -1,0 +1,51 @@
+//! Dynamic-reordering bench: what in-place sifting buys when the static
+//! variable order is poor.
+//!
+//! The paper: "BDDs may have an exponential size if appropriate
+//! heuristics for variable ordering are not used". The static
+//! interleaved order is such a heuristic — but it is only as good as the
+//! net shape it inspects up front. This bench deliberately starts from
+//! the *declaration* order (the naive baseline of the ordering ablation)
+//! and measures the traversal under each `ReorderMode`: `none` pays the
+//! bad order in full, `auto` sifts when the growth trigger fires, `sift`
+//! reorders every iteration. The companion test `tests/reordering.rs`
+//! asserts the peak-live-node ranking that this bench times; the
+//! `table1 --json` artifact (`BENCH_table1.json`) records both numbers
+//! per benchmark family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stgcheck_core::{EngineOptions, ReorderMode, SymbolicStg, VarOrder};
+use stgcheck_stg::{gen, Code, Stg};
+
+const MODES: [(&str, ReorderMode); 3] =
+    [("none", ReorderMode::None), ("auto", ReorderMode::Auto), ("sift", ReorderMode::Sift)];
+
+fn bench_family(c: &mut Criterion, label: &str, stg: &Stg) {
+    let mut group = c.benchmark_group(format!("reorder/{label}"));
+    for (name, reorder) in MODES {
+        group.bench_function(BenchmarkId::from_parameter(name), |bencher| {
+            bencher.iter(|| {
+                let mut sym = SymbolicStg::new(stg, VarOrder::Declaration);
+                let opts = EngineOptions { reorder, ..EngineOptions::default() };
+                let t = sym.traverse_with_engine(Code::ZERO, &opts);
+                std::hint::black_box((t.stats.num_states, t.stats.peak_nodes))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_muller(c: &mut Criterion) {
+    bench_family(c, "muller10/declaration", &gen::muller_pipeline(10));
+}
+
+fn bench_par_handshakes(c: &mut Criterion) {
+    bench_family(c, "par_handshakes8/declaration", &gen::par_handshakes(8));
+}
+
+fn bench_master_read(c: &mut Criterion) {
+    bench_family(c, "master_read4/declaration", &gen::master_read(4));
+}
+
+criterion_group!(benches, bench_muller, bench_par_handshakes, bench_master_read);
+criterion_main!(benches);

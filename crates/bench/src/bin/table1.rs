@@ -8,7 +8,8 @@
 //!
 //! ```text
 //! cargo run --release -p stgcheck-bench --bin table1 [--explicit] \
-//!     [--order <strategy>] [--engine <engine>|all] [--jobs <n>] [--small]
+//!     [--order <strategy>] [--engine <engine>|all] [--jobs <n>] \
+//!     [--reorder <mode>|all] [--from-dir <dir>] [--json <path>] [--small]
 //! ```
 //!
 //! * `--explicit` additionally times the explicit state-graph baseline on
@@ -20,13 +21,25 @@
 //!   engine (default: per-transition); `all` prints one row per engine so
 //!   the engines can be compared line by line;
 //! * `--jobs <n>` sets the worker count for the parallel engine;
+//! * `--reorder none|sift|auto|all` selects the dynamic variable
+//!   reordering mode (default: none; see `docs/reordering.md`); `all`
+//!   prints one row per mode so the static order and the sifted runs can
+//!   be compared line by line;
+//! * `--from-dir <dir>` verifies every `.g` file in `dir` (e.g. the
+//!   checked-in `benchmarks/` corpus) instead of the generator-built
+//!   workload table;
+//! * `--json <path>` additionally writes every row as machine-readable
+//!   JSON (per net: states, peak live nodes, wall time, engine, reorder
+//!   mode, …) so the perf trajectory is recorded across PRs — the
+//!   checked-in `BENCH_table1.json` is produced this way;
 //! * `--small` runs the quick workload set across **all** engines — the
 //!   CI smoke configuration that keeps the engine column honest.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
-use stgcheck_bench::{quick_workloads, table1_workloads};
-use stgcheck_core::{verify, EngineKind, SymbolicReport, VarOrder, VerifyOptions};
+use stgcheck_bench::{quick_workloads, table1_workloads, workloads_from_dir};
+use stgcheck_core::{verify, EngineKind, ReorderMode, SymbolicReport, VarOrder, VerifyOptions};
 use stgcheck_stg::{build_state_graph, PersistencyPolicy, SgOptions};
 
 fn parse_order(s: &str) -> VarOrder {
@@ -42,8 +55,62 @@ fn parse_order(s: &str) -> VarOrder {
     }
 }
 
+fn order_name(o: VarOrder) -> &'static str {
+    match o {
+        VarOrder::Interleaved => "interleaved",
+        VarOrder::PlacesThenSignals => "places",
+        VarOrder::SignalsThenPlaces => "signals",
+        VarOrder::Declaration => "declaration",
+    }
+}
+
 const ALL_ENGINES: [EngineKind; 3] =
     [EngineKind::PerTransition, EngineKind::Clustered, EngineKind::ParallelSharded];
+
+const ALL_REORDERS: [ReorderMode; 3] = [ReorderMode::None, ReorderMode::Sift, ReorderMode::Auto];
+
+/// One verified row, kept for the `--json` report.
+struct JsonRow {
+    name: String,
+    engine: String,
+    reorder: ReorderMode,
+    order: VarOrder,
+    states: String,
+    peak_live_nodes: usize,
+    final_nodes: usize,
+    sift_passes: usize,
+    wall_s: f64,
+    verdict: &'static str,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &PathBuf, rows: &[JsonRow]) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"generated_by\": \"table1\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"engine\": \"{}\", \"reorder\": \"{}\", \
+             \"order\": \"{}\", \"states\": \"{}\", \"peak_live_nodes\": {}, \
+             \"final_nodes\": {}, \"sift_passes\": {}, \"wall_s\": {:.3}, \
+             \"verdict\": \"{}\"}}{}\n",
+            json_escape(&r.name),
+            r.engine,
+            r.reorder,
+            order_name(r.order),
+            r.states,
+            r.peak_live_nodes,
+            r.final_nodes,
+            r.sift_passes,
+            r.wall_s,
+            r.verdict,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,31 +122,39 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| parse_order(s))
         .unwrap_or_default();
-    let jobs: usize = match args.iter().position(|a| a == "--jobs").map(|i| args.get(i + 1)) {
-        None => 0,
-        Some(Some(v)) => v.parse().unwrap_or_else(|_| {
+    let value_of = |flag: &str| -> Option<&String> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        })
+    };
+    let jobs: usize = value_of("--jobs").map_or(0, |v| {
+        v.parse().unwrap_or_else(|_| {
             eprintln!("--jobs needs a number, got `{v}`");
             std::process::exit(2);
-        }),
-        Some(None) => {
-            eprintln!("--jobs needs a value");
-            std::process::exit(2);
-        }
-    };
-    let engine_arg = match args.iter().position(|a| a == "--engine").map(|i| args.get(i + 1)) {
-        None => None,
-        Some(Some(v)) => Some(v.as_str()),
-        Some(None) => {
-            eprintln!("--engine needs a value");
-            std::process::exit(2);
-        }
-    };
-    let engines: Vec<EngineKind> = match engine_arg {
+        })
+    });
+    let json_path: Option<PathBuf> = value_of("--json").map(PathBuf::from);
+    let from_dir: Option<PathBuf> = value_of("--from-dir").map(PathBuf::from);
+    let engines: Vec<EngineKind> = match value_of("--engine").map(String::as_str) {
         None if small => ALL_ENGINES.to_vec(),
         None => vec![EngineKind::PerTransition],
         Some("all") => ALL_ENGINES.to_vec(),
         Some(s) => match s.parse() {
             Ok(kind) => vec![kind],
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let reorders: Vec<ReorderMode> = match value_of("--reorder").map(String::as_str) {
+        None => vec![ReorderMode::None],
+        Some("all") => ALL_REORDERS.to_vec(),
+        Some(s) => match s.parse() {
+            Ok(mode) => vec![mode],
             Err(e) => {
                 eprintln!("{e}");
                 std::process::exit(2);
@@ -98,60 +173,95 @@ fn main() {
     if explicit {
         header.push_str(&format!(" {:>10}", "explicit"));
     }
+    header.push_str(&format!(" {:>7}", "reorder"));
     header.push_str(&format!(" {:>10}", "verdict"));
     println!("{header}");
     println!("{}", "-".repeat(header.len()));
 
-    let workloads = if small { quick_workloads() } else { table1_workloads() };
+    let workloads = match &from_dir {
+        Some(dir) => workloads_from_dir(dir).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        None if small => quick_workloads(),
+        None => table1_workloads(),
+    };
+    let mut json_rows: Vec<JsonRow> = Vec::new();
     for w in workloads {
+        // The explicit baseline is engine- and reorder-independent: time
+        // it once per workload, outside the row loops.
+        let explicit_cell: Option<Result<(f64, usize), String>> = (explicit && w.explicit_feasible)
+            .then(|| {
+                let start = Instant::now();
+                let sg = build_state_graph(&w.stg, SgOptions::default());
+                let secs = start.elapsed().as_secs_f64();
+                sg.map(|sg| (secs, sg.len())).map_err(|e| e.to_string())
+            });
         for &kind in &engines {
-            let opts = VerifyOptions {
-                order,
-                policy: PersistencyPolicy { allow_arbitration: w.arbitration },
-                engine: stgcheck_core::EngineOptions { kind, jobs, ..Default::default() },
-            };
-            let report = match verify(&w.stg, opts) {
-                Ok(r) => r,
-                Err(e) => {
-                    println!("{:<16} verification aborted: {e}", w.name);
-                    continue;
-                }
-            };
-            let mut row = report.table1_row();
-            if explicit {
-                if w.explicit_feasible {
-                    let start = Instant::now();
-                    let sg = build_state_graph(&w.stg, SgOptions::default());
-                    let secs = start.elapsed().as_secs_f64();
-                    match sg {
-                        Ok(sg) => {
+            for &reorder in &reorders {
+                let opts = VerifyOptions {
+                    order,
+                    policy: PersistencyPolicy { allow_arbitration: w.arbitration },
+                    engine: stgcheck_core::EngineOptions { kind, jobs, ..Default::default() },
+                    reorder,
+                };
+                let report = match verify(&w.stg, opts) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        println!("{:<16} verification aborted: {e}", w.name);
+                        continue;
+                    }
+                };
+                let mut row = report.table1_row();
+                if explicit {
+                    match &explicit_cell {
+                        Some(Ok((secs, len))) => {
                             assert_eq!(
-                                sg.len() as u128,
-                                report.num_states,
+                                *len as u128, report.num_states,
                                 "{}: explicit and symbolic disagree",
                                 w.name
                             );
                             row.push_str(&format!(" {secs:>10.3}"));
                         }
-                        Err(e) => row.push_str(&format!(" {e:>10}")),
+                        Some(Err(e)) => row.push_str(&format!(" {e:>10}")),
+                        None => row.push_str(&format!(" {:>10}", "—")),
                     }
-                } else {
-                    row.push_str(&format!(" {:>10}", "—"));
                 }
+                row.push_str(&format!(" {reorder:>7}"));
+                let verdict = match report.verdict {
+                    stgcheck_stg::Implementability::Gate => "gate",
+                    stgcheck_stg::Implementability::InputOutput => "i/o",
+                    stgcheck_stg::Implementability::SpeedIndependent => "si-only",
+                    stgcheck_stg::Implementability::NotImplementable => "reject",
+                };
+                row.push_str(&format!(" {verdict:>10}"));
+                println!("{row}");
+                json_rows.push(JsonRow {
+                    name: w.name.clone(),
+                    engine: report.engine.clone(),
+                    reorder,
+                    order,
+                    states: stgcheck_core::format_states(report.num_states),
+                    peak_live_nodes: report.bdd_peak,
+                    final_nodes: report.bdd_final,
+                    sift_passes: report.sift_passes,
+                    wall_s: report.times.total,
+                    verdict,
+                });
             }
-            let verdict = match report.verdict {
-                stgcheck_stg::Implementability::Gate => "gate",
-                stgcheck_stg::Implementability::InputOutput => "i/o",
-                stgcheck_stg::Implementability::SpeedIndependent => "si-only",
-                stgcheck_stg::Implementability::NotImplementable => "reject",
-            };
-            row.push_str(&format!(" {verdict:>10}"));
-            println!("{row}");
         }
+    }
+    if let Some(path) = &json_path {
+        if let Err(e) = write_json(path, &json_rows) {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("wrote {} rows to {}", json_rows.len(), path.display());
     }
     println!();
     println!("Shape expectations (paper Section 6): state counts grow exponentially in n");
     println!("while BDD sizes and CPU stay moderate; NI-p/Com are negligible on marked");
     println!("graphs (muller, master-read); mutex rows exercise the conflict machinery.");
-    println!("Engines must agree on every column except the CPU times (and iterations).");
+    println!("Engines must agree on every column except the CPU times (and iterations);");
+    println!("reorder modes must agree on everything except BDD sizes and CPU times.");
 }

@@ -4,7 +4,9 @@
 //! regenerates the paper's Table 1) and the Criterion benches, so every
 //! consumer measures exactly the same nets.
 
-use stgcheck_stg::{gen, Stg};
+use std::path::Path;
+
+use stgcheck_stg::{gen, parse_g, Stg};
 
 /// A named benchmark workload with the scaling parameter used to build it.
 pub struct Workload {
@@ -49,6 +51,40 @@ pub fn table1_workloads() -> Vec<Workload> {
     }
     w.push(Workload::new(gen::vme_read(), true, false));
     w
+}
+
+/// Workloads parsed from every `.g` file in `dir` (sorted by file name),
+/// e.g. the checked-in `benchmarks/` fixture corpus.
+///
+/// The arbitration persistency policy is enabled for nets whose name
+/// contains `mutex` — mirroring the generator-based workload table; the
+/// explicit baseline is skipped (feasibility is unknown for foreign
+/// nets).
+///
+/// # Errors
+///
+/// An explanation string when the directory cannot be read or a file
+/// fails to parse.
+pub fn workloads_from_dir(dir: &Path) -> Result<Vec<Workload>, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "g"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("{}: no .g files found", dir.display()));
+    }
+    let mut out = Vec::new();
+    for path in paths {
+        let source =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let stg = parse_g(&source).map_err(|e| format!("{}: {e}", path.display()))?;
+        let arbitration = stg.name().contains("mutex");
+        out.push(Workload::new(stg, false, arbitration));
+    }
+    Ok(out)
 }
 
 /// Smaller workload set for the Criterion micro-benchmarks (kept fast so

@@ -89,6 +89,11 @@ impl<'a> SymbolicStg<'a> {
         let ns = stg.num_signals();
         let mut place_vars: Vec<Option<Var>> = vec![None; np];
         let mut signal_vars: Vec<Option<Var>> = vec![None; ns];
+        // Sifting groups: blocks of variables that dynamic reordering
+        // must keep adjacent and move as one (see docs/reordering.md).
+        // Only the interleaved order produces meaningful blocks — each
+        // signal with the places slotted right behind it.
+        let mut groups: Vec<Vec<Var>> = Vec::new();
 
         let declare_place = |mgr: &mut BddManager, vars: &mut Vec<Option<Var>>, p: PlaceId| {
             if vars[p.index()].is_none() {
@@ -173,6 +178,7 @@ impl<'a> SymbolicStg<'a> {
                 for s in sig_order {
                     declare_signal(&mut mgr, &mut signal_vars, s);
                     declared_s[s.index()] = true;
+                    let mut block = vec![signal_vars[s.index()].expect("just declared")];
                     for p in net.places() {
                         if place_vars[p.index()].is_some() {
                             continue;
@@ -182,8 +188,10 @@ impl<'a> SymbolicStg<'a> {
                         {
                             remaining[p.index()] = 0;
                             declare_place(&mut mgr, &mut place_vars, p);
+                            block.push(place_vars[p.index()].expect("just declared"));
                         }
                     }
+                    groups.push(block);
                 }
                 // Leftovers: places touching only dummies or nothing.
                 for p in net.places() {
@@ -221,6 +229,7 @@ impl<'a> SymbolicStg<'a> {
 
         let place_vars: Vec<Var> = place_vars.into_iter().map(Option::unwrap).collect();
         let signal_vars: Vec<Var> = signal_vars.into_iter().map(Option::unwrap).collect();
+        mgr.set_var_groups(groups);
 
         let mut trans_cubes = Vec::with_capacity(net.num_transitions());
         for t in net.transitions() {
@@ -292,6 +301,46 @@ impl<'a> SymbolicStg<'a> {
     /// The BDD variable of signal `s`.
     pub fn signal_var(&self, s: SignalId) -> Var {
         self.signal_vars[s.index()]
+    }
+
+    /// The sifting groups this context declared on its manager: under
+    /// [`VarOrder::Interleaved`], one block per signal holding the signal
+    /// variable and the places slotted right behind it (the window of the
+    /// local marking invariant); empty for the other static orders.
+    pub fn var_groups(&self) -> &[Vec<Var>] {
+        self.mgr.var_groups()
+    }
+
+    /// Rebuilds this context's manager under `order` (a permutation of
+    /// all variables), remapping the internal cubes and the handles in
+    /// `extra` in place.
+    ///
+    /// Every handle *not* in `extra` and not internal to the context is
+    /// invalidated, exactly as by [`stgcheck_bdd::BddManager::reorder`].
+    /// Used by the parallel engine's workers to adopt the main manager's
+    /// order after it sifted — the serialised frontier interchange is
+    /// level-based, so both sides must agree on the meaning of every
+    /// level.
+    pub fn apply_var_order(&mut self, order: &[Var], extra: &mut [Bdd]) {
+        let mut roots: Vec<Bdd> = vec![self.places_cube, self.signals_cube];
+        for c in &self.trans_cubes {
+            roots.extend([c.enabled, c.no_pred, c.no_succ, c.all_succ]);
+        }
+        roots.extend_from_slice(extra);
+        let mapped = self.mgr.reorder(order, &roots);
+        self.places_cube = mapped[0];
+        self.signals_cube = mapped[1];
+        for (i, c) in self.trans_cubes.iter_mut().enumerate() {
+            let b = 2 + 4 * i;
+            c.enabled = mapped[b];
+            c.no_pred = mapped[b + 1];
+            c.no_succ = mapped[b + 2];
+            c.all_succ = mapped[b + 3];
+        }
+        let base = 2 + 4 * self.trans_cubes.len();
+        for (i, e) in extra.iter_mut().enumerate() {
+            *e = mapped[base + i];
+        }
     }
 
     /// The characteristic cubes of transition `t`.

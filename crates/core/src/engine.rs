@@ -81,6 +81,50 @@ impl std::str::FromStr for EngineKind {
     }
 }
 
+/// When the fixed-point loops run in-place variable sifting
+/// ([`stgcheck_bdd::BddManager::sift`]) on the main manager.
+///
+/// Consulted by every engine between outer iterations; see
+/// `docs/reordering.md` for the trigger semantics and when each mode
+/// wins.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum ReorderMode {
+    /// Never reorder dynamically — the static [`crate::VarOrder`] stands.
+    /// The default, and the byte-for-byte baseline behaviour.
+    #[default]
+    None,
+    /// Run a sifting pass between *every* outer fixed-point iteration.
+    /// Maximal size reduction, highest reordering overhead.
+    Sift,
+    /// Sift only when the growth heuristic fires: live nodes exceeding
+    /// twice the count measured right after the previous pass
+    /// ([`stgcheck_bdd::BddManager::reorder_due`]).
+    Auto,
+}
+
+impl std::fmt::Display for ReorderMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReorderMode::None => "none",
+            ReorderMode::Sift => "sift",
+            ReorderMode::Auto => "auto",
+        })
+    }
+}
+
+impl std::str::FromStr for ReorderMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ReorderMode, String> {
+        match s {
+            "none" | "off" => Ok(ReorderMode::None),
+            "sift" => Ok(ReorderMode::Sift),
+            "auto" => Ok(ReorderMode::Auto),
+            other => Err(format!("unknown reorder mode `{other}` (expected none, sift or auto)")),
+        }
+    }
+}
+
 /// Engine configuration, [`stgcheck_stg::SgOptions`]-style: a plain
 /// options struct with a sensible [`Default`], threaded through
 /// [`crate::VerifyOptions`] and the CLI.
@@ -97,6 +141,9 @@ pub struct EngineOptions {
     /// Maximum transitions per cluster for [`EngineKind::Clustered`];
     /// `0` means the default of 8.
     pub max_cluster: usize,
+    /// Dynamic variable reordering policy, consulted between outer
+    /// fixed-point iterations by every engine.
+    pub reorder: ReorderMode,
 }
 
 impl EngineOptions {
@@ -244,6 +291,43 @@ fn maybe_gc(
     sym.manager_mut().gc(&roots);
 }
 
+/// Runs an in-place sifting pass between fixed-point iterations when the
+/// configured [`ReorderMode`] asks for one.
+///
+/// Root protection mirrors [`maybe_gc`] (sifting begins with a GC over
+/// exactly these roots), and for the same reason it is gated on
+/// `spec.gc`: a caller holding unrooted handles must not lose them to
+/// the sift-internal collection. Every *protected* handle survives
+/// unchanged — in-place swaps never move a function to another slot.
+fn maybe_reorder(
+    sym: &mut SymbolicStg<'_>,
+    opts: &EngineOptions,
+    spec: &FixpointSpec,
+    live: &[Bdd],
+    rings: &[Bdd],
+    engine_roots: &[Bdd],
+) {
+    if !spec.gc {
+        return;
+    }
+    let due = match opts.reorder {
+        ReorderMode::None => false,
+        ReorderMode::Sift => true,
+        ReorderMode::Auto => sym.manager().reorder_due(),
+    };
+    if !due {
+        return;
+    }
+    let mut roots = sym.permanent_roots();
+    roots.extend_from_slice(live);
+    roots.extend_from_slice(rings);
+    roots.extend_from_slice(engine_roots);
+    if let Some(w) = spec.within {
+        roots.push(w);
+    }
+    sym.manager_mut().sift(&roots);
+}
+
 // ---------------------------------------------------------------------------
 // Per-transition engine (the baseline).
 // ---------------------------------------------------------------------------
@@ -294,6 +378,7 @@ fn run_per_transition(
         }
         from = new;
         maybe_gc(sym, spec, &[reached, from], &rings, &[]);
+        maybe_reorder(sym, opts, spec, &[reached, from], &rings, &[]);
     }
     FixpointOutcome { reached, iterations, rings, shard_peak_nodes: 0 }
 }
@@ -458,6 +543,10 @@ fn run_clustered(
         reached = sym.manager_mut().or(reached, new);
         from = new;
         maybe_gc(sym, spec, &[reached, from], &[], &engine_roots);
+        // The fused cubes are ordinary protected roots: in-place sifting
+        // keeps their handles valid, so the next iteration reuses them
+        // under the improved order.
+        maybe_reorder(sym, opts, spec, &[reached, from], &[], &engine_roots);
     }
     FixpointOutcome { reached, iterations, rings: Vec::new(), shard_peak_nodes: 0 }
 }
@@ -499,6 +588,49 @@ fn shard_closure(
 /// checks, tiny nets) from paying thread setup for trivial work.
 const MIN_SHARD_TRANSITIONS: usize = 4;
 
+/// One per-iteration command to a shard worker: the frontier to close
+/// over, and — when the main manager sifted since the last exchange —
+/// the new variable order the worker must adopt *before* importing it
+/// (the [`SerializedBdd`] interchange is level-based, so both sides must
+/// agree on what each level means).
+struct ShardCmd {
+    frontier: SerializedBdd,
+    order: Option<Vec<Var>>,
+}
+
+/// Splits `transitions` into `jobs` shards balanced by support size.
+///
+/// Contiguous chunking packs all the wide fork/join transitions of a net
+/// into whichever shard their declaration order lands them in; that
+/// shard then dominates every iteration's wall clock. Greedy bin packing
+/// (heaviest transition first, always into the lightest shard) keeps the
+/// per-shard total support — a proxy for image-computation cost — within
+/// one transition of even. Deterministic: ties break on transition id.
+fn balance_shards(
+    sym: &SymbolicStg<'_>,
+    transitions: &[TransId],
+    jobs: usize,
+) -> Vec<Vec<TransId>> {
+    let net = sym.stg().net();
+    let mut weighted: Vec<(usize, TransId)> = transitions
+        .iter()
+        .map(|&t| {
+            let labelled = usize::from(sym.stg().label(t).is_some());
+            (net.preset(t).len() + net.postset(t).len() + labelled, t)
+        })
+        .collect();
+    weighted.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut shards: Vec<Vec<TransId>> = vec![Vec::new(); jobs];
+    let mut loads = vec![0usize; jobs];
+    for (w, t) in weighted {
+        let lightest = (0..jobs).min_by_key(|&i| (loads[i], i)).expect("jobs >= 1");
+        loads[lightest] += w;
+        shards[lightest].push(t);
+    }
+    shards.retain(|s| !s.is_empty());
+    shards
+}
+
 fn run_parallel(
     sym: &mut SymbolicStg<'_>,
     opts: &EngineOptions,
@@ -519,30 +651,51 @@ fn run_parallel(
     }
     let stg = sym.stg();
     let order = sym.order();
+    // The main manager may already have been sifted away from the
+    // deterministic declaration order (e.g. by an earlier fixpoint of the
+    // same verification); fresh workers start from the declaration order,
+    // so hand them the current one to adopt first.
+    let start_order: Vec<Var> = sym.manager().order();
     let within_ser = spec.within.map(|w| sym.manager().export_bdd(w));
     let marking_only = spec.marking_only;
     let direction = spec.direction;
-    let chunk = transitions.len().div_ceil(jobs);
     std::thread::scope(|scope| {
         let (res_tx, res_rx) = mpsc::channel::<(SerializedBdd, usize)>();
-        let mut cmd_txs: Vec<mpsc::Sender<SerializedBdd>> = Vec::new();
-        for shard in transitions.chunks(chunk) {
-            let (cmd_tx, cmd_rx) = mpsc::channel::<SerializedBdd>();
+        let mut cmd_txs: Vec<mpsc::Sender<ShardCmd>> = Vec::new();
+        for shard in balance_shards(sym, transitions, jobs) {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<ShardCmd>();
             cmd_txs.push(cmd_tx);
             let res_tx = res_tx.clone();
-            let shard: Vec<TransId> = shard.to_vec();
             let within_ser = within_ser.clone();
+            let start_order = start_order.clone();
             scope.spawn(move || {
                 // Each worker owns a full symbolic context; the
-                // deterministic declaration sequence guarantees its
-                // variable levels line up with the main manager's, which
-                // is what makes the serialised interchange sound.
+                // deterministic declaration sequence plus the explicit
+                // order hand-off guarantees its variable levels line up
+                // with the main manager's, which is what makes the
+                // serialised interchange sound.
                 let mut w = SymbolicStg::new(stg, order);
-                let within = within_ser.map(|s| w.manager_mut().import_bdd(&s));
-                let wspec =
-                    FixpointSpec { marking_only, direction, within, record_rings: false, gc: true };
-                while let Ok(frontier) = cmd_rx.recv() {
-                    let from = w.manager_mut().import_bdd(&frontier);
+                if w.manager().order() != start_order {
+                    w.apply_var_order(&start_order, &mut []);
+                }
+                let mut within = within_ser.map(|s| w.manager_mut().import_bdd(&s));
+                while let Ok(cmd) = cmd_rx.recv() {
+                    if let Some(new_order) = cmd.order {
+                        match within {
+                            Some(ref mut wh) => {
+                                w.apply_var_order(&new_order, std::slice::from_mut(wh));
+                            }
+                            None => w.apply_var_order(&new_order, &mut []),
+                        }
+                    }
+                    let wspec = FixpointSpec {
+                        marking_only,
+                        direction,
+                        within,
+                        record_rings: false,
+                        gc: true,
+                    };
+                    let from = w.manager_mut().import_bdd(&cmd.frontier);
                     let local = shard_closure(&mut w, &wspec, &shard, from);
                     let out = w.manager().export_bdd(local);
                     if res_tx.send((out, w.manager().peak_live_nodes())).is_err() {
@@ -556,11 +709,20 @@ fn run_parallel(
         let mut from = init;
         let mut iterations = 0;
         let mut shard_peak = 0;
+        let mut sent_order = start_order;
         loop {
             iterations += 1;
+            let cur_order = sym.manager().order();
+            let order_msg = if cur_order != sent_order {
+                sent_order = cur_order.clone();
+                Some(cur_order)
+            } else {
+                None
+            };
             let frontier = sym.manager().export_bdd(from);
             for tx in &cmd_txs {
-                tx.send(frontier.clone()).expect("worker alive");
+                tx.send(ShardCmd { frontier: frontier.clone(), order: order_msg.clone() })
+                    .expect("worker alive");
             }
             let mut to = from;
             for _ in 0..cmd_txs.len() {
@@ -576,6 +738,10 @@ fn run_parallel(
             reached = sym.manager_mut().or(reached, new);
             from = new;
             maybe_gc(sym, spec, &[reached, from], &[], &[]);
+            // Sift the *main* manager only; the workers pick up the new
+            // level semantics from the order broadcast above on the next
+            // iteration.
+            maybe_reorder(sym, opts, spec, &[reached, from], &[], &[]);
         }
         drop(cmd_txs); // workers see a closed channel and exit
         FixpointOutcome { reached, iterations, rings: Vec::new(), shard_peak_nodes: shard_peak }

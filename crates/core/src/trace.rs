@@ -34,6 +34,7 @@ impl SymbolicStg<'_> {
     pub fn traverse_with_rings(&mut self, code: Code) -> RingTraversal {
         let start = std::time::Instant::now();
         self.manager_mut().reset_peak();
+        let sift_runs_before = self.manager().stats().sift_runs;
         let init = self.initial_state(code);
         let transitions: Vec<_> = self.stg().net().transitions().collect();
         let opts = EngineOptions {
@@ -48,6 +49,7 @@ impl SymbolicStg<'_> {
             peak_nodes: self.manager().peak_live_nodes(),
             worker_peak_nodes: 0,
             final_nodes: self.manager().size(out.reached),
+            sift_passes: self.manager().stats().sift_runs - sift_runs_before,
             num_states: self.manager().sat_count(out.reached),
             seconds: start.elapsed().as_secs_f64(),
         };

@@ -37,6 +37,9 @@ pub struct TraversalStats {
     pub worker_peak_nodes: usize,
     /// Size of the final `Reached` BDD in nodes.
     pub final_nodes: usize,
+    /// In-place sifting passes run during this traversal (0 under
+    /// [`crate::ReorderMode::None`]).
+    pub sift_passes: usize,
     /// Number of reachable full states (`sat_count` of `Reached`),
     /// saturating at `u128::MAX` beyond 2¹²⁸ states — display through
     /// [`format_states`] to make the saturation explicit.
@@ -101,6 +104,7 @@ impl SymbolicStg<'_> {
     pub fn traverse_with_engine(&mut self, code: Code, opts: &EngineOptions) -> Traversal {
         let start = Instant::now();
         self.manager_mut().reset_peak();
+        let sift_runs_before = self.manager().stats().sift_runs;
         let init = self.initial_state(code);
         let transitions: Vec<_> = self.stg().net().transitions().collect();
         let out = run_fixpoint(self, opts, &FixpointSpec::forward_full(), &transitions, init);
@@ -109,6 +113,7 @@ impl SymbolicStg<'_> {
             peak_nodes: self.manager().peak_live_nodes(),
             worker_peak_nodes: out.shard_peak_nodes,
             final_nodes: self.manager().size(out.reached),
+            sift_passes: self.manager().stats().sift_runs - sift_runs_before,
             num_states: self.manager().sat_count(out.reached),
             seconds: start.elapsed().as_secs_f64(),
         };

@@ -18,7 +18,7 @@ use stgcheck_stg::{Code, FakeConflict, Implementability, PersistencyPolicy, SgEr
 use crate::consistency::ConsistencyViolation;
 use crate::csc::CscAnalysis;
 use crate::encode::{SymbolicStg, VarOrder};
-use crate::engine::EngineOptions;
+use crate::engine::{EngineOptions, ReorderMode};
 use crate::persistency::{SymSignalViolation, SymTransViolation};
 use crate::safety::SafetyViolation;
 use crate::traverse::{format_states, TraversalStats};
@@ -34,6 +34,12 @@ pub struct VerifyOptions {
     /// frontier strategy of the per-transition engine
     /// ([`EngineOptions::strategy`]).
     pub engine: EngineOptions,
+    /// Dynamic variable reordering (in-place sifting) policy. When not
+    /// [`ReorderMode::None`] it overrides [`EngineOptions::reorder`] for
+    /// every loop [`verify`] runs; when left at `None`, an
+    /// `engine.reorder` set directly still takes effect — setting either
+    /// knob enables sifting.
+    pub reorder: ReorderMode,
 }
 
 /// Wall-clock seconds per verification phase — the CPU columns of Table 1.
@@ -66,6 +72,9 @@ pub struct SymbolicReport {
     pub num_states: u128,
     /// Peak live BDD nodes (Table 1 "BDD size peak").
     pub bdd_peak: usize,
+    /// In-place sifting passes run across all phases (0 unless a
+    /// [`ReorderMode`] other than `None` was selected).
+    pub sift_passes: usize,
     /// Final `Reached` BDD size (Table 1 "BDD size final").
     pub bdd_final: usize,
     /// Traversal details.
@@ -191,7 +200,10 @@ impl std::error::Error for VerifyError {}
 pub fn verify(stg: &Stg, opts: VerifyOptions) -> Result<SymbolicReport, VerifyError> {
     let total_start = Instant::now();
     let mut sym = SymbolicStg::new(stg, opts.order);
-    let engine = opts.engine;
+    let mut engine = opts.engine;
+    if opts.reorder != ReorderMode::None {
+        engine.reorder = opts.reorder;
+    }
     sym.set_engine(engine);
 
     // Phase 1: traversal + consistency (+ safeness).
@@ -257,6 +269,7 @@ pub fn verify(stg: &Stg, opts: VerifyOptions) -> Result<SymbolicReport, VerifyEr
         signals: stg.num_signals(),
         num_states: traversal.stats.num_states,
         bdd_peak: sym.manager().peak_live_nodes(),
+        sift_passes: sym.manager().stats().sift_runs,
         bdd_final: traversal.stats.final_nodes,
         traversal: traversal.stats,
         initial_code,

@@ -9,6 +9,8 @@
 //!                        per-transition; see docs/traversal-engines.md)
 //!   --jobs <n>           worker threads for --engine parallel (default:
 //!                        available parallelism)
+//!   --reorder <m>        none|sift|auto — dynamic variable reordering
+//!                        (in-place sifting; see docs/reordering.md)
 //!   --bfs                strict breadth-first traversal (default: chained)
 //!   --quiet              only print the verdict line per file
 //! ```
@@ -30,7 +32,7 @@ struct Cli {
 fn usage() -> &'static str {
     "usage: stgcheck [--arbitration] [--order interleaved|places|signals|declaration] \
      [--engine per-transition|clustered|parallel] [--jobs N] \
-     [--bfs] [--quiet] file.g [file2.g ...]"
+     [--reorder none|sift|auto] [--bfs] [--quiet] file.g [file2.g ...]"
 }
 
 fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
@@ -56,6 +58,10 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
             "--engine" => {
                 let v = it.next().ok_or("--engine needs a value")?;
                 cli.options.engine.kind = v.parse()?;
+            }
+            "--reorder" => {
+                let v = it.next().ok_or("--reorder needs a value")?;
+                cli.options.reorder = v.parse()?;
             }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;

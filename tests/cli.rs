@@ -129,3 +129,26 @@ fn order_flag_accepted() {
         assert!(out.status.success(), "order {order}");
     }
 }
+
+/// Every `--reorder` mode yields the same verdict, even when paired with
+/// a deliberately bad static order; an unknown mode exits with usage.
+#[test]
+fn reorder_flag_accepted_and_verdict_stable() {
+    for reorder in ["none", "sift", "auto"] {
+        let out = Command::new(bin())
+            .args(["--quiet", "--order", "declaration", "--reorder", reorder, &data("vme_read.g")])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "reorder {reorder}");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("I/O-implementable"),
+            "reorder {reorder}"
+        );
+    }
+    let bad = Command::new(bin())
+        .args(["--reorder", "frobnicate", &data("vme_read.g")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown reorder mode"));
+}

@@ -12,7 +12,8 @@ mod common;
 
 use common::{fixture, fixture_corpus};
 use stgcheck::core::{
-    verify, EngineKind, EngineOptions, SymbolicStg, TraversalStrategy, VarOrder, VerifyOptions,
+    verify, EngineKind, EngineOptions, ReorderMode, SymbolicStg, TraversalStrategy, VarOrder,
+    VerifyOptions,
 };
 use stgcheck::stg::{gen, Stg};
 
@@ -148,6 +149,41 @@ fn full_verification_verdicts_are_engine_independent() {
                 stg.name()
             );
             assert_eq!(report.engine, kind.to_string(), "{}", stg.name());
+        }
+    }
+}
+
+/// Every engine × `--reorder` mode must reach the identical verification
+/// verdict and state count. `jobs: 2` forces genuine sharding for the
+/// parallel engine, which under `sift`/`auto` also exercises the
+/// mid-fixpoint order broadcast to the workers. Only the BDD *sizes* may
+/// differ across modes — a reorder changes the graph, never the set.
+#[test]
+fn verdicts_and_counts_are_reorder_independent() {
+    for stg in corpus() {
+        let base = verify(&stg, VerifyOptions::default()).unwrap();
+        for kind in [EngineKind::PerTransition, EngineKind::Clustered, EngineKind::ParallelSharded]
+        {
+            for reorder in [ReorderMode::None, ReorderMode::Sift, ReorderMode::Auto] {
+                let opts = VerifyOptions {
+                    engine: EngineOptions { kind, jobs: 2, ..Default::default() },
+                    reorder,
+                    ..VerifyOptions::default()
+                };
+                let report = verify(&stg, opts).unwrap();
+                let ctx = format!("{}: {kind} + reorder {reorder}", stg.name());
+                assert_eq!(report.verdict, base.verdict, "{ctx}");
+                assert_eq!(report.num_states, base.num_states, "{ctx}");
+                assert_eq!(report.safe(), base.safe(), "{ctx}");
+                assert_eq!(report.consistent(), base.consistent(), "{ctx}");
+                assert_eq!(report.persistent(), base.persistent(), "{ctx}");
+                assert_eq!(report.fake_free(), base.fake_free(), "{ctx}");
+                assert_eq!(report.csc_holds(), base.csc_holds(), "{ctx}");
+                assert_eq!(report.irreducible_signals, base.irreducible_signals, "{ctx}");
+                if reorder == ReorderMode::Sift {
+                    assert!(report.sift_passes > 0, "{ctx}: sift mode must run passes");
+                }
+            }
         }
     }
 }

@@ -1,0 +1,117 @@
+//! Dynamic-reordering acceptance suite: in-place sifting must *pay off*
+//! — on benchmark families traversed under a deliberately bad static
+//! order, `--reorder auto` (and `sift`) must reduce the peak live-node
+//! count while computing exactly the same state space — and the grouping
+//! metadata the encoder hands the manager must be well-formed.
+//!
+//! The companion Criterion bench (`crates/bench/benches/reorder.rs`)
+//! times the same configurations; `BENCH_table1.json` records them.
+
+use stgcheck::core::{EngineOptions, ReorderMode, SymbolicStg, VarOrder};
+use stgcheck::stg::gen;
+
+/// Families where the declaration order is known-bad and sifting
+/// recovers an interleaving-quality order (see BENCH_table1.json for the
+/// recorded numbers).
+fn bad_order_families() -> Vec<stgcheck::stg::Stg> {
+    vec![gen::muller_pipeline(8), gen::par_handshakes(6), gen::master_read(4)]
+}
+
+#[test]
+fn sifting_reduces_peak_on_bad_static_orders() {
+    for stg in bad_order_families() {
+        let mut results = Vec::new();
+        for reorder in [ReorderMode::None, ReorderMode::Auto, ReorderMode::Sift] {
+            let mut sym = SymbolicStg::new(&stg, VarOrder::Declaration);
+            let code = sym.effective_initial_code().unwrap();
+            let opts = EngineOptions { reorder, ..EngineOptions::default() };
+            let t = sym.traverse_with_engine(code, &opts);
+            results.push((reorder, t.stats));
+        }
+        let (_, none) = &results[0];
+        for (mode, stats) in &results[1..] {
+            assert_eq!(
+                stats.num_states,
+                none.num_states,
+                "{}: {mode} changed the state count",
+                stg.name()
+            );
+            assert!(*mode == ReorderMode::None || stats.sift_passes > 0, "{}", stg.name());
+            assert!(
+                stats.peak_nodes < none.peak_nodes,
+                "{}: reorder {mode} peak {} not below static-order peak {}",
+                stg.name(),
+                stats.peak_nodes,
+                none.peak_nodes
+            );
+        }
+    }
+}
+
+/// Sifting between iterations must not corrupt the reachable set: the
+/// sifted traversal agrees with an untouched interleaved-order run.
+#[test]
+fn sifted_traversal_matches_clean_traversal() {
+    for stg in bad_order_families() {
+        let mut clean = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let code = clean.effective_initial_code().unwrap();
+        let reference = clean.traverse_with_engine(code, &EngineOptions::default());
+        let mut sifted = SymbolicStg::new(&stg, VarOrder::Declaration);
+        let opts = EngineOptions { reorder: ReorderMode::Sift, ..EngineOptions::default() };
+        let t = sifted.traverse_with_engine(code, &opts);
+        assert_eq!(t.stats.num_states, reference.stats.num_states, "{}", stg.name());
+        sifted.manager().check_invariants();
+    }
+}
+
+/// The interleaved encoder declares one sifting group per signal (the
+/// signal plus its trailing places), covering disjoint variables, each
+/// contiguous in the initial order and led by the signal variable.
+#[test]
+fn interleaved_encoding_declares_contiguous_groups() {
+    for stg in bad_order_families() {
+        let sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let groups = sym.var_groups();
+        assert_eq!(groups.len(), stg.num_signals(), "{}", stg.name());
+        let mgr = sym.manager();
+        let mut seen = vec![false; mgr.num_vars()];
+        for g in groups {
+            assert!(!g.is_empty());
+            assert!(
+                mgr.var_name(g[0]).starts_with("s:"),
+                "{}: group lead not a signal",
+                stg.name()
+            );
+            let levels: Vec<usize> = g.iter().map(|&v| mgr.level_of(v)).collect();
+            let lo = *levels.iter().min().unwrap();
+            let hi = *levels.iter().max().unwrap();
+            assert_eq!(hi - lo + 1, g.len(), "{}: group not contiguous", stg.name());
+            for &v in g {
+                assert!(!seen[v.index()], "{}: variable in two groups", stg.name());
+                seen[v.index()] = true;
+            }
+        }
+        // The non-interleaved orders carry no grouping.
+        let plain = SymbolicStg::new(&stg, VarOrder::Declaration);
+        assert!(plain.var_groups().is_empty());
+    }
+}
+
+/// Grouped sifting keeps every signal block intact through a real
+/// traversal's reorder passes.
+#[test]
+fn signal_groups_survive_traversal_sifting() {
+    let stg = gen::muller_pipeline(8);
+    let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+    let code = sym.effective_initial_code().unwrap();
+    let opts = EngineOptions { reorder: ReorderMode::Sift, ..EngineOptions::default() };
+    let t = sym.traverse_with_engine(code, &opts);
+    assert!(t.stats.sift_passes > 0);
+    let mgr = sym.manager();
+    for g in sym.var_groups() {
+        let levels: Vec<usize> = g.iter().map(|&v| mgr.level_of(v)).collect();
+        let lo = *levels.iter().min().unwrap();
+        let hi = *levels.iter().max().unwrap();
+        assert_eq!(hi - lo + 1, g.len(), "group {g:?} split by sifting");
+    }
+}
