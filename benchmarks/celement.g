@@ -1,0 +1,16 @@
+# Muller C-element specification — the canonical STG from the SIS/petrify
+# async benchmark corpora (there as celement/chu-style specs): the output
+# c rises only after both inputs a and b have risen, and falls only after
+# both have fallen. Transcribed by hand; see benchmarks/README.md.
+.model celement
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end

@@ -1,0 +1,20 @@
+# Simple (fully-coupled) four-phase latch controller, after Furber & Day,
+# "Four-Phase Micropipeline Latch Control Circuits" (IEEE TVLSI 1996):
+# the input handshake (Rin/Ain) and output handshake (Rout/Aout) are tied
+# into one sequential cycle — the "simple" controller trades all
+# concurrency for minimal logic. Latch-enable edges omitted; see
+# benchmarks/README.md for provenance.
+.model fd-latch-simple
+.inputs Rin Aout
+.outputs Ain Rout
+.graph
+Rin+ Rout+
+Rout+ Aout+
+Aout+ Ain+
+Ain+ Rin-
+Rin- Rout-
+Rout- Aout-
+Aout- Ain-
+Ain- Rin+
+.marking { <Ain-,Rin+> }
+.end

@@ -1,0 +1,24 @@
+# Parallel-composition controller ("par"): one master four-phase
+# handshake (r/a) forked into two concurrent slave handshakes
+# (r1/a1, r2/a2) with a C-element-style join on both phases — the
+# standard parallelizer component of the petrify documentation and
+# handshake-circuit literature. Transcribed by hand; see
+# benchmarks/README.md.
+.model par-join
+.inputs r a1 a2
+.outputs a r1 r2
+.graph
+r+ r1+ r2+
+r1+ a1+
+r2+ a2+
+a1+ a+
+a2+ a+
+a+ r-
+r- r1- r2-
+r1- a1-
+r2- a2-
+a1- a-
+a2- a-
+a- r+
+.marking { <a-,r+> }
+.end

@@ -20,9 +20,9 @@ impl BddManager {
     pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
         let mut g = f;
         while !g.is_terminal() {
-            let n = self.node(g);
-            let v = self.var_at(n.level as usize);
-            g = if assignment[v.index()] { n.hi } else { n.lo };
+            let v = self.var_at(self.node(g).level as usize);
+            let (lo, hi) = self.children(g);
+            g = if assignment[v.index()] { hi } else { lo };
         }
         g.is_true()
     }
@@ -74,6 +74,9 @@ impl BddManager {
         }
     }
 
+    /// Complement-aware counting: the memo is keyed on the *tagged*
+    /// handle, so `f` and `¬f` each get their own exact count without any
+    /// subtraction (which would interact badly with saturation).
     fn sat_count_rec(&self, f: Bdd, nvars: u32, memo: &mut HashMap<Bdd, u128>) -> u128 {
         if f.is_false() {
             return 0;
@@ -84,11 +87,12 @@ impl BddManager {
         if let Some(&c) = memo.get(&f) {
             return c;
         }
-        let n = self.node(f);
-        let lo_gap = self.level_norm(n.lo, nvars) - n.level - 1;
-        let hi_gap = self.level_norm(n.hi, nvars) - n.level - 1;
-        let lo = self.sat_count_rec(n.lo, nvars, memo).saturating_mul(pow2(lo_gap));
-        let hi = self.sat_count_rec(n.hi, nvars, memo).saturating_mul(pow2(hi_gap));
+        let level = self.node(f).level;
+        let (lo_edge, hi_edge) = self.children(f);
+        let lo_gap = self.level_norm(lo_edge, nvars) - level - 1;
+        let hi_gap = self.level_norm(hi_edge, nvars) - level - 1;
+        let lo = self.sat_count_rec(lo_edge, nvars, memo).saturating_mul(pow2(lo_gap));
+        let hi = self.sat_count_rec(hi_edge, nvars, memo).saturating_mul(pow2(hi_gap));
         let c = lo.saturating_add(hi);
         memo.insert(f, c);
         c
@@ -103,16 +107,16 @@ impl BddManager {
         let mut lits = Vec::new();
         let mut g = f;
         while !g.is_terminal() {
-            let n = self.node(g);
-            let v = self.var_at(n.level as usize);
+            let v = self.var_at(self.node(g).level as usize);
+            let (lo, hi) = self.children(g);
             // Prefer the low branch when both lead to TRUE-reachable parts;
             // any non-FALSE branch works because the BDD is reduced.
-            if !n.lo.is_false() {
+            if !lo.is_false() {
                 lits.push(Literal::negative(v));
-                g = n.lo;
+                g = lo;
             } else {
                 lits.push(Literal::positive(v));
-                g = n.hi;
+                g = hi;
             }
         }
         Some(lits)
@@ -154,17 +158,17 @@ impl Iterator for Cubes<'_> {
             if f.is_false() {
                 continue;
             }
-            let n = self.manager.node(f);
-            let v = self.manager.var_at(n.level as usize);
-            if !n.hi.is_false() {
+            let v = self.manager.var_at(self.manager.node(f).level as usize);
+            let (lo, hi) = self.manager.children(f);
+            if !hi.is_false() {
                 let mut p = path.clone();
                 p.push(Literal::positive(v));
-                self.stack.push((n.hi, p));
+                self.stack.push((hi, p));
             }
-            if !n.lo.is_false() {
+            if !lo.is_false() {
                 let mut p = path;
                 p.push(Literal::negative(v));
-                self.stack.push((n.lo, p));
+                self.stack.push((lo, p));
             }
         }
         None

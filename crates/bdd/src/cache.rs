@@ -150,10 +150,13 @@ impl DirectCache {
 }
 
 /// The manager's operation caches, one direct-mapped array per shape:
-/// negation (unary), the binary connectives and quantifiers keyed by
-/// `(op, f, g)`, and the two ternary fused operations.
+/// the binary connectives and quantifiers keyed by `(op, f, g)`, and the
+/// two ternary operations. There is no negation cache — with complement
+/// edges `not` is a tag flip and never probes anything. Keys are raw
+/// tagged handles *after* the operations' complement normalization
+/// (operand ordering, tag stripping where the op commutes with `¬`), so
+/// one cache line serves a whole ¬-symmetry class of queries.
 pub(crate) struct OpCaches {
-    not: DirectCache,
     bin: DirectCache,
     ite: DirectCache,
     and_exists: DirectCache,
@@ -162,7 +165,6 @@ pub(crate) struct OpCaches {
 impl Default for OpCaches {
     fn default() -> OpCaches {
         OpCaches {
-            not: DirectCache::new(14),
             bin: DirectCache::new(16),
             ite: DirectCache::new(14),
             and_exists: DirectCache::new(15),
@@ -171,16 +173,6 @@ impl Default for OpCaches {
 }
 
 impl OpCaches {
-    #[inline]
-    pub(crate) fn not_get(&self, f: Bdd) -> Option<Bdd> {
-        self.not.get(f.0, 0, 0)
-    }
-
-    #[inline]
-    pub(crate) fn not_insert(&mut self, f: Bdd, r: Bdd) {
-        self.not.insert(f.0, 0, 0, r);
-    }
-
     #[inline]
     pub(crate) fn bin_get(&self, op: BinOp, f: Bdd, g: Bdd) -> Option<Bdd> {
         self.bin.get(op as u32, f.0, g.0)
@@ -214,7 +206,6 @@ impl OpCaches {
     /// Forgets every entry. Must run whenever node slots may be recycled
     /// (GC, sifting's dead-node reclamation, rebuild).
     pub(crate) fn clear(&mut self) {
-        self.not.clear();
         self.bin.clear();
         self.ite.clear();
         self.and_exists.clear();

@@ -9,8 +9,18 @@ use crate::node::Bdd;
 impl BddManager {
     /// Renders the subgraphs rooted at `roots` as a Graphviz `digraph`.
     ///
-    /// Solid edges are `then` (high) branches, dashed edges are `else`
-    /// (low) branches; the two terminals are drawn as boxes.
+    /// Nodes are identified by their arena slot ([`Bdd::index`], which
+    /// never leaks the complement tag), so `f` and `¬f` render as one
+    /// shared subgraph. Edge styles:
+    ///
+    /// * solid — regular `then` (high) branch;
+    /// * dotted — `else` (low) branch (never complemented, by the
+    ///   canonical form);
+    /// * **dashed** — complement edges: a complemented `then` branch or a
+    ///   complemented root arc.
+    ///
+    /// The single terminal is drawn as a box labelled `1`; `FALSE` is the
+    /// dashed (complemented) arc into it.
     ///
     /// # Examples
     ///
@@ -27,14 +37,21 @@ impl BddManager {
         let mut out = String::new();
         let _ = writeln!(out, "digraph bdd {{");
         let _ = writeln!(out, "  rankdir=TB;");
-        let _ = writeln!(out, "  node0 [label=\"0\", shape=box];");
-        let _ = writeln!(out, "  node1 [label=\"1\", shape=box];");
+        let _ = writeln!(out, "  node0 [label=\"1\", shape=box];");
+        let edge = |out: &mut String, from: String, to: Bdd, dotted: bool| {
+            let style = match (dotted, to.is_complemented()) {
+                (true, _) => " [style=dotted]",
+                (false, true) => " [style=dashed]",
+                (false, false) => "",
+            };
+            let _ = writeln!(out, "  {from} -> node{}{style};", to.index());
+        };
         let mut seen: HashSet<Bdd> = HashSet::new();
         let mut stack = Vec::new();
         for (name, root) in roots {
             let _ = writeln!(out, "  root_{name} [label=\"{name}\", shape=plaintext];");
-            let _ = writeln!(out, "  root_{name} -> node{};", root.index());
-            stack.push(*root);
+            edge(&mut out, format!("root_{name}"), *root, false);
+            stack.push(root.regular());
         }
         while let Some(f) = stack.pop() {
             if f.is_terminal() || !seen.insert(f) {
@@ -48,10 +65,10 @@ impl BddManager {
                 f.index(),
                 self.var_name(var)
             );
-            let _ = writeln!(out, "  node{} -> node{} [style=dashed];", f.index(), n.lo.index());
-            let _ = writeln!(out, "  node{} -> node{};", f.index(), n.hi.index());
+            edge(&mut out, format!("node{}", f.index()), n.lo, true);
+            edge(&mut out, format!("node{}", f.index()), n.hi, false);
             stack.push(n.lo);
-            stack.push(n.hi);
+            stack.push(n.hi.regular());
         }
         let _ = writeln!(out, "}}");
         out
@@ -72,14 +89,31 @@ mod tests {
         let dot = m.to_dot(&[("f", f)]);
         assert!(dot.starts_with("digraph"));
         assert_eq!(dot.matches("shape=circle").count(), m.size(f));
-        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("style=dotted"));
         assert!(dot.contains("root_f"));
+        // f and ¬f share one drawing; only the root arc differs.
+        let nf = m.not(f);
+        let ndot = m.to_dot(&[("f", nf)]);
+        assert_eq!(ndot.matches("shape=circle").count(), m.size(f));
+    }
+
+    #[test]
+    fn complement_arcs_are_dashed() {
+        let mut m = BddManager::new();
+        let x = m.new_var("x");
+        let f = m.var(x); // positive literal = complemented handle
+        let dot = m.to_dot(&[("f", f)]);
+        assert!(dot.contains("style=dashed"), "complemented root arc must be dashed:\n{dot}");
+        // The node ids never leak the tag bit: the only circle is slot 1.
+        assert!(dot.contains("node1 [label=\"x\""), "{dot}");
     }
 
     #[test]
     fn terminal_root_is_legal() {
         let m = BddManager::new();
         let dot = m.to_dot(&[("t", Bdd::TRUE)]);
-        assert!(dot.contains("root_t -> node1"));
+        assert!(dot.contains("root_t -> node0"));
+        let dot = m.to_dot(&[("z", Bdd::FALSE)]);
+        assert!(dot.contains("root_z -> node0 [style=dashed]"));
     }
 }

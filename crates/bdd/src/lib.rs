@@ -5,14 +5,19 @@
 //! workspace, a reproduction of *"Checking Signal Transition Graph
 //! Implementability by Symbolic BDD Traversal"* (Kondratyev, Cortadella,
 //! Kishinevsky, Pastor, Roig, Yakovlev — ED&TC 1995). It implements the
-//! classic Bryant-style ROBDD package the paper builds on:
+//! classic Brace–Rudell–Bryant-style ROBDD package the paper builds on:
 //!
 //! * a hash-consed node arena with per-level unique tables
 //!   ([`BddManager`]), mark-and-sweep garbage collection and peak-size
 //!   statistics (the "BDD size" columns of the paper's Table 1);
-//! * memoised boolean operations (`not`, `and`, `or`, `xor`, `ite`, …)
-//!   backed by fixed-size direct-mapped lossy caches with cheap
-//!   multiplicative hashing — no allocation on the apply path;
+//! * **complement edges** (see `docs/bdd-internals.md`): [`Bdd`] handles
+//!   carry a tag bit, so [`BddManager::not`] is O(1), a function and its
+//!   negation share every node, and `∨`/`∀`/`→`/`−` resolve through the
+//!   `∧`/`∃` caches by De Morgan duality;
+//! * memoised boolean operations (`and`, `or`, `xor`, `ite`, …) backed by
+//!   fixed-size direct-mapped lossy caches with complement-normalized
+//!   keys and cheap multiplicative hashing — no allocation on the apply
+//!   path;
 //! * *cube cofactors* and existential/universal abstraction — the exact
 //!   primitives from which the paper assembles the Petri-net transition
 //!   function (Section 4), plus the fused relational product

@@ -1,5 +1,13 @@
 //! The BDD manager: node arena, hash-consing unique tables, variable order,
 //! garbage collection and statistics.
+//!
+//! Handles are complement-edge tagged ([`Bdd`], see `docs/bdd-internals.md`):
+//! the arena stores every function in *regular* form (else edge never
+//! complemented) and a set tag bit on a handle denotes the negation of the
+//! stored node. All arena bookkeeping — unique tables, refcounts, GC marks,
+//! free lists — operates on untagged slots; only the boolean semantics seen
+//! through [`BddManager::low`]/[`BddManager::high`]/`cofactors_at` apply
+//! the tag.
 
 use std::collections::HashMap;
 
@@ -8,17 +16,20 @@ use crate::node::{Bdd, Level, Literal, Node, Var, DEAD_LEVEL, TERMINAL_LEVEL};
 
 /// One per-level unique table: `(lo, hi) -> node`, exact (canonicity
 /// depends on it) but hashed with the cheap multiplicative mix shared
-/// with the operation caches.
+/// with the operation caches. Keys are stored edges — `lo` always
+/// regular, `hi` possibly complemented — and values are regular handles.
 pub(crate) type UniqueTable = HashMap<(Bdd, Bdd), Bdd, CheapBuildHasher>;
 
 /// Operation codes for the binary-operation cache.
+///
+/// `Or` and `Forall` need no codes: with complement edges they are O(1)
+/// wrappers over `And` and `Exists` (`f∨g = ¬(¬f∧¬g)`, `∀c.f = ¬∃c.¬f`),
+/// which is precisely what doubles the hit rate of the shared cache.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub(crate) enum BinOp {
     And,
-    Or,
     Xor,
     Exists,
-    Forall,
     CofactorCube,
 }
 
@@ -26,6 +37,8 @@ pub(crate) enum BinOp {
 ///
 /// `peak_live_nodes` is the high-water mark of simultaneously live decision
 /// nodes — the quantity reported as "BDD size: peak" in the paper's Table 1.
+/// With complement edges a function and its negation share every node, so
+/// both counters are naturally smaller than in an untagged package.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub struct ManagerStats {
     /// Number of live decision nodes right now (terminals excluded).
@@ -45,12 +58,14 @@ pub struct ManagerStats {
     pub sift_swaps: usize,
 }
 
-/// A manager for Reduced Ordered Binary Decision Diagrams.
+/// A manager for Reduced Ordered Binary Decision Diagrams with complement
+/// edges.
 ///
 /// The manager owns every node; [`Bdd`] handles index into it. Functions are
-/// kept canonical by hash-consing: for a given variable order, structurally
-/// equal functions always receive the same handle, so equality of functions
-/// is `==` on handles.
+/// kept canonical by hash-consing plus the complement-edge normal form: for
+/// a given variable order, structurally equal functions always receive the
+/// same handle, so equality of functions is `==` on handles and negation is
+/// a tag flip ([`BddManager::not`] is O(1)).
 ///
 /// # Examples
 ///
@@ -63,6 +78,8 @@ pub struct ManagerStats {
 /// let f = m.and(vx, vy);
 /// let g = m.and(vy, vx);
 /// assert_eq!(f, g); // canonicity
+/// let nf = m.not(f);
+/// assert_eq!(m.not(nf), f); // O(1) involution
 /// ```
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
@@ -107,9 +124,10 @@ impl BddManager {
     /// Creates an empty manager with no variables.
     pub fn new() -> BddManager {
         BddManager {
-            // Slots 0 and 1 are the terminals; their `Node` content is a
-            // placeholder that is never interpreted.
-            nodes: vec![Node::terminal(), Node::terminal()],
+            // Slot 0 is the single terminal; its `Node` content is a
+            // placeholder that is never interpreted. TRUE is its regular
+            // handle, FALSE the complemented one.
+            nodes: vec![Node::terminal()],
             free: Vec::new(),
             subtables: Vec::new(),
             var_names: Vec::new(),
@@ -187,6 +205,10 @@ impl BddManager {
     }
 
     /// The function of the single positive literal `v`.
+    ///
+    /// With complement edges `v` and `¬v` share one arena node: the
+    /// positive literal is the complemented handle of the stored node
+    /// `(v, lo=TRUE, hi=FALSE)`.
     pub fn var(&mut self, v: Var) -> Bdd {
         let level = self.level_of_var[v.index()];
         self.mk(level, Bdd::FALSE, Bdd::TRUE)
@@ -208,6 +230,12 @@ impl BddManager {
     }
 
     /// Hash-consing constructor — the only way nodes are created.
+    ///
+    /// Canonicalizes to the complement-edge normal form: when the
+    /// requested `lo` edge is complemented, the *negated* node is stored
+    /// (`¬lo`, `¬hi` — with `¬lo` regular) and the complemented handle is
+    /// returned, so `FALSE` never appears as a stored else edge and every
+    /// function has exactly one representation.
     pub(crate) fn mk(&mut self, level: Level, lo: Bdd, hi: Bdd) -> Bdd {
         self.mk_counted(level, lo, hi, &mut None)
     }
@@ -228,21 +256,25 @@ impl BddManager {
         if lo == hi {
             return lo;
         }
+        // Complement-edge canonicalization: store the regular-lo form.
+        let flip = lo.is_complemented();
+        let (lo, hi) = if flip { (lo.complement(), hi.complement()) } else { (lo, hi) };
         if let Some(&found) = self.subtables[level as usize].get(&(lo, hi)) {
-            return found;
+            return found.complement_if(flip);
         }
         let node = Node { level, lo, hi };
-        let id = match self.free.pop() {
+        let slot = match self.free.pop() {
             Some(slot) => {
                 self.nodes[slot as usize] = node;
-                Bdd(slot)
+                slot
             }
             None => {
                 let slot = self.nodes.len() as u32;
                 self.nodes.push(node);
-                Bdd(slot)
+                slot
             }
         };
+        let id = Bdd::from_slot(slot);
         self.subtables[level as usize].insert((lo, hi), id);
         self.live += 1;
         if self.live > self.peak_live {
@@ -260,7 +292,7 @@ impl BddManager {
                 refs[hi.index()] += 1;
             }
         }
-        id
+        id.complement_if(flip)
     }
 
     #[inline]
@@ -278,6 +310,16 @@ impl BddManager {
         }
     }
 
+    /// Tag-resolved children of a non-terminal `f`: the stored edges with
+    /// `f`'s complement tag pushed down (`¬node` has children `¬lo`,
+    /// `¬hi`). These are the *semantic* else/then cofactors.
+    #[inline]
+    pub(crate) fn children(&self, f: Bdd) -> (Bdd, Bdd) {
+        let n = &self.nodes[f.index()];
+        let t = f.is_complemented();
+        (n.lo.complement_if(t), n.hi.complement_if(t))
+    }
+
     /// The decision variable at the root of `f`.
     ///
     /// # Panics
@@ -288,24 +330,24 @@ impl BddManager {
         self.var_at_level[self.node(f).level as usize]
     }
 
-    /// Low (else) child of `f`.
+    /// Low (else) child of `f`, with the complement tag resolved.
     ///
     /// # Panics
     ///
     /// Panics if `f` is a terminal.
     pub fn low(&self, f: Bdd) -> Bdd {
         assert!(!f.is_terminal(), "terminals have no children");
-        self.node(f).lo
+        self.children(f).0
     }
 
-    /// High (then) child of `f`.
+    /// High (then) child of `f`, with the complement tag resolved.
     ///
     /// # Panics
     ///
     /// Panics if `f` is a terminal.
     pub fn high(&self, f: Bdd) -> Bdd {
         assert!(!f.is_terminal(), "terminals have no children");
-        self.node(f).hi
+        self.children(f).1
     }
 
     /// Cofactors of `f` with respect to the variable at `level`, i.e.
@@ -314,36 +356,24 @@ impl BddManager {
     #[inline]
     pub(crate) fn cofactors_at(&self, f: Bdd, level: Level) -> (Bdd, Bdd) {
         if self.level(f) == level {
-            let n = self.node(f);
-            (n.lo, n.hi)
+            self.children(f)
         } else {
             (f, f)
         }
     }
 
-    /// Number of decision nodes in the subgraph rooted at `f` (terminals not
-    /// counted). The quantity reported as "BDD size: final" in Table 1.
+    /// Number of decision nodes in the subgraph rooted at `f` (the
+    /// terminal not counted). `f` and `¬f` share every node and report the
+    /// same size. The quantity reported as "BDD size: final" in Table 1.
     pub fn size(&self, f: Bdd) -> usize {
-        let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f];
-        let mut count = 0;
-        while let Some(g) = stack.pop() {
-            if g.is_terminal() || !seen.insert(g) {
-                continue;
-            }
-            count += 1;
-            let n = self.node(g);
-            stack.push(n.lo);
-            stack.push(n.hi);
-        }
-        count
+        self.size_many(&[f])
     }
 
     /// Number of decision nodes in the union of the subgraphs rooted at
-    /// `roots` (shared nodes counted once).
+    /// `roots` (shared nodes counted once, complement tags ignored).
     pub fn size_many(&self, roots: &[Bdd]) -> usize {
         let mut seen = std::collections::HashSet::new();
-        let mut stack: Vec<Bdd> = roots.to_vec();
+        let mut stack: Vec<Bdd> = roots.iter().map(|r| r.regular()).collect();
         let mut count = 0;
         while let Some(g) = stack.pop() {
             if g.is_terminal() || !seen.insert(g) {
@@ -352,7 +382,7 @@ impl BddManager {
             count += 1;
             let n = self.node(g);
             stack.push(n.lo);
-            stack.push(n.hi);
+            stack.push(n.hi.regular());
         }
         count
     }
@@ -361,7 +391,7 @@ impl BddManager {
     pub fn support(&self, f: Bdd) -> Vec<Var> {
         let mut seen = std::collections::HashSet::new();
         let mut levels = std::collections::BTreeSet::new();
-        let mut stack = vec![f];
+        let mut stack = vec![f.regular()];
         while let Some(g) = stack.pop() {
             if g.is_terminal() || !seen.insert(g) {
                 continue;
@@ -369,7 +399,7 @@ impl BddManager {
             let n = self.node(g);
             levels.insert(n.level);
             stack.push(n.lo);
-            stack.push(n.hi);
+            stack.push(n.hi.regular());
         }
         levels.into_iter().map(|l| self.var_at_level[l as usize]).collect()
     }
@@ -471,27 +501,26 @@ impl BddManager {
     /// Every node not reachable from `roots` is reclaimed and its slot
     /// recycled; all operation caches are cleared. Handles other than the
     /// ones transitively reachable from `roots` become dangling — callers
-    /// must treat them as invalidated.
+    /// must treat them as invalidated. Complement tags are irrelevant to
+    /// reachability: keeping `f` keeps `¬f` by construction.
     ///
     /// Returns the number of reclaimed nodes.
     pub fn gc(&mut self, roots: &[Bdd]) -> usize {
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
-        marked[1] = true;
-        let mut stack: Vec<Bdd> = roots.to_vec();
-        while let Some(f) = stack.pop() {
-            let i = f.index();
+        let mut stack: Vec<usize> = roots.iter().map(|r| r.index()).collect();
+        while let Some(i) = stack.pop() {
             if marked[i] {
                 continue;
             }
             marked[i] = true;
             let n = self.nodes[i];
             debug_assert!(!n.is_dead(), "root set references a dead node");
-            stack.push(n.lo);
-            stack.push(n.hi);
+            stack.push(n.lo.index());
+            stack.push(n.hi.index());
         }
         let mut reclaimed = 0;
-        for (i, &kept) in marked.iter().enumerate().skip(2) {
+        for (i, &kept) in marked.iter().enumerate().skip(1) {
             if kept || self.nodes[i].is_dead() {
                 continue;
             }
@@ -518,25 +547,27 @@ impl BddManager {
         }
     }
 
-    /// Verifies internal invariants (canonicity, ordering, table
-    /// consistency). Intended for tests; O(nodes).
+    /// Verifies internal invariants (canonicity including the
+    /// complement-edge normal form, ordering, table consistency).
+    /// Intended for tests; O(nodes).
     ///
     /// # Panics
     ///
     /// Panics with a description of the violated invariant.
     pub fn check_invariants(&self) {
-        for (i, n) in self.nodes.iter().enumerate().skip(2) {
+        for (i, n) in self.nodes.iter().enumerate().skip(1) {
             if n.is_dead() {
                 continue;
             }
             assert!(n.lo != n.hi, "node {i} is redundant");
+            assert!(!n.lo.is_complemented(), "node {i} has a complemented else edge");
             assert!(
                 self.level(n.lo) > n.level && self.level(n.hi) > n.level,
                 "node {i} violates variable order"
             );
             assert_eq!(
                 self.subtables[n.level as usize].get(&(n.lo, n.hi)),
-                Some(&Bdd(i as u32)),
+                Some(&Bdd::from_slot(i as u32)),
                 "node {i} missing from its unique table"
             );
         }
@@ -573,12 +604,15 @@ mod tests {
     }
 
     #[test]
-    fn literal_nodes() {
+    fn literal_nodes_share_one_slot() {
         let mut m = BddManager::new();
         let x = m.new_var("x");
         let pos = m.var(x);
         let neg = m.nvar(x);
         assert_ne!(pos, neg);
+        // One arena node serves both polarities via the complement tag.
+        assert_eq!(m.live_nodes(), 1);
+        assert_eq!(pos, neg.complement());
         assert_eq!(m.low(pos), Bdd::FALSE);
         assert_eq!(m.high(pos), Bdd::TRUE);
         assert_eq!(m.low(neg), Bdd::TRUE);
@@ -596,7 +630,24 @@ mod tests {
         let _x = m.new_var("x");
         let r = m.mk(0, Bdd::TRUE, Bdd::TRUE);
         assert_eq!(r, Bdd::TRUE);
+        let r = m.mk(0, Bdd::FALSE, Bdd::FALSE);
+        assert_eq!(r, Bdd::FALSE);
         assert_eq!(m.live_nodes(), 0);
+    }
+
+    #[test]
+    fn mk_canonicalizes_complemented_else() {
+        let mut m = BddManager::new();
+        let _x = m.new_var("x");
+        // mk(x, FALSE, TRUE) (the positive literal) must store the
+        // regular-lo node and return its complement.
+        let pos = m.mk(0, Bdd::FALSE, Bdd::TRUE);
+        assert!(pos.is_complemented());
+        let neg = m.mk(0, Bdd::TRUE, Bdd::FALSE);
+        assert!(!neg.is_complemented());
+        assert_eq!(pos, neg.complement());
+        assert_eq!(m.live_nodes(), 1);
+        m.check_invariants();
     }
 
     #[test]
@@ -608,10 +659,14 @@ mod tests {
         let (vx, vy) = (m.var(x), m.var(y));
         let f = m.and(vx, vy);
         assert_eq!(m.size(f), 2);
+        // A function and its complement share every node.
+        assert_eq!(m.size(f.complement()), 2);
         assert_eq!(m.support(f), vec![x, y]);
         assert!(!m.support(f).contains(&z));
         assert_eq!(m.size(Bdd::TRUE), 0);
-        // f's subgraph (2 nodes) plus the distinct literal node for x.
+        // f's subgraph shares the y-literal slot? No: f = x∧y is the
+        // root node over the y-literal node, and the x literal is its own
+        // node — three distinct slots in total.
         assert_eq!(m.size_many(&[f, vx]), 3);
     }
 

@@ -1,14 +1,19 @@
 //! Boolean operations on BDDs: negation, the binary connectives and `ite`.
 //!
-//! All operations are memoised in the manager's operation caches, so repeated
-//! sub-problems cost a hash lookup. Results are canonical: two calls that
-//! compute the same function return the same handle.
+//! With complement edges, negation is a tag flip — no traversal, no cache,
+//! no arena growth — and the connectives collapse onto a small core:
+//! `or` is De Morgan over `and`, `implies`/`diff` are `and` with one
+//! negated operand, `iff` is a negated `xor`. The core operations memoise
+//! complement-*normalized* keys (operand order for the symmetric ops,
+//! tags stripped where the operation commutes with negation), so `f∧g`,
+//! `g∧f`, `¬f∨¬g` and `¬(f∧g)` all resolve through a single cache line.
 
 use crate::manager::{BddManager, BinOp};
 use crate::node::Bdd;
 
 impl BddManager {
-    /// Logical negation `¬f`.
+    /// Logical negation `¬f` — O(1): flips the complement tag of the
+    /// handle, touching neither the arena nor any cache.
     ///
     /// # Examples
     ///
@@ -21,23 +26,9 @@ impl BddManager {
     /// assert_eq!(nf, m.nvar(x));
     /// assert_eq!(m.not(nf), f);
     /// ```
+    #[inline]
     pub fn not(&mut self, f: Bdd) -> Bdd {
-        if f.is_false() {
-            return Bdd::TRUE;
-        }
-        if f.is_true() {
-            return Bdd::FALSE;
-        }
-        if let Some(r) = self.caches.not_get(f) {
-            return r;
-        }
-        let n = *self.node(f);
-        let lo = self.not(n.lo);
-        let hi = self.not(n.hi);
-        let r = self.mk(n.level, lo, hi);
-        self.caches.not_insert(f, r);
-        self.caches.not_insert(r, f);
-        r
+        f.complement()
     }
 
     /// Conjunction `f ∧ g`.
@@ -51,6 +42,9 @@ impl BddManager {
         }
         if g.is_true() || f == g {
             return f;
+        }
+        if f == g.complement() {
+            return Bdd::FALSE;
         }
         let (a, b) = (f.min(g), f.max(g));
         if let Some(r) = self.caches.bin_get(BinOp::And, a, b) {
@@ -66,51 +60,33 @@ impl BddManager {
         r
     }
 
-    /// Disjunction `f ∨ g`.
+    /// Disjunction `f ∨ g`, by De Morgan through the `and` cache:
+    /// `f ∨ g = ¬(¬f ∧ ¬g)`.
     pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        if f.is_true() || g.is_true() {
-            return Bdd::TRUE;
-        }
-        if f.is_false() {
-            return g;
-        }
-        if g.is_false() || f == g {
-            return f;
-        }
-        let (a, b) = (f.min(g), f.max(g));
-        if let Some(r) = self.caches.bin_get(BinOp::Or, a, b) {
-            return r;
-        }
-        let top = self.level(f).min(self.level(g));
-        let (f0, f1) = self.cofactors_at(f, top);
-        let (g0, g1) = self.cofactors_at(g, top);
-        let lo = self.or(f0, g0);
-        let hi = self.or(f1, g1);
-        let r = self.mk(top, lo, hi);
-        self.caches.bin_insert(BinOp::Or, a, b, r);
-        r
+        self.and(f.complement(), g.complement()).complement()
     }
 
     /// Exclusive or `f ⊕ g`.
+    ///
+    /// Complement-normalized: `¬f ⊕ g = f ⊕ ¬g = ¬(f ⊕ g)`, so both
+    /// operands are stripped to their regular handles before the cache is
+    /// consulted and the combined tag parity is re-applied to the result.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let parity = f.is_complemented() ^ g.is_complemented();
+        let (f, g) = (f.regular(), g.regular());
         if f == g {
-            return Bdd::FALSE;
+            return Bdd::TRUE.complement_if(!parity);
         }
-        if f.is_false() {
-            return g;
-        }
-        if g.is_false() {
-            return f;
-        }
+        // After regularization the only reachable terminal is TRUE.
         if f.is_true() {
-            return self.not(g);
+            return g.complement_if(!parity);
         }
         if g.is_true() {
-            return self.not(f);
+            return f.complement_if(!parity);
         }
         let (a, b) = (f.min(g), f.max(g));
         if let Some(r) = self.caches.bin_get(BinOp::Xor, a, b) {
-            return r;
+            return r.complement_if(parity);
         }
         let top = self.level(f).min(self.level(g));
         let (f0, f1) = self.cofactors_at(f, top);
@@ -119,29 +95,32 @@ impl BddManager {
         let hi = self.xor(f1, g1);
         let r = self.mk(top, lo, hi);
         self.caches.bin_insert(BinOp::Xor, a, b, r);
-        r
+        r.complement_if(parity)
     }
 
     /// Set difference `f ∧ ¬g` — the idiom used throughout the traversal
-    /// algorithms (`New = From − Reached`).
+    /// algorithms (`New = From − Reached`). The negation is free, so this
+    /// is exactly one `and`.
     pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let ng = self.not(g);
-        self.and(f, ng)
+        self.and(f, g.complement())
     }
 
-    /// Implication `f → g`.
+    /// Implication `f → g = ¬(f ∧ ¬g)`.
     pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let nf = self.not(f);
-        self.or(nf, g)
+        self.and(f, g.complement()).complement()
     }
 
-    /// Biconditional `f ↔ g`.
+    /// Biconditional `f ↔ g = ¬(f ⊕ g)`.
     pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let x = self.xor(f, g);
-        self.not(x)
+        self.xor(f, g).complement()
     }
 
     /// If-then-else `(f ∧ g) ∨ (¬f ∧ h)`, the universal connective.
+    ///
+    /// Normalized before the cache probe: a complemented condition swaps
+    /// the branches (`ite(¬f,g,h) = ite(f,h,g)`) and a complemented then
+    /// branch factors out (`ite(f,¬g,¬h) = ¬ite(f,g,h)`), so the cached
+    /// key always has a regular `f` and a regular `g`.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
         // Terminal cases.
         if f.is_true() {
@@ -153,14 +132,42 @@ impl BddManager {
         if g == h {
             return g;
         }
-        if g.is_true() && h.is_false() {
-            return f;
+        if g == h.complement() {
+            // ite(f, g, ¬g) = f ↔ g.
+            return self.iff(f, g);
         }
-        if g.is_false() && h.is_true() {
-            return self.not(f);
+        // Operand coincidences route into the shared and-cache.
+        if f == g {
+            return self.or(f, h); // ite(f, f, h)
         }
+        if f == g.complement() {
+            return self.and(f.complement(), h); // ite(f, ¬f, h)
+        }
+        if f == h {
+            return self.and(f, g); // ite(f, g, f)
+        }
+        if f == h.complement() {
+            return self.or(f.complement(), g); // ite(f, g, ¬f)
+        }
+        if g.is_true() {
+            return self.or(f, h);
+        }
+        if g.is_false() {
+            return self.and(f.complement(), h);
+        }
+        if h.is_false() {
+            return self.and(f, g);
+        }
+        if h.is_true() {
+            return self.or(f.complement(), g);
+        }
+        // Normalization 1: regular condition.
+        let (f, g, h) = if f.is_complemented() { (f.complement(), h, g) } else { (f, g, h) };
+        // Normalization 2: regular then-branch; the tag moves to the result.
+        let flip = g.is_complemented();
+        let (g, h) = if flip { (g.complement(), h.complement()) } else { (g, h) };
         if let Some(r) = self.caches.ite_get(f, g, h) {
-            return r;
+            return r.complement_if(flip);
         }
         let top = self.level(f).min(self.level(g)).min(self.level(h));
         let (f0, f1) = self.cofactors_at(f, top);
@@ -170,7 +177,7 @@ impl BddManager {
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(top, lo, hi);
         self.caches.ite_insert(f, g, h, r);
-        r
+        r.complement_if(flip)
     }
 
     /// Functional composition: substitutes `g` for variable `v` in `f`
@@ -258,11 +265,16 @@ mod tests {
     }
 
     #[test]
-    fn double_negation() {
+    fn double_negation_is_free() {
         let (mut m, x, y, _) = setup();
         let f = m.xor(x, y);
+        let live = m.live_nodes();
+        let nodes = m.nodes.len();
         let nf = m.not(f);
         assert_eq!(m.not(nf), f);
+        // O(1) negation: no node was created or even looked up.
+        assert_eq!(m.live_nodes(), live);
+        assert_eq!(m.nodes.len(), nodes);
     }
 
     #[test]
@@ -275,6 +287,15 @@ mod tests {
     }
 
     #[test]
+    fn contradiction_and_excluded_middle() {
+        let (mut m, x, y, _) = setup();
+        let f = m.xor(x, y);
+        let nf = m.not(f);
+        assert_eq!(m.and(f, nf), Bdd::FALSE);
+        assert_eq!(m.or(f, nf), Bdd::TRUE);
+    }
+
+    #[test]
     fn xor_properties() {
         let (mut m, x, y, _) = setup();
         assert_eq!(m.xor(x, x), Bdd::FALSE);
@@ -284,6 +305,11 @@ mod tests {
         let a = m.xor(x, y);
         let b = m.xor(y, x);
         assert_eq!(a, b);
+        // Complement normalization: ¬x ⊕ y = ¬(x ⊕ y).
+        let c = m.xor(nx, y);
+        assert_eq!(c, a.complement());
+        let ny = m.not(y);
+        assert_eq!(m.xor(nx, ny), a);
     }
 
     #[test]
@@ -295,6 +321,23 @@ mod tests {
         let nfh = m.and(nf, h);
         let by_def = m.or(fg, nfh);
         assert_eq!(ite, by_def);
+    }
+
+    #[test]
+    fn ite_normalizations() {
+        let (mut m, f, g, h) = setup();
+        let base = m.ite(f, g, h);
+        // ite(¬f, h, g) == ite(f, g, h).
+        let nf = m.not(f);
+        assert_eq!(m.ite(nf, h, g), base);
+        // ite(f, ¬g, ¬h) == ¬ite(f, g, h).
+        let (ng, nh) = (m.not(g), m.not(h));
+        assert_eq!(m.ite(f, ng, nh), base.complement());
+        // ite(f, g, ¬g) == f ↔ g.
+        let ng = m.not(g);
+        let lhs = m.ite(f, g, ng);
+        let rhs = m.iff(f, g);
+        assert_eq!(lhs, rhs);
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //! drop those variables) and products. Reachability additionally needs
 //! existential abstraction `∃x.f` and the fused relational product
 //! [`BddManager::and_exists`].
+//!
+//! Complement edges shape this module twice over: the cube cofactor
+//! commutes with negation (`(¬f)_c = ¬(f_c)`), so its cache is keyed on
+//! regular handles only, and universal abstraction is the free dual
+//! `∀c.f = ¬∃c.¬f` — one recursion serves both quantifiers through one
+//! cache.
 
 use crate::manager::{BddManager, BinOp};
 use crate::node::{Bdd, Literal, Var};
@@ -51,10 +57,10 @@ impl BddManager {
             return false;
         }
         while !g.is_terminal() {
-            let n = self.node(g);
-            match (n.lo.is_false(), n.hi.is_false()) {
-                (true, false) => g = n.hi,
-                (false, true) => g = n.lo,
+            let (lo, hi) = self.children(g);
+            match (lo.is_false(), hi.is_false()) {
+                (true, false) => g = hi,
+                (false, true) => g = lo,
                 _ => return false,
             }
         }
@@ -71,17 +77,29 @@ impl BddManager {
         let mut lits = Vec::new();
         let mut g = f;
         while !g.is_terminal() {
-            let n = self.node(g);
-            let v = self.var_at(n.level as usize);
-            if n.lo.is_false() {
+            let v = self.var_at(self.node(g).level as usize);
+            let (lo, hi) = self.children(g);
+            if lo.is_false() {
                 lits.push(Literal::positive(v));
-                g = n.hi;
+                g = hi;
             } else {
                 lits.push(Literal::negative(v));
-                g = n.lo;
+                g = lo;
             }
         }
         lits
+    }
+
+    /// The semantically next sub-cube of a cube `c` (drops the top
+    /// literal), with complement tags resolved.
+    #[inline]
+    fn cube_tail(&self, c: Bdd) -> Bdd {
+        let (lo, hi) = self.children(c);
+        if lo.is_false() {
+            hi
+        } else {
+            lo
+        }
     }
 
     /// Restricts `f` by `v = value` (Shannon cofactor w.r.t. one literal).
@@ -95,15 +113,21 @@ impl BddManager {
     /// (Section 4 of the paper): every variable of `c` is fixed to its
     /// polarity in `c` and *removed* from the function.
     ///
+    /// Commutes with complementation, so the memo table is keyed on the
+    /// regular handle of `f` and serves `f_c` and `(¬f)_c` alike.
+    ///
     /// # Panics
     ///
     /// Panics in debug builds if `c` is not a cube.
     pub fn cofactor_cube(&mut self, f: Bdd, c: Bdd) -> Bdd {
         debug_assert!(self.is_cube(c), "cofactor requires a cube");
-        self.cofactor_rec(f, c)
+        let tag = f.is_complemented();
+        self.cofactor_rec(f.regular(), c).complement_if(tag)
     }
 
+    /// Recursive cofactor over a *regular* `f`.
     fn cofactor_rec(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        debug_assert!(!f.is_complemented());
         if c.is_true() || f.is_terminal() {
             return f;
         }
@@ -114,21 +138,20 @@ impl BddManager {
         let cl = self.level(c);
         let r = if cl < fl {
             // `f` does not depend on the cube's top variable: skip it.
-            let cn = *self.node(c);
-            let next = if cn.lo.is_false() { cn.hi } else { cn.lo };
+            let next = self.cube_tail(c);
             self.cofactor_rec(f, next)
         } else if cl == fl {
-            let fn_ = *self.node(f);
-            let cn = *self.node(c);
-            if cn.lo.is_false() {
-                self.cofactor_rec(fn_.hi, cn.hi)
-            } else {
-                self.cofactor_rec(fn_.lo, cn.lo)
-            }
+            let (flo, fhi) = self.children(f);
+            let (clo, _chi) = self.children(c);
+            let next = self.cube_tail(c);
+            let branch = if clo.is_false() { fhi } else { flo };
+            let tag = branch.is_complemented();
+            self.cofactor_rec(branch.regular(), next).complement_if(tag)
         } else {
-            let fn_ = *self.node(f);
-            let lo = self.cofactor_rec(fn_.lo, c);
-            let hi = self.cofactor_rec(fn_.hi, c);
+            let (flo, fhi) = self.children(f);
+            let hi_tag = fhi.is_complemented();
+            let lo = self.cofactor_rec(flo, c);
+            let hi = self.cofactor_rec(fhi.regular(), c).complement_if(hi_tag);
             self.mk(fl, lo, hi)
         };
         self.caches.bin_insert(BinOp::CofactorCube, f, c, r);
@@ -161,8 +184,7 @@ impl BddManager {
         }
         // Skip cube variables above the root of f.
         while !c.is_terminal() && self.level(c) < self.level(f) {
-            let n = self.node(c);
-            c = if n.lo.is_false() { n.hi } else { n.lo };
+            c = self.cube_tail(c);
         }
         if c.is_true() {
             return f;
@@ -172,58 +194,31 @@ impl BddManager {
         }
         let fl = self.level(f);
         let cl = self.level(c);
-        let fn_ = *self.node(f);
+        let (flo, fhi) = self.children(f);
         let r = if cl == fl {
-            let cn = *self.node(c);
-            let next = if cn.lo.is_false() { cn.hi } else { cn.lo };
-            let lo = self.exists_rec(fn_.lo, next);
-            let hi = self.exists_rec(fn_.hi, next);
-            self.or(lo, hi)
+            let next = self.cube_tail(c);
+            let lo = self.exists_rec(flo, next);
+            if lo.is_true() {
+                // Early termination: the disjunction is already TRUE.
+                Bdd::TRUE
+            } else {
+                let hi = self.exists_rec(fhi, next);
+                self.or(lo, hi)
+            }
         } else {
-            let lo = self.exists_rec(fn_.lo, c);
-            let hi = self.exists_rec(fn_.hi, c);
+            let lo = self.exists_rec(flo, c);
+            let hi = self.exists_rec(fhi, c);
             self.mk(fl, lo, hi)
         };
         self.caches.bin_insert(BinOp::Exists, f, c, r);
         r
     }
 
-    /// Universal abstraction `∀ vars(c) . f`.
+    /// Universal abstraction `∀ vars(c) . f`, as the free complement dual
+    /// `¬∃ vars(c) . ¬f` — no recursion or cache of its own.
     pub fn forall(&mut self, f: Bdd, c: Bdd) -> Bdd {
         debug_assert!(self.is_cube(c), "quantification prefix must be a cube");
-        self.forall_rec(f, c)
-    }
-
-    fn forall_rec(&mut self, f: Bdd, mut c: Bdd) -> Bdd {
-        if f.is_terminal() {
-            return f;
-        }
-        while !c.is_terminal() && self.level(c) < self.level(f) {
-            let n = self.node(c);
-            c = if n.lo.is_false() { n.hi } else { n.lo };
-        }
-        if c.is_true() {
-            return f;
-        }
-        if let Some(r) = self.caches.bin_get(BinOp::Forall, f, c) {
-            return r;
-        }
-        let fl = self.level(f);
-        let cl = self.level(c);
-        let fn_ = *self.node(f);
-        let r = if cl == fl {
-            let cn = *self.node(c);
-            let next = if cn.lo.is_false() { cn.hi } else { cn.lo };
-            let lo = self.forall_rec(fn_.lo, next);
-            let hi = self.forall_rec(fn_.hi, next);
-            self.and(lo, hi)
-        } else {
-            let lo = self.forall_rec(fn_.lo, c);
-            let hi = self.forall_rec(fn_.hi, c);
-            self.mk(fl, lo, hi)
-        };
-        self.caches.bin_insert(BinOp::Forall, f, c, r);
-        r
+        self.exists_rec(f.complement(), c).complement()
     }
 
     /// Fused relational product `∃ vars(c) . (f ∧ g)`.
@@ -236,10 +231,10 @@ impl BddManager {
     }
 
     fn and_exists_rec(&mut self, f: Bdd, g: Bdd, c: Bdd) -> Bdd {
-        if f.is_false() || g.is_false() {
+        if f.is_false() || g.is_false() || f == g.complement() {
             return Bdd::FALSE;
         }
-        if f.is_true() {
+        if f.is_true() || f == g {
             return self.exists_rec(g, c);
         }
         if g.is_true() {
@@ -256,8 +251,7 @@ impl BddManager {
         // Skip cube variables above both operands.
         let mut c2 = c;
         while !c2.is_terminal() && self.level(c2) < top {
-            let n = self.node(c2);
-            c2 = if n.lo.is_false() { n.hi } else { n.lo };
+            c2 = self.cube_tail(c2);
         }
         if c2.is_true() {
             let r = self.and(f, g);
@@ -267,8 +261,7 @@ impl BddManager {
         let (f0, f1) = self.cofactors_at(f, top);
         let (g0, g1) = self.cofactors_at(g, top);
         let r = if self.level(c2) == top {
-            let cn = *self.node(c2);
-            let next = if cn.lo.is_false() { cn.hi } else { cn.lo };
+            let next = self.cube_tail(c2);
             let lo = self.and_exists_rec(f0, g0, next);
             if lo.is_true() {
                 // Early termination: the disjunction is already TRUE.
@@ -350,6 +343,11 @@ mod tests {
         let f = m.or(vx, vy);
         assert!(!m.is_cube(f));
         assert!(m.is_cube(m.one()));
+        // A complemented cube is generally not a cube.
+        let c = m.cube(&[Literal::positive(x), Literal::positive(y)]);
+        assert!(m.is_cube(c));
+        let nc = m.not(c);
+        assert!(!m.is_cube(nc));
     }
 
     #[test]
@@ -362,6 +360,19 @@ mod tests {
         assert_eq!(f_x1, ny);
         let f_x0 = m.restrict(f, x, false);
         assert_eq!(f_x0, vy);
+    }
+
+    #[test]
+    fn cofactor_commutes_with_negation() {
+        let (mut m, x, y, z) = setup3();
+        let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
+        let xy = m.and(vx, vy);
+        let f = m.or(xy, vz);
+        let c = m.cube(&[Literal::positive(x), Literal::negative(z)]);
+        let pos = m.cofactor_cube(f, c);
+        let nf = m.not(f);
+        let neg = m.cofactor_cube(nf, c);
+        assert_eq!(neg, m.not(pos));
     }
 
     #[test]
@@ -419,6 +430,13 @@ mod tests {
         let ex = m.exists(nf, c);
         let dual = m.not(ex);
         assert_eq!(all, dual);
+        // And the Shannon law directly.
+        let f0 = m.restrict(f, x, false);
+        let f1 = m.restrict(f, x, true);
+        let cx = m.vars_cube(&[x]);
+        let fa = m.forall(f, cx);
+        let expected = m.and(f0, f1);
+        assert_eq!(fa, expected);
     }
 
     #[test]
@@ -432,6 +450,16 @@ mod tests {
         let conj = m.and(f, g);
         let unfused = m.exists(conj, c);
         assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn and_exists_of_complements_is_empty() {
+        let (mut m, x, y, _) = setup3();
+        let (vx, vy) = (m.var(x), m.var(y));
+        let f = m.or(vx, vy);
+        let nf = m.not(f);
+        let c = m.vars_cube(&[x]);
+        assert!(m.and_exists(f, nf, c).is_false());
     }
 
     #[test]

@@ -78,15 +78,17 @@ impl BddManager {
 ///
 /// Shannon-expands on the source root variable and recombines with `ite` in
 /// the destination, which re-canonicalises under the destination order.
+/// Transfer commutes with complementation, so the memo is keyed on the
+/// regular handle: a subgraph reached in both polarities (ubiquitous with
+/// complement edges) is walked once per slot, not once per tag.
 fn transfer(src: &BddManager, dst: &mut BddManager, f: Bdd, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
-    if f.is_false() {
-        return Bdd::FALSE;
+    if f.is_terminal() {
+        return f;
     }
-    if f.is_true() {
-        return Bdd::TRUE;
-    }
+    let tag = f.is_complemented();
+    let f = f.regular();
     if let Some(&r) = memo.get(&f) {
-        return r;
+        return r.complement_if(tag);
     }
     let v = src.root_var(f);
     let lo = transfer(src, dst, src.low(f), memo);
@@ -94,7 +96,7 @@ fn transfer(src: &BddManager, dst: &mut BddManager, f: Bdd, memo: &mut HashMap<B
     let dv = dst.var(v);
     let r = dst.ite(dv, hi, lo);
     memo.insert(f, r);
-    r
+    r.complement_if(tag)
 }
 
 #[cfg(test)]

@@ -7,6 +7,12 @@
 //! (same variable at the same level), which holds by construction when the
 //! managers were populated by the same deterministic declaration sequence.
 //!
+//! References carry a **complement bit** (format version 2, see
+//! `docs/bdd-internals.md`): a snapshot of a complement-edge manager is
+//! lossless, round-trips through managers with different tag layouts, and
+//! `¬f` serialises to the same node list as `f` with only the root
+//! reference differing.
+//!
 //! The in-memory form is already compact (12 bytes per node); for wire or
 //! disk use, [`SerializedBdd::to_bytes`] produces an LEB128-varint stream
 //! that typically shrinks small-level, near-child references to a few
@@ -17,15 +23,23 @@ use std::collections::HashMap;
 use crate::manager::BddManager;
 use crate::node::{Bdd, Level};
 
-/// Reference encoding inside a [`SerializedBdd`]: `0` and `1` are the
-/// terminals, `k + 2` is the `k`-th entry of the node list.
-const REF_BASE: u32 = 2;
+/// Reference encoding inside a [`SerializedBdd`]: bit 0 is the complement
+/// tag; the remaining bits are `0` for the terminal and `k + 1` for the
+/// `k`-th entry of the node list. So `0` is `TRUE`, `1` is `FALSE`, and
+/// `(k + 1) << 1 | c` is entry `k`, complemented iff `c` is set.
+const REF_NODE_BASE: u32 = 1;
+
+/// Wire-format version written by [`SerializedBdd::to_bytes`]. Version 2
+/// introduced tagged (complement-edge) references; version-1 streams
+/// (plain indices, two terminals) are rejected rather than misread.
+const FORMAT_VERSION: u32 = 2;
 
 /// A manager-independent snapshot of one BDD.
 ///
 /// Nodes are listed children-first (topological order), so importing can
 /// rebuild bottom-up with plain hash-consing. Shared subgraphs are stored
-/// once, exactly as in the manager.
+/// once, exactly as in the manager, and complement tags are preserved
+/// per edge.
 ///
 /// # Examples
 ///
@@ -46,8 +60,8 @@ const REF_BASE: u32 = 2;
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SerializedBdd {
-    /// `(level, lo, hi)` per node; `lo`/`hi` use the [`REF_BASE`] encoding
-    /// and always point at earlier entries (or terminals).
+    /// `(level, lo, hi)` per node; `lo`/`hi` use the tagged reference
+    /// encoding and always point at earlier entries (or the terminal).
     nodes: Vec<(u32, u32, u32)>,
     /// Root reference in the same encoding.
     root: u32,
@@ -65,6 +79,9 @@ pub enum SerializeError {
     ForwardReference,
     /// Trailing bytes after the root reference.
     TrailingBytes,
+    /// The stream's format version is not the one this build writes
+    /// (e.g. a pre-complement-edge version-1 stream).
+    UnsupportedVersion(u32),
 }
 
 impl std::fmt::Display for SerializeError {
@@ -74,6 +91,9 @@ impl std::fmt::Display for SerializeError {
             SerializeError::Overflow => write!(f, "varint exceeds 32 bits"),
             SerializeError::ForwardReference => write!(f, "node references an undefined node"),
             SerializeError::TrailingBytes => write!(f, "trailing bytes after root"),
+            SerializeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported serialized-BDD format version {v} (expected 2)")
+            }
         }
     }
 }
@@ -86,15 +106,16 @@ impl SerializedBdd {
         self.nodes.len()
     }
 
-    /// `true` when the snapshot is one of the two terminals.
+    /// `true` when the snapshot is one of the two constant functions.
     pub fn is_terminal(&self) -> bool {
         self.nodes.is_empty()
     }
 
-    /// LEB128-varint byte encoding: node count, then `(level, lo, hi)` per
-    /// node, then the root reference.
+    /// LEB128-varint byte encoding: format version, node count, then
+    /// `(level, lo, hi)` per node, then the root reference.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + self.nodes.len() * 4);
+        let mut out = Vec::with_capacity(6 + self.nodes.len() * 4);
+        write_varint(&mut out, FORMAT_VERSION);
         write_varint(&mut out, self.nodes.len() as u32);
         for &(level, lo, hi) in &self.nodes {
             write_varint(&mut out, level);
@@ -114,20 +135,26 @@ impl SerializedBdd {
     /// [`BddManager::import_bdd`] relies on.
     pub fn from_bytes(bytes: &[u8]) -> Result<SerializedBdd, SerializeError> {
         let mut pos = 0usize;
+        let version = read_varint(bytes, &mut pos)?;
+        if version != FORMAT_VERSION {
+            return Err(SerializeError::UnsupportedVersion(version));
+        }
         let count = read_varint(bytes, &mut pos)? as usize;
         let mut nodes = Vec::with_capacity(count);
         for i in 0..count {
             let level = read_varint(bytes, &mut pos)?;
             let lo = read_varint(bytes, &mut pos)?;
             let hi = read_varint(bytes, &mut pos)?;
-            let limit = REF_BASE + i as u32;
-            if lo >= limit || hi >= limit {
+            // Entry i may reference the terminal (node part 0) or entries
+            // 0..i (node parts 1..=i).
+            let limit = REF_NODE_BASE + i as u32;
+            if (lo >> 1) > limit - 1 || (hi >> 1) > limit - 1 {
                 return Err(SerializeError::ForwardReference);
             }
             nodes.push((level, lo, hi));
         }
         let root = read_varint(bytes, &mut pos)?;
-        if root >= REF_BASE + count as u32 {
+        if (root >> 1) > count as u32 {
             return Err(SerializeError::ForwardReference);
         }
         if pos != bytes.len() {
@@ -173,14 +200,16 @@ impl BddManager {
     /// Levels (positions in the variable order), not [`crate::Var`]
     /// identities, are recorded: the snapshot is meaningful for any
     /// manager whose order assigns the same meaning to each level.
+    /// Complement tags are recorded per edge, so the snapshot is exact.
     pub fn export_bdd(&self, f: Bdd) -> SerializedBdd {
         if f.is_terminal() {
-            return SerializedBdd { nodes: Vec::new(), root: f.index() as u32 };
+            return SerializedBdd { nodes: Vec::new(), root: f.0 };
         }
         let mut index: HashMap<Bdd, u32> = HashMap::new();
         let mut nodes: Vec<(u32, u32, u32)> = Vec::new();
-        // Post-order DFS so children are emitted before their parents.
-        let mut stack: Vec<(Bdd, bool)> = vec![(f, false)];
+        // Post-order DFS over *regular* handles so children are emitted
+        // before their parents and each shared node is stored once.
+        let mut stack: Vec<(Bdd, bool)> = vec![(f.regular(), false)];
         while let Some((g, expanded)) = stack.pop() {
             if g.is_terminal() || index.contains_key(&g) {
                 continue;
@@ -189,21 +218,22 @@ impl BddManager {
             if expanded {
                 let enc = |h: Bdd| {
                     if h.is_terminal() {
-                        h.index() as u32
+                        h.0
                     } else {
-                        index[&h]
+                        (index[&h.regular()] << 1) | h.is_complemented() as u32
                     }
                 };
-                let id = REF_BASE + nodes.len() as u32;
+                let id = REF_NODE_BASE + nodes.len() as u32;
                 nodes.push((n.level, enc(n.lo), enc(n.hi)));
                 index.insert(g, id);
             } else {
                 stack.push((g, true));
-                stack.push((n.hi, false));
+                stack.push((n.hi.regular(), false));
                 stack.push((n.lo, false));
             }
         }
-        SerializedBdd { nodes, root: index[&f] }
+        let root = (index[&f.regular()] << 1) | f.is_complemented() as u32;
+        SerializedBdd { nodes, root }
     }
 
     /// Rebuilds a snapshot inside this manager and returns its root.
@@ -218,10 +248,9 @@ impl BddManager {
     pub fn import_bdd(&mut self, s: &SerializedBdd) -> Bdd {
         let mut handles: Vec<Bdd> = Vec::with_capacity(s.nodes.len());
         let dec = |handles: &[Bdd], r: u32| -> Bdd {
-            match r {
-                0 => Bdd::FALSE,
-                1 => Bdd::TRUE,
-                k => handles[(k - REF_BASE) as usize],
+            match r >> 1 {
+                0 => Bdd::TRUE.complement_if(r & 1 != 0),
+                k => handles[(k - REF_NODE_BASE) as usize].complement_if(r & 1 != 0),
             }
         };
         for &(level, lo, hi) in &s.nodes {
@@ -281,6 +310,23 @@ mod tests {
     }
 
     #[test]
+    fn complement_root_shares_the_node_list() {
+        let (mut a, mut b) = twin_managers(4);
+        let vars = a.order();
+        let (v0, v1) = (a.var(vars[0]), a.var(vars[1]));
+        let f = a.and(v0, v1);
+        let nf = a.not(f);
+        let s = a.export_bdd(f);
+        let sn = a.export_bdd(nf);
+        assert_eq!(s.nodes, sn.nodes, "¬f must serialize the same node list as f");
+        assert_ne!(s.root, sn.root);
+        let g = b.import_bdd(&s);
+        let gn = b.import_bdd(&sn);
+        assert_eq!(gn, g.complement());
+        assert_eq!(b.sat_count(g) + b.sat_count(gn), 16);
+    }
+
+    #[test]
     fn same_manager_import_is_identity() {
         let (mut a, _) = twin_managers(4);
         let vars = a.order();
@@ -304,21 +350,32 @@ mod tests {
         let s = a.export_bdd(f);
         let bytes = s.to_bytes();
         // 8 one-literal nodes, all references small: well under 12 B/node.
-        assert!(bytes.len() < s.num_nodes() * 6 + 4, "{} bytes", bytes.len());
+        assert!(bytes.len() < s.num_nodes() * 6 + 5, "{} bytes", bytes.len());
         assert_eq!(SerializedBdd::from_bytes(&bytes).unwrap(), s);
     }
 
     #[test]
     fn malformed_bytes_are_rejected() {
         assert_eq!(SerializedBdd::from_bytes(&[]), Err(SerializeError::Truncated));
+        // Wrong format version (a pre-complement-edge stream).
+        let mut v1 = Vec::new();
+        write_varint(&mut v1, 1);
+        assert_eq!(SerializedBdd::from_bytes(&v1), Err(SerializeError::UnsupportedVersion(1)));
         // One node claiming a forward/self reference.
         let mut bad = Vec::new();
-        write_varint(&mut bad, 1);
+        write_varint(&mut bad, FORMAT_VERSION);
+        write_varint(&mut bad, 1); // node count
         write_varint(&mut bad, 0); // level
-        write_varint(&mut bad, 2); // lo -> itself
+        write_varint(&mut bad, 2); // lo -> itself (node part 1)
         write_varint(&mut bad, 1);
         write_varint(&mut bad, 2);
         assert_eq!(SerializedBdd::from_bytes(&bad), Err(SerializeError::ForwardReference));
+        // A root past the node list.
+        let mut bad_root = Vec::new();
+        write_varint(&mut bad_root, FORMAT_VERSION);
+        write_varint(&mut bad_root, 0);
+        write_varint(&mut bad_root, 4); // node part 2, but no nodes
+        assert_eq!(SerializedBdd::from_bytes(&bad_root), Err(SerializeError::ForwardReference));
         // Valid stream with trailing junk.
         let (mut a, _) = twin_managers(2);
         let v = a.order()[0];

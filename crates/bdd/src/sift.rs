@@ -116,28 +116,25 @@ impl BddManager {
         // Dependent nodes are rewritten in place:
         //   ite(x, f1, f0) = ite(y, ite(x, f11, f01), ite(x, f10, f00))
         // The slot keeps its identity (handles stay valid); the children
-        // become fresh or shared nodes at the sinking level. A rewritten
-        // node cannot collide with a rising node — equality would force
-        // both new children x-free, contradicting lo != hi — nor with
-        // another rewrite, by canonicity of the originals.
+        // become fresh or shared nodes at the sinking level. Cofactors are
+        // taken through `cofactors_at`, which resolves complement tags on
+        // the `hi` edge — a complemented parent edge into the rising level
+        // cofactors into complemented grandchildren, and `mk_counted`
+        // re-canonicalizes. The new `lo` stays regular (it descends from
+        // the stored regular `lo` edge), so the stored form keeps the
+        // complement-edge invariant without extra work. A rewritten node
+        // cannot collide with a rising node — equality would force both
+        // new children x-free, contradicting lo != hi — nor with another
+        // rewrite, by canonicity of the originals.
         for &x in &dep {
             let n = self.nodes[x.index()];
             let (f0, f1) = (n.lo, n.hi);
-            let (f00, f01) = if self.level(f0) == la {
-                let m = self.nodes[f0.index()];
-                (m.lo, m.hi)
-            } else {
-                (f0, f0)
-            };
-            let (f10, f11) = if self.level(f1) == la {
-                let m = self.nodes[f1.index()];
-                (m.lo, m.hi)
-            } else {
-                (f1, f1)
-            };
+            let (f00, f01) = self.cofactors_at(f0, la);
+            let (f10, f11) = self.cofactors_at(f1, la);
             let lo = self.mk_counted(lb, f00, f10, refs);
             let hi = self.mk_counted(lb, f01, f11, refs);
             debug_assert_ne!(lo, hi, "dependent node became redundant in a swap");
+            debug_assert!(!lo.is_complemented(), "rewritten else edge lost canonical form");
             self.bump(lo, refs);
             self.bump(hi, refs);
             self.nodes[x.index()] = Node { level: la, lo, hi };
@@ -176,6 +173,9 @@ impl BddManager {
             if g.is_terminal() {
                 continue;
             }
+            // Refcounts live on untagged slots; a complemented edge dying
+            // kills the same node as its regular twin.
+            let g = g.regular();
             let i = g.index();
             debug_assert!(refs[i] > 0, "ref underflow on node {i}");
             refs[i] -= 1;
@@ -241,7 +241,7 @@ impl BddManager {
         // Parent-edge counts over the now-exact live graph, plus one
         // count per root occurrence so protected functions never die.
         let mut refs: Refs = vec![0; self.nodes.len()];
-        for node in self.nodes.iter().skip(2) {
+        for node in self.nodes.iter().skip(1) {
             if node.is_dead() {
                 continue;
             }

@@ -27,7 +27,7 @@
 //!   be compared line by line;
 //! * `--from-dir <dir>` verifies every `.g` file in `dir` (e.g. the
 //!   checked-in `benchmarks/` corpus) instead of the generator-built
-//!   workload table;
+//!   workload table; a single `.g` file path pins one net;
 //! * `--json <path>` additionally writes every row as machine-readable
 //!   JSON (per net: states, peak live nodes, wall time, engine, reorder
 //!   mode, …) so the perf trajectory is recorded across PRs — the

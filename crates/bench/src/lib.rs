@@ -54,7 +54,9 @@ pub fn table1_workloads() -> Vec<Workload> {
 }
 
 /// Workloads parsed from every `.g` file in `dir` (sorted by file name),
-/// e.g. the checked-in `benchmarks/` fixture corpus.
+/// e.g. the checked-in `benchmarks/` fixture corpus — or from exactly
+/// one net when `dir` is a single `.g` file (the CI smoke runs
+/// `--from-dir benchmarks/par_join.g` to pin one imported corpus net).
 ///
 /// The arbitration persistency policy is enabled for nets whose name
 /// contains `mutex` — mirroring the generator-based workload table; the
@@ -66,12 +68,16 @@ pub fn table1_workloads() -> Vec<Workload> {
 /// An explanation string when the directory cannot be read or a file
 /// fails to parse.
 pub fn workloads_from_dir(dir: &Path) -> Result<Vec<Workload>, String> {
-    let mut paths: Vec<_> = std::fs::read_dir(dir)
-        .map_err(|e| format!("{}: {e}", dir.display()))?
-        .filter_map(Result::ok)
-        .map(|entry| entry.path())
-        .filter(|p| p.extension().is_some_and(|ext| ext == "g"))
-        .collect();
+    let mut paths: Vec<_> = if dir.is_file() {
+        vec![dir.to_path_buf()]
+    } else {
+        std::fs::read_dir(dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "g"))
+            .collect()
+    };
     paths.sort();
     if paths.is_empty() {
         return Err(format!("{}: no .g files found", dir.display()));

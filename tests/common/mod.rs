@@ -2,6 +2,10 @@
 //! `benchmarks/` corpus. The corpus contents themselves have one source
 //! of truth: `stgcheck::stg::gen::benchmark_fixtures`.
 
+// Each test target compiles its own copy of this module and not every
+// target uses every helper.
+#![allow(dead_code)]
+
 use std::path::Path;
 
 use stgcheck::stg::{gen, parse_g, Stg};
@@ -17,4 +21,10 @@ pub fn fixture(name: &str) -> Stg {
 /// Every checked-in benchmark fixture, parsed from disk.
 pub fn fixture_corpus() -> Vec<Stg> {
     gen::benchmark_fixtures().into_iter().map(|(name, _)| fixture(name)).collect()
+}
+
+/// The hand-imported corpus nets (no in-code generator; the `.g` files
+/// are the source of truth — see `benchmarks/README.md`).
+pub fn imported_corpus() -> Vec<Stg> {
+    ["celement.g", "fd_latch_simple.g", "par_join.g"].into_iter().map(fixture).collect()
 }

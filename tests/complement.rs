@@ -1,0 +1,88 @@
+//! System-level complement-edge tests: the tagged-handle manager must be
+//! semantically indistinguishable from reference semantics on real
+//! workloads — the explicit state graph — while making negation free.
+//!
+//! These are the acceptance checks for the complement-edge refactor: the
+//! `Reached` BDD of a symbolic traversal evaluates and counts exactly
+//! like the explicit enumeration, its O(1) complement evaluates and
+//! counts to exactly the off-set, and none of it costs a single node.
+
+mod common;
+
+use common::imported_corpus;
+use stgcheck::core::{EngineOptions, SymbolicStg, VarOrder};
+use stgcheck::stg::{build_state_graph, gen, SgOptions, Stg};
+
+/// The full-state satisfying assignment (places + signals) of one
+/// explicit state, in the symbolic encoding's variable numbering.
+fn state_assignment(sym: &SymbolicStg, stg: &Stg, state: &stgcheck::stg::FullState) -> Vec<bool> {
+    let mut a = vec![false; sym.manager().num_vars()];
+    for p in stg.net().places() {
+        a[sym.place_var(p).index()] = state.marking.tokens(p) > 0;
+    }
+    for s in stg.signals() {
+        a[sym.signal_var(s).index()] = state.code.get(s);
+    }
+    a
+}
+
+/// Explicit-vs-symbolic equivalence of the reached set *and its free
+/// complement* on one STG.
+fn check_complement_semantics(stg: &Stg) {
+    let mut sym = SymbolicStg::new(stg, VarOrder::Interleaved);
+    let code = sym.effective_initial_code().unwrap();
+    let t = sym.traverse_with_engine(code, &EngineOptions::default());
+    let sg = build_state_graph(stg, SgOptions::default()).unwrap();
+
+    // Reference counting: sat_count == explicit enumeration.
+    assert_eq!(t.stats.num_states, sg.len() as u128, "{}: state count", stg.name());
+
+    // Negation is free: no arena growth, no peak movement.
+    let live = sym.manager().live_nodes();
+    let peak = sym.manager().peak_live_nodes();
+    let not_reached = sym.manager_mut().not(t.reached);
+    assert_eq!(sym.manager().live_nodes(), live, "{}: not() grew the arena", stg.name());
+    assert_eq!(sym.manager().peak_live_nodes(), peak, "{}: not() moved the peak", stg.name());
+    assert_eq!(sym.manager_mut().not(not_reached), t.reached, "{}: involution", stg.name());
+    assert_eq!(
+        sym.manager().size(not_reached),
+        sym.manager().size(t.reached),
+        "{}: ¬Reached must share every node with Reached",
+        stg.name()
+    );
+
+    // Complement counting: |¬Reached| = 2ⁿ − |Reached| over the full
+    // encoding space (all nets here are far below 128 variables).
+    let nvars = sym.manager().num_vars() as u32;
+    assert_eq!(
+        sym.manager().sat_count(not_reached),
+        (1u128 << nvars) - t.stats.num_states,
+        "{}: complement count",
+        stg.name()
+    );
+
+    // Reference evaluation: every explicit state is in Reached and none
+    // is in its complement (eval walks straight through complement tags).
+    for v in 0..sg.len() {
+        let a = state_assignment(&sym, stg, sg.state(v));
+        assert!(sym.manager().eval(t.reached, &a), "{}: state {v} not in Reached", stg.name());
+        assert!(!sym.manager().eval(not_reached, &a), "{}: state {v} in ¬Reached", stg.name());
+    }
+}
+
+#[test]
+fn complement_manager_matches_reference_semantics_on_random_stgs() {
+    for seed in 0..20u64 {
+        let stg = gen::random_safe_stg(seed);
+        check_complement_semantics(&stg);
+    }
+}
+
+#[test]
+fn complement_manager_matches_reference_semantics_on_corpus() {
+    for stg in imported_corpus() {
+        check_complement_semantics(&stg);
+    }
+    check_complement_semantics(&gen::vme_read());
+    check_complement_semantics(&gen::master_read(3));
+}

@@ -9,7 +9,7 @@
 
 mod common;
 
-use common::{fixture, fixture_corpus};
+use common::{fixture, fixture_corpus, imported_corpus};
 use stgcheck::core::{
     cross_check_reachability, verify, SymbolicStg, TraversalStrategy, VarOrder, VerifyOptions,
 };
@@ -21,6 +21,7 @@ use stgcheck::stg::{
 
 fn corpus() -> Vec<Stg> {
     let mut all = fixture_corpus();
+    all.extend(imported_corpus());
     all.extend([
         gen::mutex_element(),
         gen::muller_pipeline(7),

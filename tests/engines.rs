@@ -10,17 +10,18 @@
 
 mod common;
 
-use common::{fixture, fixture_corpus};
+use common::{fixture, fixture_corpus, imported_corpus};
 use stgcheck::core::{
     verify, EngineKind, EngineOptions, ReorderMode, SymbolicStg, TraversalStrategy, VarOrder,
     VerifyOptions,
 };
 use stgcheck::stg::{gen, Stg};
 
-/// Benchmark-family fixtures plus the fixtures that violate each
-/// implementability condition in isolation.
+/// Benchmark-family fixtures, the hand-imported corpus nets, plus the
+/// fixtures that violate each implementability condition in isolation.
 fn corpus() -> Vec<Stg> {
     let mut all = fixture_corpus();
+    all.extend(imported_corpus());
     all.extend([
         gen::mutex_element(),
         gen::vme_read(),
