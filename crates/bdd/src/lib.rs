@@ -7,9 +7,14 @@
 //! Kishinevsky, Pastor, Roig, Yakovlev — ED&TC 1995). It implements the
 //! classic Brace–Rudell–Bryant-style ROBDD package the paper builds on:
 //!
-//! * a hash-consed node arena with per-level unique tables
-//!   ([`BddManager`]), mark-and-sweep garbage collection and peak-size
-//!   statistics (the "BDD size" columns of the paper's Table 1);
+//! * a hash-consed node arena with a **concurrent unique table** (see
+//!   `docs/concurrent-table.md`): the arena is append-only with atomic
+//!   publication, the unique table is lock-sharded by level and the
+//!   operation caches are lossy-atomic, so every boolean operation on a
+//!   [`BddManager`] takes `&self` and may run from many threads against
+//!   one manager; mark-and-sweep garbage collection and peak-size
+//!   statistics (the "BDD size" columns of the paper's Table 1) are
+//!   `&mut self` quiesce-point operations;
 //! * **complement edges** (see `docs/bdd-internals.md`): [`Bdd`] handles
 //!   carry a tag bit, so [`BddManager::not`] is O(1), a function and its
 //!   negation share every node, and `∨`/`∀`/`→`/`−` resolve through the
@@ -58,6 +63,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod arena;
 mod cache;
 mod dot;
 mod expr;

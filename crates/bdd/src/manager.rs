@@ -1,5 +1,5 @@
-//! The BDD manager: node arena, hash-consing unique tables, variable order,
-//! garbage collection and statistics.
+//! The BDD manager: concurrent node arena, lock-sharded hash-consing
+//! unique tables, variable order, garbage collection and statistics.
 //!
 //! Handles are complement-edge tagged ([`Bdd`], see `docs/bdd-internals.md`):
 //! the arena stores every function in *regular* form (else edge never
@@ -8,16 +8,35 @@
 //! free lists — operates on untagged slots; only the boolean semantics seen
 //! through [`BddManager::low`]/[`BddManager::high`]/`cofactors_at` apply
 //! the tag.
+//!
+//! # Concurrency
+//!
+//! Since the shared-unique-table rework (`docs/concurrent-table.md`) the
+//! manager is `Sync`: every *functional* operation — [`BddManager::mk`]
+//! via the public connectives, quantifiers, cofactors, analysis and
+//! export — takes `&self` and may be called from many threads against
+//! one manager. The unique table is **lock-sharded by level** (one mutex
+//! per level, a natural shard key because sifting rewires whole levels),
+//! the node arena is append-only with atomic publication, and the
+//! operation caches are lossy-atomic. *Structural* operations — variable
+//! declaration, GC, sifting, rebuild — take `&mut self`, so Rust's
+//! borrow rules make every one of them a stop-the-world quiesce point:
+//! no thread can hold `&BddManager` across them.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
+use crate::arena::NodeArena;
 use crate::cache::{CheapBuildHasher, OpCaches};
 use crate::node::{Bdd, Level, Literal, Node, Var, DEAD_LEVEL, TERMINAL_LEVEL};
 
-/// One per-level unique table: `(lo, hi) -> node`, exact (canonicity
-/// depends on it) but hashed with the cheap multiplicative mix shared
-/// with the operation caches. Keys are stored edges — `lo` always
-/// regular, `hi` possibly complemented — and values are regular handles.
+/// One shard of the concurrent unique table: `(lo, hi) -> node` for a
+/// single level, exact (canonicity depends on it) but hashed with the
+/// cheap multiplicative mix shared with the operation caches. Keys are
+/// stored edges — `lo` always regular, `hi` possibly complemented — and
+/// values are regular handles. Guarded by the per-level mutex in
+/// [`BddManager::subtables`].
 pub(crate) type UniqueTable = HashMap<(Bdd, Bdd), Bdd, CheapBuildHasher>;
 
 /// Operation codes for the binary-operation cache.
@@ -59,13 +78,16 @@ pub struct ManagerStats {
 }
 
 /// A manager for Reduced Ordered Binary Decision Diagrams with complement
-/// edges.
+/// edges, shareable across threads (`&BddManager` suffices for every
+/// boolean operation; see the module docs for the concurrency contract).
 ///
 /// The manager owns every node; [`Bdd`] handles index into it. Functions are
 /// kept canonical by hash-consing plus the complement-edge normal form: for
 /// a given variable order, structurally equal functions always receive the
 /// same handle, so equality of functions is `==` on handles and negation is
-/// a tag flip ([`BddManager::not`] is O(1)).
+/// a tag flip ([`BddManager::not`] is O(1)). Canonicity holds across
+/// threads too — the per-level lock makes node creation atomic, so two
+/// threads computing the same function always end up with the same handle.
 ///
 /// # Examples
 ///
@@ -82,16 +104,20 @@ pub struct ManagerStats {
 /// assert_eq!(m.not(nf), f); // O(1) involution
 /// ```
 pub struct BddManager {
-    pub(crate) nodes: Vec<Node>,
-    pub(crate) free: Vec<u32>,
-    /// One unique table per level: `(lo, hi) -> node`.
-    pub(crate) subtables: Vec<UniqueTable>,
+    pub(crate) nodes: NodeArena,
+    /// Slots reclaimed by the last GC, recycled before fresh allocation.
+    /// Only mutated under the mutex; `free_hint` lets the hot path skip
+    /// the lock entirely while the list is empty (the common case).
+    pub(crate) free: Mutex<Vec<u32>>,
+    free_hint: AtomicUsize,
+    /// The lock-sharded unique table: one exact map + mutex per level.
+    pub(crate) subtables: Vec<Mutex<UniqueTable>>,
     var_names: Vec<String>,
     pub(crate) var_at_level: Vec<Var>,
     pub(crate) level_of_var: Vec<Level>,
     pub(crate) caches: OpCaches,
-    pub(crate) live: usize,
-    pub(crate) peak_live: usize,
+    pub(crate) live: AtomicUsize,
+    pub(crate) peak_live: AtomicUsize,
     gc_runs: usize,
     gc_reclaimed: usize,
     /// Variable groups that sift as one block (empty = every variable on
@@ -100,6 +126,9 @@ pub struct BddManager {
     /// Live-node count right after the last sifting pass — the baseline
     /// of the automatic-reorder growth trigger.
     pub(crate) sift_baseline: usize,
+    /// Live-node count right after the last GC — the baseline of the
+    /// amortized collection trigger ([`BddManager::gc_due`]).
+    pub(crate) gc_baseline: usize,
     pub(crate) sift_runs: usize,
     pub(crate) sift_swaps: usize,
 }
@@ -114,8 +143,8 @@ impl std::fmt::Debug for BddManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BddManager")
             .field("num_vars", &self.num_vars())
-            .field("live_nodes", &self.live)
-            .field("peak_live_nodes", &self.peak_live)
+            .field("live_nodes", &self.live_nodes())
+            .field("peak_live_nodes", &self.peak_live_nodes())
             .finish_non_exhaustive()
     }
 }
@@ -127,19 +156,21 @@ impl BddManager {
             // Slot 0 is the single terminal; its `Node` content is a
             // placeholder that is never interpreted. TRUE is its regular
             // handle, FALSE the complemented one.
-            nodes: vec![Node::terminal()],
-            free: Vec::new(),
+            nodes: NodeArena::new(Node::terminal()),
+            free: Mutex::new(Vec::new()),
+            free_hint: AtomicUsize::new(0),
             subtables: Vec::new(),
             var_names: Vec::new(),
             var_at_level: Vec::new(),
             level_of_var: Vec::new(),
             caches: OpCaches::default(),
-            live: 0,
-            peak_live: 0,
+            live: AtomicUsize::new(0),
+            peak_live: AtomicUsize::new(0),
             gc_runs: 0,
             gc_reclaimed: 0,
             groups: Vec::new(),
             sift_baseline: 0,
+            gc_baseline: 0,
             sift_runs: 0,
             sift_swaps: 0,
         }
@@ -150,11 +181,16 @@ impl BddManager {
     /// The name is used only for diagnostics and DOT export; it need not be
     /// unique.
     pub fn new_var(&mut self, name: impl Into<String>) -> Var {
+        assert!(
+            self.num_vars() < crate::arena::MAX_VARS,
+            "the packed node cells cap a manager at {} variables",
+            crate::arena::MAX_VARS
+        );
         let v = Var(self.var_names.len() as u32);
         self.var_names.push(name.into());
         self.level_of_var.push(self.var_at_level.len() as Level);
         self.var_at_level.push(v);
-        self.subtables.push(UniqueTable::default());
+        self.subtables.push(Mutex::new(UniqueTable::default()));
         v
     }
 
@@ -209,19 +245,19 @@ impl BddManager {
     /// With complement edges `v` and `¬v` share one arena node: the
     /// positive literal is the complemented handle of the stored node
     /// `(v, lo=TRUE, hi=FALSE)`.
-    pub fn var(&mut self, v: Var) -> Bdd {
+    pub fn var(&self, v: Var) -> Bdd {
         let level = self.level_of_var[v.index()];
         self.mk(level, Bdd::FALSE, Bdd::TRUE)
     }
 
     /// The function of the single negative literal `¬v`.
-    pub fn nvar(&mut self, v: Var) -> Bdd {
+    pub fn nvar(&self, v: Var) -> Bdd {
         let level = self.level_of_var[v.index()];
         self.mk(level, Bdd::TRUE, Bdd::FALSE)
     }
 
     /// The function of a single [`Literal`].
-    pub fn literal(&mut self, lit: Literal) -> Bdd {
+    pub fn literal(&self, lit: Literal) -> Bdd {
         if lit.is_positive() {
             self.var(lit.var())
         } else {
@@ -229,21 +265,78 @@ impl BddManager {
         }
     }
 
-    /// Hash-consing constructor — the only way nodes are created.
+    /// Hash-consing constructor — the only way nodes are created. Safe to
+    /// call from many threads: lookup and insert happen under the level's
+    /// shard lock, so equal requests always converge on one slot.
     ///
     /// Canonicalizes to the complement-edge normal form: when the
     /// requested `lo` edge is complemented, the *negated* node is stored
     /// (`¬lo`, `¬hi` — with `¬lo` regular) and the complemented handle is
     /// returned, so `FALSE` never appears as a stored else edge and every
     /// function has exactly one representation.
-    pub(crate) fn mk(&mut self, level: Level, lo: Bdd, hi: Bdd) -> Bdd {
-        self.mk_counted(level, lo, hi, &mut None)
+    pub(crate) fn mk(&self, level: Level, lo: Bdd, hi: Bdd) -> Bdd {
+        debug_assert!(!self.node(lo).is_dead() && !self.node(hi).is_dead());
+        debug_assert!(self.level(lo) > level && self.level(hi) > level);
+        if lo == hi {
+            return lo;
+        }
+        // Complement-edge canonicalization: store the regular-lo form.
+        let flip = lo.is_complemented();
+        let (lo, hi) = if flip { (lo.complement(), hi.complement()) } else { (lo, hi) };
+        let mut table = self.subtables[level as usize].lock().expect("unique-table shard");
+        if let Some(&found) = table.get(&(lo, hi)) {
+            return found.complement_if(flip);
+        }
+        let slot = self.alloc_slot();
+        // Publish order: node data first, then the table entry. The
+        // mutex release (and any later release-store of the handle)
+        // carries the data to every reader.
+        self.nodes.set(slot as usize, Node { level, lo, hi });
+        let id = Bdd::from_slot(slot);
+        table.insert((lo, hi), id);
+        drop(table);
+        let cur = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        if cur > self.peak_live.load(Ordering::Relaxed) {
+            self.peak_live.fetch_max(cur, Ordering::Relaxed);
+        }
+        id.complement_if(flip)
     }
 
-    /// The [`BddManager::mk`] body, optionally keeping sifting reference
-    /// counts in step when a node is genuinely created (a found node
-    /// already owns its child references; the caller accounts for its own
-    /// new edge to the returned node either way).
+    /// Returns a reclaimed slot to the free list (sifting's eager orphan
+    /// reclamation). Quiesce-time only.
+    pub(crate) fn free_push(&mut self, slot: u32) {
+        let free = self.free.get_mut().expect("free list");
+        free.push(slot);
+        *self.free_hint.get_mut() = free.len();
+    }
+
+    /// Decrements the live-node counter by one (sifting's eager orphan
+    /// reclamation). Quiesce-time only.
+    pub(crate) fn release_one_live(&mut self) {
+        *self.live.get_mut() -= 1;
+    }
+
+    /// Claims a node slot: recycled from the free list when the last GC
+    /// left any, freshly bump-allocated otherwise.
+    fn alloc_slot(&self) -> u32 {
+        if self.free_hint.load(Ordering::Relaxed) > 0 {
+            let mut free = self.free.lock().expect("free list");
+            if let Some(slot) = free.pop() {
+                self.free_hint.store(free.len(), Ordering::Relaxed);
+                return slot;
+            }
+        }
+        self.nodes.alloc()
+    }
+
+    /// The quiesce-time [`BddManager::mk`]: same hash-consing semantics,
+    /// but through `get_mut` accessors — no shard lock, no atomic
+    /// read-modify-writes — which is what keeps sifting's swap storm
+    /// (thousands of node rewrites per pass) at its pre-concurrent cost.
+    /// Optionally keeps sifting reference counts in step when a node is
+    /// genuinely created (a found node already owns its child references;
+    /// the caller accounts for its own new edge to the returned node
+    /// either way).
     pub(crate) fn mk_counted(
         &mut self,
         level: Level,
@@ -256,29 +349,29 @@ impl BddManager {
         if lo == hi {
             return lo;
         }
-        // Complement-edge canonicalization: store the regular-lo form.
         let flip = lo.is_complemented();
         let (lo, hi) = if flip { (lo.complement(), hi.complement()) } else { (lo, hi) };
-        if let Some(&found) = self.subtables[level as usize].get(&(lo, hi)) {
+        let table = self.subtables[level as usize].get_mut().expect("unique-table shard");
+        if let Some(&found) = table.get(&(lo, hi)) {
             return found.complement_if(flip);
         }
-        let node = Node { level, lo, hi };
-        let slot = match self.free.pop() {
-            Some(slot) => {
-                self.nodes[slot as usize] = node;
-                slot
-            }
-            None => {
-                let slot = self.nodes.len() as u32;
-                self.nodes.push(node);
-                slot
+        let slot = {
+            let free = self.free.get_mut().expect("free list");
+            match free.pop() {
+                Some(slot) => {
+                    *self.free_hint.get_mut() = free.len();
+                    slot
+                }
+                None => self.nodes.alloc(),
             }
         };
+        self.nodes.set(slot as usize, Node { level, lo, hi });
         let id = Bdd::from_slot(slot);
-        self.subtables[level as usize].insert((lo, hi), id);
-        self.live += 1;
-        if self.live > self.peak_live {
-            self.peak_live = self.live;
+        self.subtables[level as usize].get_mut().expect("unique-table shard").insert((lo, hi), id);
+        let live = *self.live.get_mut() + 1;
+        *self.live.get_mut() = live;
+        if live > *self.peak_live.get_mut() {
+            *self.peak_live.get_mut() = live;
         }
         if let Some(refs) = refs {
             if id.index() >= refs.len() {
@@ -296,8 +389,8 @@ impl BddManager {
     }
 
     #[inline]
-    pub(crate) fn node(&self, f: Bdd) -> &Node {
-        &self.nodes[f.index()]
+    pub(crate) fn node(&self, f: Bdd) -> Node {
+        self.nodes.get(f.index())
     }
 
     /// Level of the root node of `f` (terminals are below every variable).
@@ -306,7 +399,7 @@ impl BddManager {
         if f.is_terminal() {
             TERMINAL_LEVEL
         } else {
-            self.nodes[f.index()].level
+            self.nodes.level(f.index())
         }
     }
 
@@ -315,7 +408,7 @@ impl BddManager {
     /// `¬hi`). These are the *semantic* else/then cofactors.
     #[inline]
     pub(crate) fn children(&self, f: Bdd) -> (Bdd, Bdd) {
-        let n = &self.nodes[f.index()];
+        let n = self.nodes.get(f.index());
         let t = f.is_complemented();
         (n.lo.complement_if(t), n.hi.complement_if(t))
     }
@@ -359,6 +452,22 @@ impl BddManager {
             self.children(f)
         } else {
             (f, f)
+        }
+    }
+
+    /// Root level and tag-resolved children in **one** arena read — the
+    /// apply loops' workhorse. Terminals report [`TERMINAL_LEVEL`] and
+    /// themselves as both children, so `peek` composes with the
+    /// `cofactors_at`-style `level == top` dispatch without a second
+    /// lookup.
+    #[inline]
+    pub(crate) fn peek(&self, f: Bdd) -> (Level, Bdd, Bdd) {
+        if f.is_terminal() {
+            (TERMINAL_LEVEL, f, f)
+        } else {
+            let n = self.nodes.get(f.index());
+            let t = f.is_complemented();
+            (n.level, n.lo.complement_if(t), n.hi.complement_if(t))
         }
     }
 
@@ -407,7 +516,7 @@ impl BddManager {
     /// The support of `f` as a positive cube — the quantification prefix
     /// that abstracts exactly the variables `f` depends on. Used by the
     /// image engines to derive per-transition prefixes from their cubes.
-    pub fn support_cube(&mut self, f: Bdd) -> Bdd {
+    pub fn support_cube(&self, f: Bdd) -> Bdd {
         let vars = self.support(f);
         self.vars_cube(&vars)
     }
@@ -415,8 +524,8 @@ impl BddManager {
     /// Statistics snapshot.
     pub fn stats(&self) -> ManagerStats {
         ManagerStats {
-            live_nodes: self.live,
-            peak_live_nodes: self.peak_live,
+            live_nodes: self.live_nodes(),
+            peak_live_nodes: self.peak_live_nodes(),
             gc_runs: self.gc_runs,
             gc_reclaimed: self.gc_reclaimed,
             num_vars: self.num_vars(),
@@ -462,41 +571,43 @@ impl BddManager {
     /// engines between fixed-point iterations under `--reorder auto`.
     pub fn reorder_due(&self) -> bool {
         const AUTO_SIFT_FLOOR: usize = 256;
-        self.live > (2 * self.sift_baseline).max(AUTO_SIFT_FLOOR)
+        self.live_nodes() > (2 * self.sift_baseline).max(AUTO_SIFT_FLOOR)
     }
 
     /// Number of live decision nodes.
     pub fn live_nodes(&self) -> usize {
-        self.live
+        self.live.load(Ordering::Relaxed)
     }
 
     /// High-water mark of live decision nodes.
     pub fn peak_live_nodes(&self) -> usize {
-        self.peak_live
+        self.peak_live.load(Ordering::Relaxed)
     }
 
     /// Resets the peak-node counter to the current live count.
     pub fn reset_peak(&mut self) {
-        self.peak_live = self.live;
+        *self.peak_live.get_mut() = *self.live.get_mut();
     }
 
     /// Forces the peak counter to at least `peak` (used when merging
     /// statistics across a rebuild).
     pub(crate) fn force_peak(&mut self, peak: usize) {
-        if peak > self.peak_live {
-            self.peak_live = peak;
+        if peak > *self.peak_live.get_mut() {
+            *self.peak_live.get_mut() = peak;
         }
     }
 
     /// Moves variable `v` to `level`. Only legal while the manager holds no
     /// decision nodes (used by the rebuild-based reorder).
     pub(crate) fn set_var_level(&mut self, v: Var, level: usize) {
-        assert_eq!(self.live, 0, "cannot re-level variables of a non-empty manager");
+        assert_eq!(*self.live.get_mut(), 0, "cannot re-level variables of a non-empty manager");
         self.level_of_var[v.index()] = level as Level;
         self.var_at_level[level] = v;
     }
 
-    /// Mark-and-sweep garbage collection.
+    /// Mark-and-sweep garbage collection — a quiesce-point operation: the
+    /// `&mut` receiver guarantees no thread is concurrently reading or
+    /// growing the manager.
     ///
     /// Every node not reachable from `roots` is reclaimed and its slot
     /// recycled; all operation caches are cleared. Handles other than the
@@ -506,7 +617,8 @@ impl BddManager {
     ///
     /// Returns the number of reclaimed nodes.
     pub fn gc(&mut self, roots: &[Bdd]) -> usize {
-        let mut marked = vec![false; self.nodes.len()];
+        let len = self.nodes.len();
+        let mut marked = vec![false; len];
         marked[0] = true;
         let mut stack: Vec<usize> = roots.iter().map(|r| r.index()).collect();
         while let Some(i) = stack.pop() {
@@ -514,33 +626,54 @@ impl BddManager {
                 continue;
             }
             marked[i] = true;
-            let n = self.nodes[i];
+            let n = self.nodes.get(i);
             debug_assert!(!n.is_dead(), "root set references a dead node");
             stack.push(n.lo.index());
             stack.push(n.hi.index());
         }
         let mut reclaimed = 0;
-        for (i, &kept) in marked.iter().enumerate().skip(1) {
-            if kept || self.nodes[i].is_dead() {
-                continue;
+        let nodes = &self.nodes;
+        let subtables = &mut self.subtables;
+        let free = self.free.get_mut().expect("free list");
+        // Sweep as straight segment walks — on multi-million-node arenas
+        // the sweep, not the mark, dominates GC.
+        nodes.for_each(|i, n| {
+            if i == 0 || marked[i] || n.is_dead() {
+                return;
             }
-            let n = self.nodes[i];
-            self.subtables[n.level as usize].remove(&(n.lo, n.hi));
-            self.nodes[i].level = DEAD_LEVEL;
-            self.free.push(i as u32);
+            subtables[n.level as usize]
+                .get_mut()
+                .expect("unique-table shard")
+                .remove(&(n.lo, n.hi));
+            nodes.set_level(i, DEAD_LEVEL);
+            free.push(i as u32);
             reclaimed += 1;
-        }
-        self.live -= reclaimed;
+        });
+        *self.free_hint.get_mut() = free.len();
+        *self.live.get_mut() -= reclaimed;
+        self.gc_baseline = *self.live.get_mut();
         self.gc_runs += 1;
         self.gc_reclaimed += reclaimed;
         self.caches.clear();
         reclaimed
     }
 
+    /// `true` when the engines' amortized collection policy says a GC is
+    /// worth its full mark-and-sweep: the live count exceeds `threshold`
+    /// *and* has grown at least 1.5× past the count left by the previous
+    /// collection. A mostly-live multi-million-node working set no longer
+    /// pays a whole-graph walk per frontier step just because it dwarfs
+    /// the absolute threshold — collections amortize against growth, the
+    /// way the `reorder_due` trigger already amortizes sifting.
+    pub fn gc_due(&self, threshold: usize) -> bool {
+        let live = self.live_nodes();
+        live > threshold && live > self.gc_baseline + self.gc_baseline / 2
+    }
+
     /// Runs [`BddManager::gc`] only when the live-node count exceeds
     /// `threshold`. Returns the number of reclaimed nodes (0 if no GC ran).
     pub fn gc_if_above(&mut self, threshold: usize, roots: &[Bdd]) -> usize {
-        if self.live > threshold {
+        if self.live_nodes() > threshold {
             self.gc(roots)
         } else {
             0
@@ -549,15 +682,19 @@ impl BddManager {
 
     /// Verifies internal invariants (canonicity including the
     /// complement-edge normal form, ordering, table consistency).
-    /// Intended for tests; O(nodes).
+    /// Intended for tests; O(nodes). Takes `&mut self` deliberately:
+    /// the walk reads in-flight arena slots and compares counters that
+    /// only settle at a quiesce point, so the exclusive borrow keeps it
+    /// from racing the `&self` operations and reporting phantom
+    /// violations.
     ///
     /// # Panics
     ///
     /// Panics with a description of the violated invariant.
-    pub fn check_invariants(&self) {
-        for (i, n) in self.nodes.iter().enumerate().skip(1) {
-            if n.is_dead() {
-                continue;
+    pub fn check_invariants(&mut self) {
+        self.nodes.for_each(|i, n| {
+            if i == 0 || n.is_dead() {
+                return;
             }
             assert!(n.lo != n.hi, "node {i} is redundant");
             assert!(!n.lo.is_complemented(), "node {i} has a complemented else edge");
@@ -566,13 +703,17 @@ impl BddManager {
                 "node {i} violates variable order"
             );
             assert_eq!(
-                self.subtables[n.level as usize].get(&(n.lo, n.hi)),
+                self.subtables[n.level as usize]
+                    .lock()
+                    .expect("unique-table shard")
+                    .get(&(n.lo, n.hi)),
                 Some(&Bdd::from_slot(i as u32)),
                 "node {i} missing from its unique table"
             );
-        }
-        let live_in_tables: usize = self.subtables.iter().map(|t| t.len()).sum();
-        assert_eq!(live_in_tables, self.live, "live count out of sync");
+        });
+        let live_in_tables: usize =
+            self.subtables.iter().map(|t| t.lock().expect("unique-table shard").len()).sum();
+        assert_eq!(live_in_tables, self.live_nodes(), "live count out of sync");
     }
 }
 
@@ -727,5 +868,39 @@ mod tests {
         assert_eq!(m.gc_if_above(1_000_000, &[]), 0);
         assert!(m.gc_if_above(0, &[]) > 0);
         assert_eq!(m.live_nodes(), 0);
+    }
+
+    #[test]
+    fn shared_reference_ops_are_canonical_across_threads() {
+        // The tentpole property in miniature: many threads build the same
+        // functions through one `&BddManager` and must all observe the
+        // identical canonical handles.
+        let mut m = BddManager::new();
+        let vars = m.new_vars("x", 8);
+        let results: Vec<Vec<Bdd>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let m = &m;
+                    let vars = &vars;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for i in 0..vars.len() {
+                            for j in 0..vars.len() {
+                                let (a, b) = (m.var(vars[i]), m.nvar(vars[j]));
+                                let t = m.xor(a, b);
+                                let u = m.and(t, a);
+                                out.push(m.or(u, b));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for other in &results[1..] {
+            assert_eq!(&results[0], other, "threads disagree on canonical handles");
+        }
+        m.check_invariants();
     }
 }

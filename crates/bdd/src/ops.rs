@@ -27,12 +27,12 @@ impl BddManager {
     /// assert_eq!(m.not(nf), f);
     /// ```
     #[inline]
-    pub fn not(&mut self, f: Bdd) -> Bdd {
+    pub fn not(&self, f: Bdd) -> Bdd {
         f.complement()
     }
 
     /// Conjunction `f ∧ g`.
-    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+    pub fn and(&self, f: Bdd, g: Bdd) -> Bdd {
         // Terminal and trivial cases.
         if f.is_false() || g.is_false() {
             return Bdd::FALSE;
@@ -50,9 +50,11 @@ impl BddManager {
         if let Some(r) = self.caches.bin_get(BinOp::And, a, b) {
             return r;
         }
-        let top = self.level(f).min(self.level(g));
-        let (f0, f1) = self.cofactors_at(f, top);
-        let (g0, g1) = self.cofactors_at(g, top);
+        let (lf, fe0, fe1) = self.peek(f);
+        let (lg, ge0, ge1) = self.peek(g);
+        let top = lf.min(lg);
+        let (f0, f1) = if lf == top { (fe0, fe1) } else { (f, f) };
+        let (g0, g1) = if lg == top { (ge0, ge1) } else { (g, g) };
         let lo = self.and(f0, g0);
         let hi = self.and(f1, g1);
         let r = self.mk(top, lo, hi);
@@ -62,7 +64,7 @@ impl BddManager {
 
     /// Disjunction `f ∨ g`, by De Morgan through the `and` cache:
     /// `f ∨ g = ¬(¬f ∧ ¬g)`.
-    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+    pub fn or(&self, f: Bdd, g: Bdd) -> Bdd {
         self.and(f.complement(), g.complement()).complement()
     }
 
@@ -71,7 +73,7 @@ impl BddManager {
     /// Complement-normalized: `¬f ⊕ g = f ⊕ ¬g = ¬(f ⊕ g)`, so both
     /// operands are stripped to their regular handles before the cache is
     /// consulted and the combined tag parity is re-applied to the result.
-    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+    pub fn xor(&self, f: Bdd, g: Bdd) -> Bdd {
         let parity = f.is_complemented() ^ g.is_complemented();
         let (f, g) = (f.regular(), g.regular());
         if f == g {
@@ -88,9 +90,11 @@ impl BddManager {
         if let Some(r) = self.caches.bin_get(BinOp::Xor, a, b) {
             return r.complement_if(parity);
         }
-        let top = self.level(f).min(self.level(g));
-        let (f0, f1) = self.cofactors_at(f, top);
-        let (g0, g1) = self.cofactors_at(g, top);
+        let (lf, fe0, fe1) = self.peek(f);
+        let (lg, ge0, ge1) = self.peek(g);
+        let top = lf.min(lg);
+        let (f0, f1) = if lf == top { (fe0, fe1) } else { (f, f) };
+        let (g0, g1) = if lg == top { (ge0, ge1) } else { (g, g) };
         let lo = self.xor(f0, g0);
         let hi = self.xor(f1, g1);
         let r = self.mk(top, lo, hi);
@@ -101,17 +105,17 @@ impl BddManager {
     /// Set difference `f ∧ ¬g` — the idiom used throughout the traversal
     /// algorithms (`New = From − Reached`). The negation is free, so this
     /// is exactly one `and`.
-    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+    pub fn diff(&self, f: Bdd, g: Bdd) -> Bdd {
         self.and(f, g.complement())
     }
 
     /// Implication `f → g = ¬(f ∧ ¬g)`.
-    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+    pub fn implies(&self, f: Bdd, g: Bdd) -> Bdd {
         self.and(f, g.complement()).complement()
     }
 
     /// Biconditional `f ↔ g = ¬(f ⊕ g)`.
-    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+    pub fn iff(&self, f: Bdd, g: Bdd) -> Bdd {
         self.xor(f, g).complement()
     }
 
@@ -121,7 +125,7 @@ impl BddManager {
     /// the branches (`ite(¬f,g,h) = ite(f,h,g)`) and a complemented then
     /// branch factors out (`ite(f,¬g,¬h) = ¬ite(f,g,h)`), so the cached
     /// key always has a regular `f` and a regular `g`.
-    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+    pub fn ite(&self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
         // Terminal cases.
         if f.is_true() {
             return g;
@@ -169,10 +173,13 @@ impl BddManager {
         if let Some(r) = self.caches.ite_get(f, g, h) {
             return r.complement_if(flip);
         }
-        let top = self.level(f).min(self.level(g)).min(self.level(h));
-        let (f0, f1) = self.cofactors_at(f, top);
-        let (g0, g1) = self.cofactors_at(g, top);
-        let (h0, h1) = self.cofactors_at(h, top);
+        let (lf, fe0, fe1) = self.peek(f);
+        let (lg, ge0, ge1) = self.peek(g);
+        let (lh, he0, he1) = self.peek(h);
+        let top = lf.min(lg).min(lh);
+        let (f0, f1) = if lf == top { (fe0, fe1) } else { (f, f) };
+        let (g0, g1) = if lg == top { (ge0, ge1) } else { (g, g) };
+        let (h0, h1) = if lh == top { (he0, he1) } else { (h, h) };
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(top, lo, hi);
@@ -197,14 +204,14 @@ impl BddManager {
     /// let h = m.compose(f, x, g); // (y∨z) ∧ y = y
     /// assert_eq!(h, vy);
     /// ```
-    pub fn compose(&mut self, f: Bdd, v: crate::Var, g: Bdd) -> Bdd {
+    pub fn compose(&self, f: Bdd, v: crate::Var, g: Bdd) -> Bdd {
         let f1 = self.restrict(f, v, true);
         let f0 = self.restrict(f, v, false);
         self.ite(g, f1, f0)
     }
 
     /// Conjunction of many functions. Returns `TRUE` for an empty slice.
-    pub fn and_many(&mut self, fs: &[Bdd]) -> Bdd {
+    pub fn and_many(&self, fs: &[Bdd]) -> Bdd {
         let mut acc = Bdd::TRUE;
         for &f in fs {
             acc = self.and(acc, f);
@@ -216,7 +223,7 @@ impl BddManager {
     }
 
     /// Disjunction of many functions. Returns `FALSE` for an empty slice.
-    pub fn or_many(&mut self, fs: &[Bdd]) -> Bdd {
+    pub fn or_many(&self, fs: &[Bdd]) -> Bdd {
         let mut acc = Bdd::FALSE;
         for &f in fs {
             acc = self.or(acc, f);
@@ -229,14 +236,14 @@ impl BddManager {
 
     /// Tests whether `f ∧ g` is satisfiable without necessarily building the
     /// full conjunction (set-intersection emptiness test).
-    pub fn intersects(&mut self, f: Bdd, g: Bdd) -> bool {
+    pub fn intersects(&self, f: Bdd, g: Bdd) -> bool {
         // The conjunction is memoised anyway; building it is the simplest
         // correct implementation and the caches keep it cheap.
         !self.and(f, g).is_false()
     }
 
     /// Tests language inclusion `f ⊆ g` (i.e. `f → g` is a tautology).
-    pub fn is_subset(&mut self, f: Bdd, g: Bdd) -> bool {
+    pub fn is_subset(&self, f: Bdd, g: Bdd) -> bool {
         self.diff(f, g).is_false()
     }
 }
@@ -256,7 +263,7 @@ mod tests {
 
     #[test]
     fn de_morgan() {
-        let (mut m, x, y, _) = setup();
+        let (m, x, y, _) = setup();
         let lhs0 = m.and(x, y);
         let lhs = m.not(lhs0);
         let (nx, ny) = (m.not(x), m.not(y));
@@ -266,7 +273,7 @@ mod tests {
 
     #[test]
     fn double_negation_is_free() {
-        let (mut m, x, y, _) = setup();
+        let (m, x, y, _) = setup();
         let f = m.xor(x, y);
         let live = m.live_nodes();
         let nodes = m.nodes.len();
@@ -279,7 +286,7 @@ mod tests {
 
     #[test]
     fn and_or_absorption() {
-        let (mut m, x, y, _) = setup();
+        let (m, x, y, _) = setup();
         let xy = m.and(x, y);
         assert_eq!(m.or(x, xy), x);
         let x_or_y = m.or(x, y);
@@ -288,7 +295,7 @@ mod tests {
 
     #[test]
     fn contradiction_and_excluded_middle() {
-        let (mut m, x, y, _) = setup();
+        let (m, x, y, _) = setup();
         let f = m.xor(x, y);
         let nf = m.not(f);
         assert_eq!(m.and(f, nf), Bdd::FALSE);
@@ -297,7 +304,7 @@ mod tests {
 
     #[test]
     fn xor_properties() {
-        let (mut m, x, y, _) = setup();
+        let (m, x, y, _) = setup();
         assert_eq!(m.xor(x, x), Bdd::FALSE);
         let t = m.one();
         let nx = m.not(x);
@@ -314,7 +321,7 @@ mod tests {
 
     #[test]
     fn ite_equals_definition() {
-        let (mut m, f, g, h) = setup();
+        let (m, f, g, h) = setup();
         let ite = m.ite(f, g, h);
         let fg = m.and(f, g);
         let nf = m.not(f);
@@ -325,7 +332,7 @@ mod tests {
 
     #[test]
     fn ite_normalizations() {
-        let (mut m, f, g, h) = setup();
+        let (m, f, g, h) = setup();
         let base = m.ite(f, g, h);
         // ite(¬f, h, g) == ite(f, g, h).
         let nf = m.not(f);
@@ -342,7 +349,7 @@ mod tests {
 
     #[test]
     fn implies_and_iff() {
-        let (mut m, x, y, _) = setup();
+        let (m, x, y, _) = setup();
         let imp = m.implies(x, y);
         let nx = m.not(x);
         let expected = m.or(nx, y);
@@ -357,7 +364,7 @@ mod tests {
 
     #[test]
     fn diff_is_relative_complement() {
-        let (mut m, x, y, _) = setup();
+        let (m, x, y, _) = setup();
         let d = m.diff(x, y);
         let ny = m.not(y);
         let expected = m.and(x, ny);
@@ -368,7 +375,7 @@ mod tests {
 
     #[test]
     fn many_variants() {
-        let (mut m, x, y, z) = setup();
+        let (m, x, y, z) = setup();
         let all = m.and_many(&[x, y, z]);
         let xy = m.and(x, y);
         let expected = m.and(xy, z);
@@ -406,7 +413,7 @@ mod tests {
 
     #[test]
     fn subset_and_intersection() {
-        let (mut m, x, y, _) = setup();
+        let (m, x, y, _) = setup();
         let xy = m.and(x, y);
         assert!(m.is_subset(xy, x));
         assert!(m.is_subset(xy, y));

@@ -13,7 +13,7 @@
 //! cache.
 
 use crate::manager::{BddManager, BinOp};
-use crate::node::{Bdd, Literal, Var};
+use crate::node::{Bdd, Literal, Var, TERMINAL_LEVEL};
 
 impl BddManager {
     /// Builds the cube (conjunction of literals) `∧ lits`.
@@ -32,7 +32,7 @@ impl BddManager {
     /// let ny = m.nvar(y);
     /// assert_eq!(c, m.and(vx, ny));
     /// ```
-    pub fn cube(&mut self, lits: &[Literal]) -> Bdd {
+    pub fn cube(&self, lits: &[Literal]) -> Bdd {
         let mut acc = Bdd::TRUE;
         // Conjoin bottom-up (deepest level first) so each `and` is O(1)-ish.
         let mut sorted: Vec<Literal> = lits.to_vec();
@@ -45,7 +45,7 @@ impl BddManager {
     }
 
     /// Builds the positive cube `∧ vars`, the usual quantification prefix.
-    pub fn vars_cube(&mut self, vars: &[Var]) -> Bdd {
+    pub fn vars_cube(&self, vars: &[Var]) -> Bdd {
         let lits: Vec<Literal> = vars.iter().map(|&v| Literal::positive(v)).collect();
         self.cube(&lits)
     }
@@ -90,20 +90,20 @@ impl BddManager {
         lits
     }
 
-    /// The semantically next sub-cube of a cube `c` (drops the top
-    /// literal), with complement tags resolved.
+    /// Top level of a cube plus its tail (the cube minus its top
+    /// literal), in one arena read; `TRUE` reports [`TERMINAL_LEVEL`]
+    /// and itself. The shared skip-step of every quantifier recursion.
     #[inline]
-    fn cube_tail(&self, c: Bdd) -> Bdd {
-        let (lo, hi) = self.children(c);
-        if lo.is_false() {
-            hi
-        } else {
-            lo
+    fn cube_peek(&self, c: Bdd) -> (crate::node::Level, Bdd) {
+        if c.is_terminal() {
+            return (TERMINAL_LEVEL, c);
         }
+        let (cl, clo, chi) = self.peek(c);
+        (cl, if clo.is_false() { chi } else { clo })
     }
 
     /// Restricts `f` by `v = value` (Shannon cofactor w.r.t. one literal).
-    pub fn restrict(&mut self, f: Bdd, v: Var, value: bool) -> Bdd {
+    pub fn restrict(&self, f: Bdd, v: Var, value: bool) -> Bdd {
         let lit = Literal::new(v, value);
         let c = self.literal(lit);
         self.cofactor_cube(f, c)
@@ -119,14 +119,14 @@ impl BddManager {
     /// # Panics
     ///
     /// Panics in debug builds if `c` is not a cube.
-    pub fn cofactor_cube(&mut self, f: Bdd, c: Bdd) -> Bdd {
+    pub fn cofactor_cube(&self, f: Bdd, c: Bdd) -> Bdd {
         debug_assert!(self.is_cube(c), "cofactor requires a cube");
         let tag = f.is_complemented();
         self.cofactor_rec(f.regular(), c).complement_if(tag)
     }
 
     /// Recursive cofactor over a *regular* `f`.
-    fn cofactor_rec(&mut self, f: Bdd, c: Bdd) -> Bdd {
+    fn cofactor_rec(&self, f: Bdd, c: Bdd) -> Bdd {
         debug_assert!(!f.is_complemented());
         if c.is_true() || f.is_terminal() {
             return f;
@@ -134,21 +134,19 @@ impl BddManager {
         if let Some(r) = self.caches.bin_get(BinOp::CofactorCube, f, c) {
             return r;
         }
-        let fl = self.level(f);
-        let cl = self.level(c);
+        let (fl, flo, fhi) = self.peek(f);
+        let (cl, clo, chi) = self.peek(c);
+        // `c` is a cube: its tail is whichever child is not FALSE, and
+        // `clo` doubles as the polarity of the top literal.
+        let next = if clo.is_false() { chi } else { clo };
         let r = if cl < fl {
             // `f` does not depend on the cube's top variable: skip it.
-            let next = self.cube_tail(c);
             self.cofactor_rec(f, next)
         } else if cl == fl {
-            let (flo, fhi) = self.children(f);
-            let (clo, _chi) = self.children(c);
-            let next = self.cube_tail(c);
             let branch = if clo.is_false() { fhi } else { flo };
             let tag = branch.is_complemented();
             self.cofactor_rec(branch.regular(), next).complement_if(tag)
         } else {
-            let (flo, fhi) = self.children(f);
             let hi_tag = fhi.is_complemented();
             let lo = self.cofactor_rec(flo, c);
             let hi = self.cofactor_rec(fhi.regular(), c).complement_if(hi_tag);
@@ -173,36 +171,37 @@ impl BddManager {
     /// let cube = m.vars_cube(&[x]);
     /// assert_eq!(m.exists(f, cube), vy); // ∃x. x∧y = y
     /// ```
-    pub fn exists(&mut self, f: Bdd, c: Bdd) -> Bdd {
+    pub fn exists(&self, f: Bdd, c: Bdd) -> Bdd {
         debug_assert!(self.is_cube(c), "quantification prefix must be a cube");
         self.exists_rec(f, c)
     }
 
-    fn exists_rec(&mut self, f: Bdd, mut c: Bdd) -> Bdd {
+    fn exists_rec(&self, f: Bdd, mut c: Bdd) -> Bdd {
         if f.is_terminal() {
             return f;
         }
+        let (fl, flo, fhi) = self.peek(f);
         // Skip cube variables above the root of f.
-        while !c.is_terminal() && self.level(c) < self.level(f) {
-            c = self.cube_tail(c);
-        }
+        let (cl, ctail) = loop {
+            let (cl, tail) = self.cube_peek(c);
+            if cl >= fl {
+                break (cl, tail);
+            }
+            c = tail;
+        };
         if c.is_true() {
             return f;
         }
         if let Some(r) = self.caches.bin_get(BinOp::Exists, f, c) {
             return r;
         }
-        let fl = self.level(f);
-        let cl = self.level(c);
-        let (flo, fhi) = self.children(f);
         let r = if cl == fl {
-            let next = self.cube_tail(c);
-            let lo = self.exists_rec(flo, next);
+            let lo = self.exists_rec(flo, ctail);
             if lo.is_true() {
                 // Early termination: the disjunction is already TRUE.
                 Bdd::TRUE
             } else {
-                let hi = self.exists_rec(fhi, next);
+                let hi = self.exists_rec(fhi, ctail);
                 self.or(lo, hi)
             }
         } else {
@@ -216,7 +215,7 @@ impl BddManager {
 
     /// Universal abstraction `∀ vars(c) . f`, as the free complement dual
     /// `¬∃ vars(c) . ¬f` — no recursion or cache of its own.
-    pub fn forall(&mut self, f: Bdd, c: Bdd) -> Bdd {
+    pub fn forall(&self, f: Bdd, c: Bdd) -> Bdd {
         debug_assert!(self.is_cube(c), "quantification prefix must be a cube");
         self.exists_rec(f.complement(), c).complement()
     }
@@ -225,12 +224,12 @@ impl BddManager {
     ///
     /// Avoids materialising the intermediate conjunction, which is the
     /// classic optimisation for image computations.
-    pub fn and_exists(&mut self, f: Bdd, g: Bdd, c: Bdd) -> Bdd {
+    pub fn and_exists(&self, f: Bdd, g: Bdd, c: Bdd) -> Bdd {
         debug_assert!(self.is_cube(c), "quantification prefix must be a cube");
         self.and_exists_rec(f, g, c)
     }
 
-    fn and_exists_rec(&mut self, f: Bdd, g: Bdd, c: Bdd) -> Bdd {
+    fn and_exists_rec(&self, f: Bdd, g: Bdd, c: Bdd) -> Bdd {
         if f.is_false() || g.is_false() || f == g.complement() {
             return Bdd::FALSE;
         }
@@ -247,27 +246,32 @@ impl BddManager {
         if let Some(r) = self.caches.and_exists_get(a, b, c) {
             return r;
         }
-        let top = self.level(f).min(self.level(g));
+        let (lf, fe0, fe1) = self.peek(f);
+        let (lg, ge0, ge1) = self.peek(g);
+        let top = lf.min(lg);
         // Skip cube variables above both operands.
         let mut c2 = c;
-        while !c2.is_terminal() && self.level(c2) < top {
-            c2 = self.cube_tail(c2);
-        }
+        let (cl, ctail) = loop {
+            let (cl, tail) = self.cube_peek(c2);
+            if cl >= top {
+                break (cl, tail);
+            }
+            c2 = tail;
+        };
         if c2.is_true() {
             let r = self.and(f, g);
             self.caches.and_exists_insert(a, b, c, r);
             return r;
         }
-        let (f0, f1) = self.cofactors_at(f, top);
-        let (g0, g1) = self.cofactors_at(g, top);
-        let r = if self.level(c2) == top {
-            let next = self.cube_tail(c2);
-            let lo = self.and_exists_rec(f0, g0, next);
+        let (f0, f1) = if lf == top { (fe0, fe1) } else { (f, f) };
+        let (g0, g1) = if lg == top { (ge0, ge1) } else { (g, g) };
+        let r = if cl == top {
+            let lo = self.and_exists_rec(f0, g0, ctail);
             if lo.is_true() {
                 // Early termination: the disjunction is already TRUE.
                 Bdd::TRUE
             } else {
-                let hi = self.and_exists_rec(f1, g1, next);
+                let hi = self.and_exists_rec(f1, g1, ctail);
                 self.or(lo, hi)
             }
         } else {
@@ -285,7 +289,7 @@ impl BddManager {
     /// The first `n − 1` conjuncts are combined pairwise; the final
     /// product is fused with the quantification so the full conjunction is
     /// never materialised. An empty slice yields `∃c.TRUE = TRUE`.
-    pub fn and_exists_many(&mut self, fs: &[Bdd], c: Bdd) -> Bdd {
+    pub fn and_exists_many(&self, fs: &[Bdd], c: Bdd) -> Bdd {
         match fs {
             [] => Bdd::TRUE,
             [f] => self.exists(*f, c),
@@ -317,7 +321,7 @@ mod tests {
 
     #[test]
     fn cube_building_and_decomposition() {
-        let (mut m, x, y, z) = setup3();
+        let (m, x, y, z) = setup3();
         let lits = vec![Literal::positive(x), Literal::negative(y), Literal::positive(z)];
         let c = m.cube(&lits);
         assert!(m.is_cube(c));
@@ -330,7 +334,7 @@ mod tests {
 
     #[test]
     fn contradictory_cube_is_false() {
-        let (mut m, x, _, _) = setup3();
+        let (m, x, _, _) = setup3();
         let c = m.cube(&[Literal::positive(x), Literal::negative(x)]);
         assert!(c.is_false());
         assert!(!m.is_cube(c));
@@ -338,7 +342,7 @@ mod tests {
 
     #[test]
     fn non_cube_detection() {
-        let (mut m, x, y, _) = setup3();
+        let (m, x, y, _) = setup3();
         let (vx, vy) = (m.var(x), m.var(y));
         let f = m.or(vx, vy);
         assert!(!m.is_cube(f));
@@ -352,7 +356,7 @@ mod tests {
 
     #[test]
     fn restrict_single_literal() {
-        let (mut m, x, y, _) = setup3();
+        let (m, x, y, _) = setup3();
         let (vx, vy) = (m.var(x), m.var(y));
         let f = m.xor(vx, vy);
         let f_x1 = m.restrict(f, x, true);
@@ -364,7 +368,7 @@ mod tests {
 
     #[test]
     fn cofactor_commutes_with_negation() {
-        let (mut m, x, y, z) = setup3();
+        let (m, x, y, z) = setup3();
         let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
         let xy = m.and(vx, vy);
         let f = m.or(xy, vz);
@@ -377,7 +381,7 @@ mod tests {
 
     #[test]
     fn cofactor_cube_matches_sequential_restrict() {
-        let (mut m, x, y, z) = setup3();
+        let (m, x, y, z) = setup3();
         let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
         let xy = m.and(vx, vy);
         let f = m.or(xy, vz);
@@ -391,7 +395,7 @@ mod tests {
 
     #[test]
     fn exists_removes_variable() {
-        let (mut m, x, y, _) = setup3();
+        let (m, x, y, _) = setup3();
         let (vx, vy) = (m.var(x), m.var(y));
         let f = m.and(vx, vy);
         let cx = m.vars_cube(&[x]);
@@ -402,7 +406,7 @@ mod tests {
 
     #[test]
     fn exists_is_disjunction_of_cofactors() {
-        let (mut m, x, y, z) = setup3();
+        let (m, x, y, z) = setup3();
         let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
         let t0 = m.and(vx, vy);
         let nz = m.not(vz);
@@ -420,7 +424,7 @@ mod tests {
 
     #[test]
     fn forall_is_dual_of_exists() {
-        let (mut m, x, y, z) = setup3();
+        let (m, x, y, z) = setup3();
         let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
         let t0 = m.or(vx, vy);
         let f = m.and(t0, vz);
@@ -441,7 +445,7 @@ mod tests {
 
     #[test]
     fn and_exists_equals_unfused() {
-        let (mut m, x, y, z) = setup3();
+        let (m, x, y, z) = setup3();
         let (vx, vy, vz) = (m.var(x), m.var(y), m.var(z));
         let f = m.or(vx, vy);
         let g = m.xor(vy, vz);
@@ -454,7 +458,7 @@ mod tests {
 
     #[test]
     fn and_exists_of_complements_is_empty() {
-        let (mut m, x, y, _) = setup3();
+        let (m, x, y, _) = setup3();
         let (vx, vy) = (m.var(x), m.var(y));
         let f = m.or(vx, vy);
         let nf = m.not(f);
@@ -464,7 +468,7 @@ mod tests {
 
     #[test]
     fn quantifying_irrelevant_vars_is_identity() {
-        let (mut m, x, y, z) = setup3();
+        let (m, x, y, z) = setup3();
         let (vx, vy) = (m.var(x), m.var(y));
         let f = m.and(vx, vy);
         let cz = m.vars_cube(&[z]);
@@ -474,7 +478,7 @@ mod tests {
 
     #[test]
     fn exists_over_whole_support_gives_constant() {
-        let (mut m, x, y, _) = setup3();
+        let (m, x, y, _) = setup3();
         let (vx, vy) = (m.var(x), m.var(y));
         let f = m.and(vx, vy);
         let c = m.vars_cube(&[x, y]);

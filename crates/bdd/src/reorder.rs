@@ -57,6 +57,7 @@ impl BddManager {
         fresh.sift_runs = self.sift_runs;
         fresh.sift_swaps = self.sift_swaps;
         fresh.sift_baseline = fresh.live_nodes();
+        fresh.gc_baseline = fresh.live_nodes();
         *self = fresh;
         mapped
     }
@@ -124,7 +125,7 @@ mod tests {
         let b = m.xor(v1, v3);
         let f = m.or(a, b);
         let order = vec![vars[3], vars[1], vars[2], vars[0]];
-        let (m2, roots) = m.rebuild_with_order(&order, &[f]);
+        let (mut m2, roots) = m.rebuild_with_order(&order, &[f]);
         assert!(equivalent(&m, f, &m2, roots[0], 4));
         assert_eq!(m2.order(), order);
         m2.check_invariants();

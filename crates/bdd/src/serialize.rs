@@ -214,7 +214,7 @@ impl BddManager {
             if g.is_terminal() || index.contains_key(&g) {
                 continue;
             }
-            let n = *self.node(g);
+            let n = self.node(g);
             if expanded {
                 let enc = |h: Bdd| {
                     if h.is_terminal() {
@@ -245,7 +245,7 @@ impl BddManager {
     /// # Panics
     ///
     /// Panics if a node's level is outside this manager's variable range.
-    pub fn import_bdd(&mut self, s: &SerializedBdd) -> Bdd {
+    pub fn import_bdd(&self, s: &SerializedBdd) -> Bdd {
         let mut handles: Vec<Bdd> = Vec::with_capacity(s.nodes.len());
         let dec = |handles: &[Bdd], r: u32| -> Bdd {
             match r >> 1 {
@@ -283,7 +283,7 @@ mod tests {
 
     #[test]
     fn terminals_round_trip() {
-        let (a, mut b) = twin_managers(2);
+        let (a, b) = twin_managers(2);
         for f in [Bdd::FALSE, Bdd::TRUE] {
             let s = a.export_bdd(f);
             assert!(s.is_terminal());
@@ -294,7 +294,7 @@ mod tests {
 
     #[test]
     fn cross_manager_round_trip_preserves_semantics() {
-        let (mut a, mut b) = twin_managers(6);
+        let (a, b) = twin_managers(6);
         let vars = a.order();
         let mut f = a.zero();
         for (i, &v) in vars.iter().enumerate() {
@@ -311,7 +311,7 @@ mod tests {
 
     #[test]
     fn complement_root_shares_the_node_list() {
-        let (mut a, mut b) = twin_managers(4);
+        let (a, b) = twin_managers(4);
         let vars = a.order();
         let (v0, v1) = (a.var(vars[0]), a.var(vars[1]));
         let f = a.and(v0, v1);
@@ -328,7 +328,7 @@ mod tests {
 
     #[test]
     fn same_manager_import_is_identity() {
-        let (mut a, _) = twin_managers(4);
+        let (a, _) = twin_managers(4);
         let vars = a.order();
         let (v0, v1) = (a.var(vars[0]), a.var(vars[1]));
         let t0 = a.and(v0, v1);
@@ -340,7 +340,7 @@ mod tests {
 
     #[test]
     fn byte_round_trip_and_compactness() {
-        let (mut a, _) = twin_managers(8);
+        let (a, _) = twin_managers(8);
         let vars = a.order();
         let mut f = a.one();
         for &v in &vars {
@@ -377,7 +377,7 @@ mod tests {
         write_varint(&mut bad_root, 4); // node part 2, but no nodes
         assert_eq!(SerializedBdd::from_bytes(&bad_root), Err(SerializeError::ForwardReference));
         // Valid stream with trailing junk.
-        let (mut a, _) = twin_managers(2);
+        let (a, _) = twin_managers(2);
         let v = a.order()[0];
         let f = a.var(v);
         let mut bytes = a.export_bdd(f).to_bytes();
@@ -390,7 +390,7 @@ mod tests {
 
     #[test]
     fn shared_subgraphs_serialize_once() {
-        let (mut a, mut b) = twin_managers(5);
+        let (a, b) = twin_managers(5);
         let vars = a.order();
         // f = (x0 ∧ g) ∨ (¬x0 ∧ g) collapses to g, so force sharing via
         // two distinct parents over a common child instead.

@@ -78,17 +78,23 @@ impl BddManager {
     }
 
     /// The swap primitive, optionally maintaining sifting ref-counts.
+    ///
+    /// A `&mut self` (quiesce-time) operation: the per-level shard
+    /// mutexes are reached through `get_mut`, so the swap pays no locking
+    /// even though the tables are the shared concurrent ones.
     fn swap_adjacent(&mut self, l: usize, refs: &mut Option<&mut Refs>) {
         let la = l as Level;
         let lb = la + 1;
-        let xs: Vec<Bdd> = self.subtables[l].drain().map(|(_, id)| id).collect();
-        let ys: Vec<Bdd> = self.subtables[l + 1].drain().map(|(_, id)| id).collect();
+        let xs: Vec<Bdd> =
+            self.subtables[l].get_mut().expect("shard").drain().map(|(_, id)| id).collect();
+        let ys: Vec<Bdd> =
+            self.subtables[l + 1].get_mut().expect("shard").drain().map(|(_, id)| id).collect();
         // Partition the upper level before any relabelling: a node whose
         // children avoid level l+1 does not interact with the swap.
         let mut dep = Vec::new();
         let mut indep = Vec::new();
         for &x in &xs {
-            let n = self.nodes[x.index()];
+            let n = self.nodes.get(x.index());
             if self.level(n.lo) == lb || self.level(n.hi) == lb {
                 dep.push(x);
             } else {
@@ -99,18 +105,18 @@ impl BddManager {
         // level changes. Their children live strictly below l+1, so the
         // order invariant holds at level l.
         for &y in &ys {
-            self.nodes[y.index()].level = la;
-            let n = self.nodes[y.index()];
-            let prev = self.subtables[l].insert((n.lo, n.hi), y);
+            self.nodes.set_level(y.index(), la);
+            let n = self.nodes.get(y.index());
+            let prev = self.subtables[l].get_mut().expect("shard").insert((n.lo, n.hi), y);
             debug_assert!(prev.is_none(), "rising node collides in its new table");
         }
         // Independent upper nodes sink one level unchanged. They cannot
         // collide: the sinking level's table holds only other sunk nodes
         // so far, and those were pairwise distinct functions already.
         for &x in &indep {
-            self.nodes[x.index()].level = lb;
-            let n = self.nodes[x.index()];
-            let prev = self.subtables[l + 1].insert((n.lo, n.hi), x);
+            self.nodes.set_level(x.index(), lb);
+            let n = self.nodes.get(x.index());
+            let prev = self.subtables[l + 1].get_mut().expect("shard").insert((n.lo, n.hi), x);
             debug_assert!(prev.is_none(), "sinking node collides in its new table");
         }
         // Dependent nodes are rewritten in place:
@@ -127,7 +133,7 @@ impl BddManager {
         // new children x-free, contradicting lo != hi — nor with another
         // rewrite, by canonicity of the originals.
         for &x in &dep {
-            let n = self.nodes[x.index()];
+            let n = self.nodes.get(x.index());
             let (f0, f1) = (n.lo, n.hi);
             let (f00, f01) = self.cofactors_at(f0, la);
             let (f10, f11) = self.cofactors_at(f1, la);
@@ -137,8 +143,8 @@ impl BddManager {
             debug_assert!(!lo.is_complemented(), "rewritten else edge lost canonical form");
             self.bump(lo, refs);
             self.bump(hi, refs);
-            self.nodes[x.index()] = Node { level: la, lo, hi };
-            let prev = self.subtables[l].insert((lo, hi), x);
+            self.nodes.set(x.index(), Node { level: la, lo, hi });
+            let prev = self.subtables[l].get_mut().expect("shard").insert((lo, hi), x);
             debug_assert!(prev.is_none(), "rewritten node collides in its table");
             // Release the old children only now that the new ones are
             // anchored — the cofactors above may share subgraphs with
@@ -180,12 +186,15 @@ impl BddManager {
             debug_assert!(refs[i] > 0, "ref underflow on node {i}");
             refs[i] -= 1;
             if refs[i] == 0 {
-                let n = self.nodes[i];
-                let removed = self.subtables[n.level as usize].remove(&(n.lo, n.hi));
+                let n = self.nodes.get(i);
+                let removed = self.subtables[n.level as usize]
+                    .get_mut()
+                    .expect("shard")
+                    .remove(&(n.lo, n.hi));
                 debug_assert_eq!(removed, Some(g), "dying node missing from its table");
-                self.nodes[i].level = DEAD_LEVEL;
-                self.free.push(i as u32);
-                self.live -= 1;
+                self.nodes.set_level(i, DEAD_LEVEL);
+                self.free_push(i as u32);
+                self.release_one_live();
                 stack.push(n.lo);
                 stack.push(n.hi);
             }
@@ -231,7 +240,7 @@ impl BddManager {
         // Exact live set: reclaim garbage so the size signal is truthful,
         // and so the reference counts below are complete.
         self.gc(roots);
-        let before = self.live;
+        let before = self.live_nodes();
         let mut stats =
             SiftStats { nodes_before: before, nodes_after: before, swaps: 0, blocks_sifted: 0 };
         if self.num_vars() < 2 {
@@ -241,9 +250,9 @@ impl BddManager {
         // Parent-edge counts over the now-exact live graph, plus one
         // count per root occurrence so protected functions never die.
         let mut refs: Refs = vec![0; self.nodes.len()];
-        for node in self.nodes.iter().skip(1) {
-            if node.is_dead() {
-                continue;
+        self.nodes.for_each(|i, node| {
+            if i == 0 || node.is_dead() {
+                return;
             }
             if !node.lo.is_terminal() {
                 refs[node.lo.index()] += 1;
@@ -251,7 +260,7 @@ impl BddManager {
             if !node.hi.is_terminal() {
                 refs[node.hi.index()] += 1;
             }
-        }
+        });
         for &r in roots {
             if !r.is_terminal() {
                 refs[r.index()] += 1;
@@ -262,7 +271,13 @@ impl BddManager {
         // current unique-table occupancy.
         let mut heaviest: Vec<(usize, Var)> = blocks
             .iter()
-            .map(|b| (b.iter().map(|&v| self.subtables[self.level_of(v)].len()).sum(), b[0]))
+            .map(|b| {
+                let weight = b
+                    .iter()
+                    .map(|&v| self.subtables[self.level_of(v)].lock().expect("shard").len())
+                    .sum();
+                (weight, b[0])
+            })
             .collect();
         heaviest.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
         for (_, key) in heaviest {
@@ -278,12 +293,12 @@ impl BddManager {
     }
 
     fn finish_sift(&mut self, stats: &mut SiftStats, swaps_at_entry: usize) {
-        stats.nodes_after = self.live;
+        stats.nodes_after = self.live_nodes();
         stats.swaps = self.sift_swaps - swaps_at_entry;
         // Reclaimed slots may be recycled by the next operation; stale
         // memo entries must not resurrect them.
         self.caches.clear();
-        self.sift_baseline = self.live;
+        self.sift_baseline = self.live_nodes();
         self.sift_runs += 1;
     }
 
@@ -338,8 +353,8 @@ impl BddManager {
         if nblocks < 2 {
             return;
         }
-        let limit = self.live * MAX_GROWTH_NUM / MAX_GROWTH_DEN;
-        let mut best_size = self.live;
+        let limit = self.live_nodes() * MAX_GROWTH_NUM / MAX_GROWTH_DEN;
+        let mut best_size = self.live_nodes();
         let mut best_pos = start;
         let mut pos = start;
         // Walk to the nearer end first: fewer swaps wasted if the best
@@ -351,10 +366,10 @@ impl BddManager {
                 while pos + 1 < nblocks {
                     self.swap_neighbor_blocks(blocks, pos, refs);
                     pos += 1;
-                    if self.live < best_size {
-                        best_size = self.live;
+                    if self.live_nodes() < best_size {
+                        best_size = self.live_nodes();
                         best_pos = pos;
-                    } else if self.live > limit {
+                    } else if self.live_nodes() > limit {
                         break;
                     }
                 }
@@ -362,10 +377,10 @@ impl BddManager {
                 while pos > 0 {
                     self.swap_neighbor_blocks(blocks, pos - 1, refs);
                     pos -= 1;
-                    if self.live < best_size {
-                        best_size = self.live;
+                    if self.live_nodes() < best_size {
+                        best_size = self.live_nodes();
                         best_pos = pos;
-                    } else if self.live > limit {
+                    } else if self.live_nodes() > limit {
                         break;
                     }
                 }
@@ -452,11 +467,14 @@ mod tests {
             f = m.xor(f, lv);
         }
         let before = truth_table(&m, f, 5);
-        let deep_nodes: Vec<usize> = (3..5).map(|l| m.subtables[l].len()).collect();
+        let deep_nodes: Vec<usize> = (3..5).map(|l| m.subtables[l].lock().unwrap().len()).collect();
         m.swap_levels(0);
         m.check_invariants();
         // Levels 3 and 4 are untouched by a (0,1) swap.
-        assert_eq!((3..5).map(|l| m.subtables[l].len()).collect::<Vec<_>>(), deep_nodes);
+        assert_eq!(
+            (3..5).map(|l| m.subtables[l].lock().unwrap().len()).collect::<Vec<_>>(),
+            deep_nodes
+        );
         assert_eq!(truth_table(&m, f, 5), before);
     }
 

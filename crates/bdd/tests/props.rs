@@ -77,7 +77,7 @@ proptest! {
     /// ∃x.f ≡ f|x=0 ∨ f|x=1 and ∀x.f ≡ f|x=0 ∧ f|x=1, for every variable.
     #[test]
     fn quantifier_shannon_laws(e in arb_expr(), vi in 0..NVARS) {
-        let (mut m, f) = compile(&e);
+        let (m, f) = compile(&e);
         let v = Var::from_index(vi);
         let c = m.vars_cube(&[v]);
         let f0 = m.restrict(f, v, false);
@@ -115,7 +115,7 @@ proptest! {
     /// Cofactor by a cube equals iterated single-variable restriction.
     #[test]
     fn cube_cofactor_is_iterated_restrict(e in arb_expr(), mask in 0u32..(1 << NVARS), pol in 0u32..(1 << NVARS)) {
-        let (mut m, f) = compile(&e);
+        let (m, f) = compile(&e);
         let lits: Vec<Literal> = (0..NVARS)
             .filter(|i| mask & (1 << i) != 0)
             .map(|i| Literal::new(Var::from_index(i), pol & (1 << i) != 0))
@@ -142,7 +142,7 @@ proptest! {
     })) {
         let (m, f) = compile(&e);
         let order: Vec<Var> = perm.into_iter().map(Var::from_index).collect();
-        let (m2, roots) = m.rebuild_with_order(&order, &[f]);
+        let (mut m2, roots) = m.rebuild_with_order(&order, &[f]);
         m2.check_invariants();
         for bits in 0..(1u32 << NVARS) {
             let a = assignment_from_bits(bits);
@@ -219,7 +219,7 @@ proptest! {
         // orphans eagerly.
         prop_assert_eq!(m.gc(&[f]), 0);
         let order = m.order();
-        let (m2, roots) = m.rebuild_with_order(&order, &[f]);
+        let (mut m2, roots) = m.rebuild_with_order(&order, &[f]);
         m2.check_invariants();
         prop_assert_eq!(m2.size(roots[0]), m.size(f));
         for bits in 0..(1u32 << NVARS) {
@@ -324,7 +324,7 @@ proptest! {
         // sift-internal refcounts.
         prop_assert_eq!(m.gc(&[nf, d]), 0);
         let order = m.order();
-        let (m2, mapped) = m.rebuild_with_order(&order, &[nf, d]);
+        let (mut m2, mapped) = m.rebuild_with_order(&order, &[nf, d]);
         m2.check_invariants();
         prop_assert_eq!(m2.size(mapped[0]), m.size(nf));
         prop_assert_eq!(m2.size(mapped[1]), m.size(d));
@@ -340,7 +340,7 @@ proptest! {
     /// byte stream's node list with `f`.
     #[test]
     fn serialization_roundtrips_complements(e in arb_expr()) {
-        let (mut m, f) = compile(&e);
+        let (m, f) = compile(&e);
         let nf = m.not(f);
         let mut twin = BddManager::new();
         twin.new_vars("x", NVARS);
@@ -359,7 +359,7 @@ proptest! {
     /// union is the function.
     #[test]
     fn cubes_partition_function(e in arb_expr()) {
-        let (mut m, f) = compile(&e);
+        let (m, f) = compile(&e);
         let cubes: Vec<Vec<Literal>> = m.cubes(f).collect();
         let mut union = m.zero();
         let mut total = 0u128;

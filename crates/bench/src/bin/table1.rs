@@ -9,7 +9,8 @@
 //! ```text
 //! cargo run --release -p stgcheck-bench --bin table1 [--explicit] \
 //!     [--order <strategy>] [--engine <engine>|all] [--jobs <n>] \
-//!     [--reorder <mode>|all] [--from-dir <dir>] [--json <path>] [--small]
+//!     [--sharing shared|private] [--reorder <mode>|all] [--from-dir <dir>] \
+//!     [--json <path>] [--small]
 //! ```
 //!
 //! * `--explicit` additionally times the explicit state-graph baseline on
@@ -20,7 +21,10 @@
 //! * `--engine per-transition|clustered|parallel|all` selects the image
 //!   engine (default: per-transition); `all` prints one row per engine so
 //!   the engines can be compared line by line;
-//! * `--jobs <n>` sets the worker count for the parallel engine;
+//! * `--jobs <n>` sets the worker count for the parallel engine — with the
+//!   default shared manager this now scales work against one BDD arena;
+//! * `--sharing shared|private` selects whether parallel workers share the
+//!   one concurrent manager or keep private ones (default: shared);
 //! * `--reorder none|sift|auto|all` selects the dynamic variable
 //!   reordering mode (default: none; see `docs/reordering.md`); `all`
 //!   prints one row per mode so the static order and the sifted runs can
@@ -39,7 +43,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use stgcheck_bench::{quick_workloads, table1_workloads, workloads_from_dir};
-use stgcheck_core::{verify, EngineKind, ReorderMode, SymbolicReport, VarOrder, VerifyOptions};
+use stgcheck_core::{
+    verify, EngineKind, ReorderMode, ShardSharing, SymbolicReport, VarOrder, VerifyOptions,
+};
 use stgcheck_stg::{build_state_graph, PersistencyPolicy, SgOptions};
 
 fn parse_order(s: &str) -> VarOrder {
@@ -75,6 +81,9 @@ struct JsonRow {
     engine: String,
     reorder: ReorderMode,
     order: VarOrder,
+    /// Requested worker count (0 = auto) — meaningful for the parallel
+    /// engine, recorded on every row so perf diffs can tell runs apart.
+    jobs: usize,
     states: String,
     peak_live_nodes: usize,
     final_nodes: usize,
@@ -92,13 +101,14 @@ fn write_json(path: &PathBuf, rows: &[JsonRow]) -> std::io::Result<()> {
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"engine\": \"{}\", \"reorder\": \"{}\", \
-             \"order\": \"{}\", \"states\": \"{}\", \"peak_live_nodes\": {}, \
-             \"final_nodes\": {}, \"sift_passes\": {}, \"wall_s\": {:.3}, \
-             \"verdict\": \"{}\"}}{}\n",
+             \"order\": \"{}\", \"jobs\": {}, \"states\": \"{}\", \
+             \"peak_live_nodes\": {}, \"final_nodes\": {}, \"sift_passes\": {}, \
+             \"wall_s\": {:.6}, \"verdict\": \"{}\"}}{}\n",
             json_escape(&r.name),
             r.engine,
             r.reorder,
             order_name(r.order),
+            r.jobs,
             r.states,
             r.peak_live_nodes,
             r.final_nodes,
@@ -133,6 +143,12 @@ fn main() {
     let jobs: usize = value_of("--jobs").map_or(0, |v| {
         v.parse().unwrap_or_else(|_| {
             eprintln!("--jobs needs a number, got `{v}`");
+            std::process::exit(2);
+        })
+    });
+    let sharing: ShardSharing = value_of("--sharing").map_or_else(ShardSharing::default, |v| {
+        v.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
             std::process::exit(2);
         })
     });
@@ -202,7 +218,12 @@ fn main() {
                 let opts = VerifyOptions {
                     order,
                     policy: PersistencyPolicy { allow_arbitration: w.arbitration },
-                    engine: stgcheck_core::EngineOptions { kind, jobs, ..Default::default() },
+                    engine: stgcheck_core::EngineOptions {
+                        kind,
+                        jobs,
+                        sharing,
+                        ..Default::default()
+                    },
                     reorder,
                 };
                 let report = match verify(&w.stg, opts) {
@@ -241,6 +262,7 @@ fn main() {
                     engine: report.engine.clone(),
                     reorder,
                     order,
+                    jobs,
                     states: stgcheck_core::format_states(report.num_states),
                     peak_live_nodes: report.bdd_peak,
                     final_nodes: report.bdd_final,

@@ -18,10 +18,16 @@
 //!   one product with an *after* cube, so the memoisation cache is shared
 //!   across the cluster's overlapping supports;
 //! * [`EngineKind::ParallelSharded`] — transitions sharded across
-//!   `std::thread::scope` workers, each owning a private
-//!   [`stgcheck_bdd::BddManager`]; frontiers cross threads as
-//!   [`SerializedBdd`] snapshots, every worker closes its shard locally,
-//!   and the main thread OR-joins the partial closures per iteration.
+//!   `std::thread::scope` workers. In the default [`ShardSharing::Shared`]
+//!   mode every worker computes against **one** concurrent
+//!   [`stgcheck_bdd::BddManager`] (see `docs/concurrent-table.md`):
+//!   shard closures and frontier joins pass plain [`Bdd`] handles, and
+//!   between iterations the workers are joined so GC and `--reorder`
+//!   sifting run at a stop-the-world quiesce point. The
+//!   [`ShardSharing::Private`] compatibility mode keeps the original
+//!   design — per-worker managers exchanging frontiers as
+//!   [`SerializedBdd`] snapshots (the serialized form remains the wire
+//!   format; it just no longer sits on the default hot loop).
 //!
 //! All three compute the same least fixpoint, so they return the same
 //! canonical `Reached` BDD — `tests/engines.rs` asserts this on every
@@ -51,8 +57,9 @@ pub enum EngineKind {
     /// `and_exists` over the cluster's enabling/update cubes. Always
     /// chained (cluster by cluster).
     Clustered,
-    /// Transitions sharded across worker threads with private BDD
-    /// managers; partial frontier closures are OR-joined per iteration.
+    /// Transitions sharded across worker threads; partial frontier
+    /// closures are OR-joined per iteration. Workers share the one
+    /// concurrent manager by default ([`ShardSharing`]).
     ParallelSharded,
 }
 
@@ -77,6 +84,43 @@ impl std::str::FromStr for EngineKind {
             other => Err(format!(
                 "unknown engine `{other}` (expected per-transition, clustered or parallel)"
             )),
+        }
+    }
+}
+
+/// How the [`EngineKind::ParallelSharded`] workers hold their BDD state.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum ShardSharing {
+    /// All workers operate on the *one* shared concurrent manager:
+    /// frontiers and shard closures are plain [`Bdd`] handles, no
+    /// export/import round trip, GC + sifting at a stop-the-world
+    /// quiesce point between iterations. The default.
+    #[default]
+    Shared,
+    /// The pre-concurrent design: each worker owns a private manager and
+    /// frontiers cross thread boundaries as [`SerializedBdd`] snapshots.
+    /// Kept as a differential baseline for the equivalence suite and as
+    /// the template for a future distributed (wire-format) backend.
+    Private,
+}
+
+impl std::fmt::Display for ShardSharing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShardSharing::Shared => "shared",
+            ShardSharing::Private => "private",
+        })
+    }
+}
+
+impl std::str::FromStr for ShardSharing {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ShardSharing, String> {
+        match s {
+            "shared" | "one-manager" => Ok(ShardSharing::Shared),
+            "private" | "per-worker" => Ok(ShardSharing::Private),
+            other => Err(format!("unknown sharing mode `{other}` (expected shared or private)")),
         }
     }
 }
@@ -144,6 +188,9 @@ pub struct EngineOptions {
     /// Dynamic variable reordering policy, consulted between outer
     /// fixed-point iterations by every engine.
     pub reorder: ReorderMode,
+    /// Whether [`EngineKind::ParallelSharded`] workers share the one
+    /// concurrent manager (default) or own private managers.
+    pub sharing: ShardSharing,
 }
 
 impl EngineOptions {
@@ -254,7 +301,11 @@ pub(crate) fn run_fixpoint(
 }
 
 /// One δ application under the spec, confined to `within` when set.
-fn apply_one(sym: &mut SymbolicStg<'_>, spec: &FixpointSpec, set: Bdd, t: TransId) -> Bdd {
+///
+/// `&SymbolicStg` is all it needs — the image pipeline runs entirely on
+/// the concurrent manager's shared-reference operations, which is what
+/// lets the shared-mode workers call it from many threads at once.
+fn apply_one(sym: &SymbolicStg<'_>, spec: &FixpointSpec, set: Bdd, t: TransId) -> Bdd {
     let img = match (spec.direction, spec.marking_only) {
         (StepDirection::Forward, false) => sym.image(set, t),
         (StepDirection::Forward, true) => sym.image_marking(set, t),
@@ -262,7 +313,7 @@ fn apply_one(sym: &mut SymbolicStg<'_>, spec: &FixpointSpec, set: Bdd, t: TransI
         (StepDirection::Backward, true) => sym.preimage_marking(set, t),
     };
     match spec.within {
-        Some(w) => sym.manager_mut().and(img, w),
+        Some(w) => sym.manager().and(img, w),
         None => img,
     }
 }
@@ -278,7 +329,7 @@ fn maybe_gc(
     rings: &[Bdd],
     engine_roots: &[Bdd],
 ) {
-    if !spec.gc || sym.manager().live_nodes() <= GC_THRESHOLD {
+    if !spec.gc || !sym.manager().gc_due(GC_THRESHOLD) {
         return;
     }
     let mut roots = sym.permanent_roots();
@@ -555,8 +606,9 @@ fn run_clustered(
 // Parallel sharded engine.
 // ---------------------------------------------------------------------------
 
-/// A worker's local closure: everything reachable from `from` using only
-/// the shard's transitions (chained, with the worker's own GC).
+/// A worker's local closure against a **private** manager: everything
+/// reachable from `from` using only the shard's transitions (chained,
+/// with the worker's own GC).
 fn shard_closure(
     w: &mut SymbolicStg<'_>,
     spec: &FixpointSpec,
@@ -579,6 +631,36 @@ fn shard_closure(
         reached = w.manager_mut().or(reached, new);
         front = new;
         maybe_gc(w, spec, &[reached, front], &[], &[]);
+    }
+}
+
+/// A worker's local closure against the **shared** concurrent manager:
+/// same fixpoint as [`shard_closure`], but through `&SymbolicStg` — the
+/// handles it takes and returns are directly meaningful to every other
+/// thread, so nothing is serialized. No GC here: collection is a
+/// quiesce-point operation that the coordinator runs between outer
+/// iterations, once the scoped workers have been joined.
+fn shard_closure_shared(
+    sym: &SymbolicStg<'_>,
+    spec: &FixpointSpec,
+    shard: &[TransId],
+    from: Bdd,
+) -> Bdd {
+    let mgr = sym.manager();
+    let mut reached = from;
+    let mut front = from;
+    loop {
+        let mut acc = front;
+        for &t in shard {
+            let img = apply_one(sym, spec, acc, t);
+            acc = mgr.or(acc, img);
+        }
+        let new = mgr.diff(acc, reached);
+        if new.is_false() {
+            return reached;
+        }
+        reached = mgr.or(reached, new);
+        front = new;
     }
 }
 
@@ -649,6 +731,82 @@ fn run_parallel(
         };
         return run_per_transition(sym, &seq, spec, transitions, init);
     }
+    match opts.sharing {
+        ShardSharing::Shared => run_parallel_shared(sym, opts, spec, transitions, init, jobs),
+        ShardSharing::Private => run_parallel_private(sym, opts, spec, transitions, init, jobs),
+    }
+}
+
+/// The default parallel engine: scoped workers share the one concurrent
+/// manager, so the per-iteration exchange is a handful of `Copy`
+/// handles.
+///
+/// Iteration protocol:
+///
+/// 1. **Fan out** — spawn one scoped worker per shard; each closes its
+///    shard over the current frontier through `&SymbolicStg`, racing
+///    freely on the lock-sharded unique table and lossy-atomic caches.
+/// 2. **Join** — OR the workers' closure handles into the next frontier
+///    (plain handle arithmetic; canonicity makes the result identical to
+///    what any sequential engine would produce).
+/// 3. **Quiesce** — with every worker joined, the coordinator holds the
+///    only reference, so `&mut` GC and `--reorder` sifting run exactly
+///    as in the sequential engines. In-place sifting preserves handles,
+///    so `reached`/`from` survive into the next fan-out unchanged.
+fn run_parallel_shared(
+    sym: &mut SymbolicStg<'_>,
+    opts: &EngineOptions,
+    spec: &FixpointSpec,
+    transitions: &[TransId],
+    init: Bdd,
+    jobs: usize,
+) -> FixpointOutcome {
+    let shards = balance_shards(sym, transitions, jobs);
+    let mut reached = init;
+    let mut from = init;
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let shared: &SymbolicStg<'_> = sym;
+        let parts: Vec<Bdd> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| scope.spawn(move || shard_closure_shared(shared, spec, shard, from)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+        });
+        let mut to = from;
+        for part in parts {
+            to = sym.manager().or(to, part);
+        }
+        let new = sym.manager().diff(to, reached);
+        if new.is_false() {
+            break;
+        }
+        reached = sym.manager().or(reached, new);
+        from = new;
+        // Stop-the-world quiesce point: workers are joined, the `&mut`
+        // borrow is exclusive again.
+        maybe_gc(sym, spec, &[reached, from], &[], &[]);
+        maybe_reorder(sym, opts, spec, &[reached, from], &[], &[]);
+    }
+    // The shared peak is the main manager's peak; there is no separate
+    // worker column to report.
+    FixpointOutcome { reached, iterations, rings: Vec::new(), shard_peak_nodes: 0 }
+}
+
+/// The compatibility engine: private per-worker managers exchanging
+/// [`SerializedBdd`] frontiers — the original PR 2 design, retained as a
+/// differential baseline and as the shape a distributed backend would
+/// take (the serialized interchange is the wire format).
+fn run_parallel_private(
+    sym: &mut SymbolicStg<'_>,
+    opts: &EngineOptions,
+    spec: &FixpointSpec,
+    transitions: &[TransId],
+    init: Bdd,
+    jobs: usize,
+) -> FixpointOutcome {
     let stg = sym.stg();
     let order = sym.order();
     // The main manager may already have been sifted away from the
@@ -775,7 +933,7 @@ mod tests {
                         gc: true,
                     };
                     for (i, &tr) in transitions.iter().enumerate() {
-                        let a = apply_one(&mut sym, &spec, t.reached, tr);
+                        let a = apply_one(&sym, &spec, t.reached, tr);
                         let b = fused_apply(&mut sym, &spec, &fused[i], t.reached);
                         assert_eq!(
                             a,
@@ -811,7 +969,7 @@ mod tests {
         let spec = FixpointSpec::forward_full();
         let xp = stg.net().trans_by_name("x+").unwrap();
         let i = transitions.iter().position(|&t| t == xp).unwrap();
-        let seq = apply_one(&mut sym, &spec, init, xp);
+        let seq = apply_one(&sym, &spec, init, xp);
         let fus = fused_apply(&mut sym, &spec, &fused[i], init);
         assert_eq!(seq, fus);
         assert!(!fus.is_false());

@@ -30,9 +30,9 @@ impl SymbolicStg<'_> {
     /// successor place (other than a self-loop) is already marked are
     /// dropped by the `NSM` cofactor — the safeness check reports those
     /// separately.
-    pub fn image_marking(&mut self, m: Bdd, t: TransId) -> Bdd {
-        let c = self.cubes(t).clone();
-        let mgr = self.manager_mut();
+    pub fn image_marking(&self, m: Bdd, t: TransId) -> Bdd {
+        let c = self.cubes(t);
+        let mgr = self.manager();
         let r = mgr.cofactor_cube(m, c.enabled);
         let r = mgr.and(r, c.no_pred);
         let r = mgr.cofactor_cube(r, c.no_succ);
@@ -45,11 +45,11 @@ impl SymbolicStg<'_> {
     /// States whose code is inconsistent with the label (e.g. `a+` fired
     /// with `a = 1`) are silently dropped by the code cofactor; the
     /// consistency check detects them before they would matter.
-    pub fn image(&mut self, m: Bdd, t: TransId) -> Bdd {
+    pub fn image(&self, m: Bdd, t: TransId) -> Bdd {
         let moved = self.image_marking(m, t);
         let Some(label) = self.stg().label(t) else { return moved };
         let v = self.signal_var(label.signal);
-        let mgr = self.manager_mut();
+        let mgr = self.manager();
         match label.polarity {
             Polarity::Rise => {
                 let sel = mgr.nvar(v);
@@ -68,9 +68,9 @@ impl SymbolicStg<'_> {
 
     /// Backward image on the marking variables only: all markings from
     /// which firing `t` lands in `M`.
-    pub fn preimage_marking(&mut self, m: Bdd, t: TransId) -> Bdd {
-        let c = self.cubes(t).clone();
-        let mgr = self.manager_mut();
+    pub fn preimage_marking(&self, m: Bdd, t: TransId) -> Bdd {
+        let c = self.cubes(t);
+        let mgr = self.manager();
         let r = mgr.cofactor_cube(m, c.all_succ);
         let r = mgr.and(r, c.no_succ);
         let r = mgr.cofactor_cube(r, c.no_pred);
@@ -79,11 +79,11 @@ impl SymbolicStg<'_> {
 
     /// Full backward image: all full states from which firing `t` lands in
     /// `M`.
-    pub fn preimage(&mut self, m: Bdd, t: TransId) -> Bdd {
+    pub fn preimage(&self, m: Bdd, t: TransId) -> Bdd {
         let moved = self.preimage_marking(m, t);
         let Some(label) = self.stg().label(t) else { return moved };
         let v = self.signal_var(label.signal);
-        let mgr = self.manager_mut();
+        let mgr = self.manager();
         match label.polarity {
             // Forward a+ sets a to 1, so backward selects a=1, restores 0.
             Polarity::Rise => {

@@ -60,7 +60,7 @@ mod verify;
 pub use consistency::ConsistencyViolation;
 pub use csc::{CodeRegions, CscAnalysis};
 pub use encode::{StateWitness, SymbolicStg, TransCubes, VarOrder};
-pub use engine::{EngineKind, EngineOptions, ReorderMode};
+pub use engine::{EngineKind, EngineOptions, ReorderMode, ShardSharing};
 pub use logic::{LogicError, SignalFunction};
 pub use persistency::{SymSignalViolation, SymTransViolation};
 pub use safety::SafetyViolation;

@@ -134,10 +134,12 @@ impl SymbolicReport {
 
     /// Renders the report as the row format of the paper's Table 1, plus
     /// the engine column. The state count saturates explicitly
-    /// (`>2^128`) instead of silently printing `u128::MAX`.
+    /// (`>2^128`) instead of silently printing `u128::MAX`, and the CPU
+    /// columns carry microsecond resolution — the fast rows (sub-ms on
+    /// modern hardware) must not all print as `0.000`.
     pub fn table1_row(&self) -> String {
         format!(
-            "{:<16} {:>14} {:>6} {:>7} {:>12} {:>9} {:>8} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            "{:<16} {:>14} {:>6} {:>7} {:>12} {:>9} {:>8} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>10.6}",
             self.name,
             self.engine,
             self.places,
@@ -156,7 +158,7 @@ impl SymbolicReport {
     /// The header matching [`SymbolicReport::table1_row`].
     pub fn table1_header() -> String {
         format!(
-            "{:<16} {:>14} {:>6} {:>7} {:>12} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "{:<16} {:>14} {:>6} {:>7} {:>12} {:>9} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
             "example",
             "engine",
             "places",

@@ -8,7 +8,12 @@
 //!   --engine <e>         per-transition|clustered|parallel (default:
 //!                        per-transition; see docs/traversal-engines.md)
 //!   --jobs <n>           worker threads for --engine parallel (default:
-//!                        available parallelism)
+//!                        available parallelism); with the default shared
+//!                        manager the workers race on one BDD arena, so
+//!                        --jobs scales real work instead of copies
+//!   --sharing <m>        shared|private — whether parallel workers share
+//!                        the one concurrent BDD manager (default: shared;
+//!                        see docs/concurrent-table.md)
 //!   --reorder <m>        none|sift|auto — dynamic variable reordering
 //!                        (in-place sifting; see docs/reordering.md)
 //!   --bfs                strict breadth-first traversal (default: chained)
@@ -31,7 +36,7 @@ struct Cli {
 
 fn usage() -> &'static str {
     "usage: stgcheck [--arbitration] [--order interleaved|places|signals|declaration] \
-     [--engine per-transition|clustered|parallel] [--jobs N] \
+     [--engine per-transition|clustered|parallel] [--jobs N] [--sharing shared|private] \
      [--reorder none|sift|auto] [--bfs] [--quiet] file.g [file2.g ...]"
 }
 
@@ -67,6 +72,10 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 cli.options.engine.jobs =
                     v.parse().map_err(|_| format!("--jobs needs a number, got `{v}`"))?;
+            }
+            "--sharing" => {
+                let v = it.next().ok_or("--sharing needs a value")?;
+                cli.options.engine.sharing = v.parse()?;
             }
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with('-') => {

@@ -1,0 +1,265 @@
+//! Threaded stress suite for the shared concurrent BDD substrate
+//! (`docs/concurrent-table.md`).
+//!
+//! Strategy: determinism through canonicity. Every test drives one
+//! shared [`BddManager`] from N threads with pre-generated random op
+//! scripts, then replays the same scripts on a fresh single-threaded
+//! manager with the same variable declarations. Canonical handles differ
+//! between the two managers (creation order differs), but the *functions*
+//! must be identical — and [`BddManager::export_bdd`] snapshots are
+//! canonical per (function, variable order), so comparing snapshots is a
+//! node-for-node structural check, not just a state count.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stgcheck::bdd::{Bdd, BddManager, SerializedBdd, Var};
+
+/// One scripted operation; operands index the thread's result history
+/// (literals are pre-seeded at indices `0..2 * nvars`).
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    And(usize, usize),
+    Or(usize, usize),
+    Xor(usize, usize),
+    Diff(usize, usize),
+    Not(usize),
+    Ite(usize, usize, usize),
+    /// `∃ vars(mask) . pool[i]`
+    Exists(usize, u16),
+    /// `∀ vars(mask) . pool[i]`
+    Forall(usize, u16),
+    /// `and_exists(pool[i], pool[j], vars(mask))`
+    AndExists(usize, usize, u16),
+}
+
+const NVARS: usize = 12;
+
+fn gen_script(seed: u64, len: usize) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut script = Vec::with_capacity(len);
+    // `pool` tracks how many results exist when each op runs: the
+    // literal seeds of both polarities, plus one per prior op.
+    for pool in 2 * NVARS..2 * NVARS + len {
+        let pick = |rng: &mut StdRng, pool: usize| rng.gen_range(0..pool);
+        let mask = |rng: &mut StdRng| rng.gen_range(1u16..(1 << NVARS.min(16)) as u16);
+        let op = match rng.gen_range(0..9u32) {
+            0 => Op::And(pick(&mut rng, pool), pick(&mut rng, pool)),
+            1 => Op::Or(pick(&mut rng, pool), pick(&mut rng, pool)),
+            2 => Op::Xor(pick(&mut rng, pool), pick(&mut rng, pool)),
+            3 => Op::Diff(pick(&mut rng, pool), pick(&mut rng, pool)),
+            4 => Op::Not(pick(&mut rng, pool)),
+            5 => Op::Ite(pick(&mut rng, pool), pick(&mut rng, pool), pick(&mut rng, pool)),
+            6 => Op::Exists(pick(&mut rng, pool), mask(&mut rng)),
+            7 => Op::Forall(pick(&mut rng, pool), mask(&mut rng)),
+            _ => Op::AndExists(pick(&mut rng, pool), pick(&mut rng, pool), mask(&mut rng)),
+        };
+        script.push(op);
+    }
+    script
+}
+
+/// Runs a script against the manager through `&self` only — exactly what
+/// a shared-mode engine worker is allowed to do.
+fn run_script(m: &BddManager, vars: &[Var], script: &[Op], from: &[Bdd]) -> Vec<Bdd> {
+    let cube = |mask: u16| -> Bdd {
+        let vs: Vec<Var> = vars
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &v)| v)
+            .collect();
+        m.vars_cube(&vs)
+    };
+    let mut pool: Vec<Bdd> = from.to_vec();
+    for &op in script {
+        let r = match op {
+            Op::And(i, j) => m.and(pool[i], pool[j]),
+            Op::Or(i, j) => m.or(pool[i], pool[j]),
+            Op::Xor(i, j) => m.xor(pool[i], pool[j]),
+            Op::Diff(i, j) => m.diff(pool[i], pool[j]),
+            Op::Not(i) => m.not(pool[i]),
+            Op::Ite(i, j, k) => m.ite(pool[i], pool[j], pool[k]),
+            Op::Exists(i, mask) => m.exists(pool[i], cube(mask)),
+            Op::Forall(i, mask) => m.forall(pool[i], cube(mask)),
+            Op::AndExists(i, j, mask) => m.and_exists(pool[i], pool[j], cube(mask)),
+        };
+        pool.push(r);
+    }
+    pool
+}
+
+fn fresh_manager() -> (BddManager, Vec<Var>, Vec<Bdd>) {
+    let mut m = BddManager::new();
+    let vars = m.new_vars("x", NVARS);
+    let mut seeds: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+    seeds.extend(vars.iter().map(|&v| m.nvar(v)));
+    (m, vars, seeds)
+}
+
+/// Snapshot of every function a script produced, in a manager-independent
+/// canonical form.
+fn snapshots(m: &BddManager, results: &[Bdd]) -> Vec<SerializedBdd> {
+    results.iter().map(|&r| m.export_bdd(r)).collect()
+}
+
+/// The headline stress test: N threads hammer one manager with random op
+/// mixes; every thread's results must be node-for-node identical to a
+/// single-threaded replay of the same scripts in a fresh manager.
+#[test]
+fn threaded_random_ops_match_single_threaded_replay() {
+    const THREADS: usize = 4;
+    const LEN: usize = 400;
+    let scripts: Vec<Vec<Op>> =
+        (0..THREADS).map(|t| gen_script(0xC0FFEE + t as u64, LEN)).collect();
+
+    let (mut shared, vars, seeds) = fresh_manager();
+    let shared_results: Vec<Vec<Bdd>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| {
+                let (m, vars, seeds) = (&shared, &vars, &seeds);
+                scope.spawn(move || run_script(m, vars, script, seeds))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("stress worker panicked")).collect()
+    });
+    shared.check_invariants();
+
+    let (mut replay, rvars, rseeds) = fresh_manager();
+    for (script, shared_pool) in scripts.iter().zip(&shared_results) {
+        let replay_pool = run_script(&replay, &rvars, script, &rseeds);
+        assert_eq!(
+            snapshots(&shared, shared_pool),
+            snapshots(&replay, &replay_pool),
+            "threaded results diverge from the sequential replay"
+        );
+    }
+    replay.check_invariants();
+}
+
+/// Canonicity under contention: threads computing the *same* script
+/// through one manager must observe bit-identical handles — the
+/// lock-sharded unique table may never hand out two slots for one
+/// function, no matter how the threads interleave.
+#[test]
+fn racing_threads_agree_on_canonical_handles() {
+    const THREADS: usize = 8;
+    let script = gen_script(0xBDD, 500);
+    let (mut shared, vars, seeds) = fresh_manager();
+    let results: Vec<Vec<Bdd>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (m, vars, seeds, script) = (&shared, &vars, &seeds, &script);
+                scope.spawn(move || run_script(m, vars, script, seeds))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("stress worker panicked")).collect()
+    });
+    for other in &results[1..] {
+        assert_eq!(&results[0], other, "racing threads disagree on canonical handles");
+    }
+    shared.check_invariants();
+}
+
+/// Boolean identities checked *while* other threads churn the same
+/// manager: a torn cache entry or a duplicated node would break one of
+/// these algebraic facts.
+#[test]
+fn algebraic_identities_hold_under_contention() {
+    let (mut shared, vars, seeds) = fresh_manager();
+    std::thread::scope(|scope| {
+        // Churn threads keep the unique table and caches busy.
+        for t in 0..2u64 {
+            let (m, vars, seeds) = (&shared, &vars, &seeds);
+            let script = gen_script(0xABAD1DEA + t, 600);
+            scope.spawn(move || run_script(m, vars, &script, seeds));
+        }
+        // Checker threads verify identities on their own random functions.
+        for t in 0..2u64 {
+            let (m, vars, seeds) = (&shared, &vars, &seeds);
+            scope.spawn(move || {
+                let script = gen_script(0x5EED + t, 300);
+                let pool = run_script(m, vars, &script, seeds);
+                let mut rng = StdRng::seed_from_u64(t);
+                for _ in 0..300 {
+                    let f = pool[rng.gen_range(0..pool.len())];
+                    let g = pool[rng.gen_range(0..pool.len())];
+                    let c = m.vars_cube(&vars[0..rng.gen_range(1..4usize)]);
+                    // De Morgan through the shared caches.
+                    let lhs = m.not(m.and(f, g));
+                    let rhs = m.or(m.not(f), m.not(g));
+                    assert_eq!(lhs, rhs, "De Morgan broke under contention");
+                    // Complementation / excluded middle.
+                    assert_eq!(m.and(f, m.not(f)), Bdd::FALSE);
+                    assert_eq!(m.or(f, m.not(f)), Bdd::TRUE);
+                    // Fused relational product vs the unfused pipeline.
+                    let fused = m.and_exists(f, g, c);
+                    let unfused = m.exists(m.and(f, g), c);
+                    assert_eq!(fused, unfused, "and_exists diverged under contention");
+                }
+            });
+        }
+    });
+    shared.check_invariants();
+}
+
+/// The engine's quiesce protocol in miniature: concurrent phases
+/// separated by stop-the-world GC (and finally sifting) on the shared
+/// manager. Handles kept as roots must stay valid across the quiesce
+/// points, and the functions must still match a replay that never
+/// collected at all.
+#[test]
+fn quiesce_gc_between_concurrent_phases_preserves_functions() {
+    const THREADS: usize = 3;
+    const PHASES: usize = 3;
+    let all_scripts: Vec<Vec<Vec<Op>>> = (0..PHASES)
+        .map(|p| (0..THREADS).map(|t| gen_script((p * 31 + t) as u64 + 7, 150)).collect())
+        .collect();
+
+    let (mut shared, vars, seeds) = fresh_manager();
+    // Each thread's pool persists across phases, GC-protected as roots.
+    let mut pools: Vec<Vec<Bdd>> = vec![seeds.clone(); THREADS];
+    for phase_scripts in &all_scripts {
+        let results: Vec<Vec<Bdd>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = phase_scripts
+                .iter()
+                .zip(&pools)
+                .map(|(script, pool)| {
+                    let (m, vars) = (&shared, &vars);
+                    scope.spawn(move || run_script(m, vars, script, pool))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("phase worker panicked")).collect()
+        });
+        pools = results;
+        // Stop-the-world quiesce: all workers joined, `&mut` is back.
+        let roots: Vec<Bdd> = pools.iter().flatten().copied().collect();
+        shared.gc(&roots);
+        shared.check_invariants();
+    }
+
+    // Replay without any GC: functions must agree node-for-node.
+    let (replay, rvars, rseeds) = fresh_manager();
+    let mut rpools: Vec<Vec<Bdd>> = vec![rseeds.clone(); THREADS];
+    for phase_scripts in &all_scripts {
+        rpools = phase_scripts
+            .iter()
+            .zip(&rpools)
+            .map(|(script, pool)| run_script(&replay, &rvars, script, pool))
+            .collect();
+    }
+    for (sp, rp) in pools.iter().zip(&rpools) {
+        assert_eq!(snapshots(&shared, sp), snapshots(&replay, rp), "quiesce GC corrupted a pool");
+    }
+
+    // And a final in-place sift on the shared manager must preserve every
+    // function semantically (sat counts are order-independent).
+    let roots: Vec<Bdd> = pools.iter().flatten().copied().collect();
+    shared.sift(&roots);
+    shared.check_invariants();
+    for (sp, rp) in pools.iter().zip(&rpools) {
+        for (&f, &g) in sp.iter().zip(rp) {
+            assert_eq!(shared.sat_count(f), replay.sat_count(g), "sift changed a function");
+        }
+    }
+}

@@ -12,8 +12,8 @@ mod common;
 
 use common::{fixture, fixture_corpus, imported_corpus};
 use stgcheck::core::{
-    verify, EngineKind, EngineOptions, ReorderMode, SymbolicStg, TraversalStrategy, VarOrder,
-    VerifyOptions,
+    verify, EngineKind, EngineOptions, ReorderMode, ShardSharing, SymbolicStg, TraversalStrategy,
+    VarOrder, VerifyOptions,
 };
 use stgcheck::stg::{gen, Stg};
 
@@ -50,12 +50,30 @@ fn engines() -> Vec<(&'static str, EngineOptions)> {
             EngineOptions { kind: EngineKind::Clustered, max_cluster: 1, ..Default::default() },
         ),
         (
-            "parallel/2",
+            "parallel/shared/2",
             EngineOptions { kind: EngineKind::ParallelSharded, jobs: 2, ..Default::default() },
         ),
         (
-            "parallel/4",
+            "parallel/shared/4",
             EngineOptions { kind: EngineKind::ParallelSharded, jobs: 4, ..Default::default() },
+        ),
+        (
+            "parallel/private/2",
+            EngineOptions {
+                kind: EngineKind::ParallelSharded,
+                jobs: 2,
+                sharing: ShardSharing::Private,
+                ..Default::default()
+            },
+        ),
+        (
+            "parallel/private/4",
+            EngineOptions {
+                kind: EngineKind::ParallelSharded,
+                jobs: 4,
+                sharing: ShardSharing::Private,
+                ..Default::default()
+            },
         ),
     ]
 }
@@ -190,14 +208,60 @@ fn verdicts_and_counts_are_reorder_independent() {
 }
 
 #[test]
-fn parallel_engine_reports_worker_peaks() {
+fn worker_peaks_are_reported_by_private_sharding_only() {
     let stg = gen::muller_pipeline(8);
     let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
     let code = sym.effective_initial_code().unwrap();
-    let opts = EngineOptions { kind: EngineKind::ParallelSharded, jobs: 2, ..Default::default() };
-    let t = sym.traverse_with_engine(code, &opts);
-    assert!(t.stats.worker_peak_nodes > 0, "sharded run must report worker peaks");
+    let private = EngineOptions {
+        kind: EngineKind::ParallelSharded,
+        jobs: 2,
+        sharing: ShardSharing::Private,
+        ..Default::default()
+    };
+    let t = sym.traverse_with_engine(code, &private);
+    assert!(t.stats.worker_peak_nodes > 0, "private sharding must report worker peaks");
+    // With the shared manager there are no worker managers: every node
+    // the workers build shows up in the main peak instead.
+    let shared = EngineOptions { kind: EngineKind::ParallelSharded, jobs: 2, ..Default::default() };
+    let t = sym.traverse_with_engine(code, &shared);
+    assert_eq!(t.stats.worker_peak_nodes, 0, "shared sharding has no separate worker peak");
+    assert!(t.stats.peak_nodes > 0);
     // Sequential engines leave the worker column at zero.
     let seq = sym.traverse(code, TraversalStrategy::Chained);
     assert_eq!(seq.stats.worker_peak_nodes, 0);
+}
+
+/// The acceptance gate of the shared-table rework: shared-manager
+/// parallel must agree with `per-transition` (and with private-manager
+/// parallel) on the state count and full verdict for every net in
+/// `benchmarks/`, across `--reorder none|auto`.
+#[test]
+fn shared_and_private_parallel_agree_on_benchmark_corpus() {
+    let mut corpus = fixture_corpus();
+    corpus.extend(imported_corpus());
+    for stg in corpus {
+        for reorder in [ReorderMode::None, ReorderMode::Auto] {
+            let base = verify(&stg, VerifyOptions { reorder, ..VerifyOptions::default() }).unwrap();
+            for sharing in [ShardSharing::Shared, ShardSharing::Private] {
+                let opts = VerifyOptions {
+                    engine: EngineOptions {
+                        kind: EngineKind::ParallelSharded,
+                        jobs: 2,
+                        sharing,
+                        ..Default::default()
+                    },
+                    reorder,
+                    ..VerifyOptions::default()
+                };
+                let report = verify(&stg, opts).unwrap();
+                let ctx = format!("{}: parallel/{sharing} reorder {reorder}", stg.name());
+                assert_eq!(report.num_states, base.num_states, "{ctx}");
+                assert_eq!(report.verdict, base.verdict, "{ctx}");
+                assert_eq!(report.safe(), base.safe(), "{ctx}");
+                assert_eq!(report.consistent(), base.consistent(), "{ctx}");
+                assert_eq!(report.persistent(), base.persistent(), "{ctx}");
+                assert_eq!(report.csc_holds(), base.csc_holds(), "{ctx}");
+            }
+        }
+    }
 }

@@ -60,7 +60,7 @@ fn sifted_traversal_matches_clean_traversal() {
         let opts = EngineOptions { reorder: ReorderMode::Sift, ..EngineOptions::default() };
         let t = sifted.traverse_with_engine(code, &opts);
         assert_eq!(t.stats.num_states, reference.stats.num_states, "{}", stg.name());
-        sifted.manager().check_invariants();
+        sifted.manager_mut().check_invariants();
     }
 }
 
