@@ -283,6 +283,59 @@ impl BddManager {
         r
     }
 
+    /// Level-bounded fused relational product: `∃ vars(c) . (f ∧ g)`
+    /// under the precondition that `g` and `c` touch only variables at
+    /// level `bound` or deeper (level numbers grow towards the
+    /// terminals, so "at or below `bound`" in the diagram).
+    ///
+    /// Above the bound the product cannot branch `g` or quantify
+    /// anything, so the recursion keeps `f`'s shape and descends it
+    /// structurally without re-peeking `g` and `c` at every node — the
+    /// fast path the saturation engine leans on: a transition cluster
+    /// whose home level is `bound` only ever rewrites the part of the
+    /// state set below its home level. The result is *exactly*
+    /// [`BddManager::and_exists`]`(f, g, c)` (the bounded and unbounded
+    /// recursions share one memo table), which
+    /// `crates/bdd/tests/props.rs` pins as a property.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `c` is not a cube or when `g`/`c`
+    /// reach above the bound.
+    pub fn and_exists_below(&self, f: Bdd, g: Bdd, c: Bdd, bound: usize) -> Bdd {
+        debug_assert!(self.is_cube(c), "quantification prefix must be a cube");
+        debug_assert!(
+            self.support(g)
+                .iter()
+                .chain(self.support(c).iter())
+                .all(|&v| self.level_of(v) >= bound),
+            "and_exists_below: operand support reaches above the bound"
+        );
+        self.and_exists_below_rec(f, g, c, bound as crate::node::Level)
+    }
+
+    fn and_exists_below_rec(&self, f: Bdd, g: Bdd, c: Bdd, bound: crate::node::Level) -> Bdd {
+        if self.level(f) >= bound {
+            // At (or past) the bound the operands may interact: fall
+            // back to the general fused recursion. Terminals land here
+            // too (their level is below every variable).
+            return self.and_exists_rec(f, g, c);
+        }
+        // f's root lies strictly above the bound, where g is constant
+        // along every path and c quantifies nothing: the product keeps
+        // f's branching structure.
+        let (a, b) = (f.min(g), f.max(g));
+        if let Some(r) = self.caches.and_exists_get(a, b, c) {
+            return r;
+        }
+        let (fl, f0, f1) = self.peek(f);
+        let lo = self.and_exists_below_rec(f0, g, c, bound);
+        let hi = self.and_exists_below_rec(f1, g, c, bound);
+        let r = self.mk(fl, lo, hi);
+        self.caches.and_exists_insert(a, b, c, r);
+        r
+    }
+
     /// N-ary generalisation of [`BddManager::and_exists`]:
     /// `∃ vars(c) . (f₀ ∧ f₁ ∧ … ∧ fₙ)`.
     ///

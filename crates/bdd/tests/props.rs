@@ -355,6 +355,56 @@ proptest! {
         }
     }
 
+    /// The level-bounded relational product of the saturation engine:
+    /// when `g` and the quantified cube only touch variables at or below
+    /// the bound, `and_exists_below` must equal plain `and_exists` (and
+    /// hence `exists(f ∧ g, c)`) for *every* `f` — including functions
+    /// whose support reaches above the bound, where the bounded recursion
+    /// takes its structural-descent fast path.
+    #[test]
+    fn bounded_relational_product_matches_unbounded(
+        e1 in arb_expr(),
+        e2 in arb_expr(),
+        bound in 0..NVARS,
+        mask in 0u32..(1 << NVARS),
+    ) {
+        let (mut m, _) = compile(&e1);
+        let vars: Vec<Var> = (0..NVARS).map(Var::from_index).collect();
+        let resolve_all = |name: &str| -> Option<Var> {
+            let idx: usize = name[1..].parse().ok()?;
+            vars.get(idx).copied()
+        };
+        // Remap e2's variables into [bound, NVARS) so g respects the
+        // precondition; same for the quantified set.
+        let resolve_deep = |name: &str| -> Option<Var> {
+            let idx: usize = name[1..].parse().ok()?;
+            Some(vars[bound + idx % (NVARS - bound)])
+        };
+        let f = e1.to_bdd(&mut m, &resolve_all);
+        let g = e2.to_bdd(&mut m, &resolve_deep);
+        let quantified: Vec<Var> = (bound..NVARS)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(Var::from_index)
+            .collect();
+        let c = m.vars_cube(&quantified);
+        let bounded = m.and_exists_below(f, g, c, bound);
+        let unbounded = m.and_exists(f, g, c);
+        prop_assert_eq!(bounded, unbounded);
+        let conj = m.and(f, g);
+        let reference = m.exists(conj, c);
+        prop_assert_eq!(bounded, reference);
+        // Bound 0 imposes nothing: it must degenerate to and_exists for
+        // arbitrary operands.
+        let g_any = e2.to_bdd(&mut m, &resolve_all);
+        let c_any: Vec<Var> =
+            (0..NVARS).filter(|i| mask & (1 << i) != 0).map(Var::from_index).collect();
+        let c_any = m.vars_cube(&c_any);
+        prop_assert_eq!(
+            m.and_exists_below(f, g_any, c_any, 0),
+            m.and_exists(f, g_any, c_any)
+        );
+    }
+
     /// Cube enumeration partitions the on-set: cubes are disjoint and their
     /// union is the function.
     #[test]

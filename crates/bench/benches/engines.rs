@@ -1,14 +1,16 @@
 //! Image-engine comparison: the per-transition baseline vs. the clustered
-//! partitioned-relation engine vs. the parallel sharded engine, on the
-//! workloads the acceptance story names (`muller_pipeline(10)` and the
-//! wider scalable families).
+//! partitioned-relation engine vs. the parallel sharded engine vs. the
+//! saturation engine, on the workloads the acceptance story names
+//! (`muller_pipeline(10)` and the wider scalable families).
 //!
-//! The three engines compute the identical `Reached` BDD
+//! The four engines compute the identical `Reached` BDD
 //! (`tests/engines.rs` asserts it); this bench measures what each one
 //! pays for it. Expectations: clustering amortises cache hits on nets
 //! with overlapping supports; the sharded engine needs real cores — on a
 //! single-CPU host its sync overhead makes it a regression, which is
-//! exactly the kind of fact the engine column exists to surface.
+//! exactly the kind of fact the engine column exists to surface;
+//! saturation trades frontier breadth for cluster-local fixpoints and
+//! should win the peak-node column on pipeline-shaped nets.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use stgcheck_core::{EngineKind, EngineOptions, SymbolicStg, VarOrder};
@@ -26,6 +28,7 @@ fn engine_configs() -> Vec<(&'static str, EngineOptions)> {
             "parallel-4",
             EngineOptions { kind: EngineKind::ParallelSharded, jobs: 4, ..Default::default() },
         ),
+        ("saturation", EngineOptions { kind: EngineKind::Saturation, ..Default::default() }),
     ]
 }
 

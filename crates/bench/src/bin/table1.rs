@@ -18,9 +18,9 @@
 //!   beats explicit enumeration as soon as the state space grows);
 //! * `--order interleaved|places|signals|declaration` selects the variable
 //!   ordering strategy (default: interleaved);
-//! * `--engine per-transition|clustered|parallel|all` selects the image
-//!   engine (default: per-transition); `all` prints one row per engine so
-//!   the engines can be compared line by line;
+//! * `--engine per-transition|clustered|parallel|saturation|all` selects
+//!   the image engine (default: per-transition); `all` prints one row per
+//!   engine so the engines can be compared line by line;
 //! * `--jobs <n>` sets the worker count for the parallel engine — with the
 //!   default shared manager this now scales work against one BDD arena;
 //! * `--sharing shared|private` selects whether parallel workers share the
@@ -70,8 +70,12 @@ fn order_name(o: VarOrder) -> &'static str {
     }
 }
 
-const ALL_ENGINES: [EngineKind; 3] =
-    [EngineKind::PerTransition, EngineKind::Clustered, EngineKind::ParallelSharded];
+const ALL_ENGINES: [EngineKind; 4] = [
+    EngineKind::PerTransition,
+    EngineKind::Clustered,
+    EngineKind::ParallelSharded,
+    EngineKind::Saturation,
+];
 
 const ALL_REORDERS: [ReorderMode; 3] = [ReorderMode::None, ReorderMode::Sift, ReorderMode::Auto];
 

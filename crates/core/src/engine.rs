@@ -27,16 +27,25 @@
 //!   [`ShardSharing::Private`] compatibility mode keeps the original
 //!   design — per-worker managers exchanging frontiers as
 //!   [`SerializedBdd`] snapshots (the serialized form remains the wire
-//!   format; it just no longer sits on the default hot loop).
+//!   format; it just no longer sits on the default hot loop);
+//! * [`EngineKind::Saturation`] — Ciardo-style saturation over the
+//!   clustered engine's grouping: every cluster gets a *home level* in
+//!   the variable order (the topmost level its support touches, so the
+//!   firing stays at or below it — see [`saturation_homes`]) and is
+//!   fired to a *local fixpoint* there through the level-bounded
+//!   [`stgcheck_bdd::BddManager::and_exists_below`]; the schedule works
+//!   deepest homes first and re-saturates the deeper levels a growing
+//!   cluster re-enables before moving up, so the reached set grows in a
+//!   locality-coherent order instead of one global frontier per sweep.
 //!
-//! All three compute the same least fixpoint, so they return the same
+//! All four compute the same least fixpoint, so they return the same
 //! canonical `Reached` BDD — `tests/engines.rs` asserts this on every
 //! benchmark family and on random STGs.
 
 use std::collections::BTreeSet;
 use std::sync::mpsc;
 
-use stgcheck_bdd::{Bdd, Literal, SerializedBdd, Var};
+use stgcheck_bdd::{Bdd, BddManager, Literal, SerializedBdd, Var};
 use stgcheck_petri::TransId;
 
 use crate::encode::SymbolicStg;
@@ -61,6 +70,15 @@ pub enum EngineKind {
     /// closures are OR-joined per iteration. Workers share the one
     /// concurrent manager by default ([`ShardSharing`]).
     ParallelSharded,
+    /// Ciardo-style saturation over the clustered engine's grouping:
+    /// each support-overlap cluster is assigned a *home level* (the
+    /// deepest level of the variable order from which its whole support
+    /// is still at or below — i.e. the topmost level its support
+    /// touches) and fired to a *local fixpoint* there, deepest homes
+    /// first; a cluster that grows the reached set re-saturates the
+    /// deeper levels its new states re-enable before the sweep moves
+    /// up. Exploits event locality instead of a global frontier.
+    Saturation,
 }
 
 impl std::fmt::Display for EngineKind {
@@ -69,6 +87,7 @@ impl std::fmt::Display for EngineKind {
             EngineKind::PerTransition => "per-transition",
             EngineKind::Clustered => "clustered",
             EngineKind::ParallelSharded => "parallel",
+            EngineKind::Saturation => "saturation",
         })
     }
 }
@@ -81,8 +100,10 @@ impl std::str::FromStr for EngineKind {
             "per-transition" | "per-trans" | "baseline" => Ok(EngineKind::PerTransition),
             "clustered" | "cluster" => Ok(EngineKind::Clustered),
             "parallel" | "sharded" | "parallel-sharded" => Ok(EngineKind::ParallelSharded),
+            "saturation" | "saturate" | "sat" => Ok(EngineKind::Saturation),
             other => Err(format!(
-                "unknown engine `{other}` (expected per-transition, clustered or parallel)"
+                "unknown engine `{other}` (expected per-transition, clustered, parallel or \
+                 saturation)"
             )),
         }
     }
@@ -297,6 +318,7 @@ pub(crate) fn run_fixpoint(
         EngineKind::PerTransition => run_per_transition(sym, opts, spec, transitions, init),
         EngineKind::Clustered => run_clustered(sym, opts, spec, transitions, init),
         EngineKind::ParallelSharded => run_parallel(sym, opts, spec, transitions, init),
+        EngineKind::Saturation => run_saturation(sym, opts, spec, transitions, init),
     }
 }
 
@@ -450,13 +472,13 @@ fn run_per_transition(
 /// pre-image is the mirror `and_exists(M, after, quant) ∧ before` —
 /// equivalent to the four-step cofactor/product pipeline of
 /// [`SymbolicStg::image`], but one fused cache-friendly operation.
-struct FusedCubes {
-    before: Bdd,
-    after: Bdd,
-    quant: Bdd,
+pub(crate) struct FusedCubes {
+    pub(crate) before: Bdd,
+    pub(crate) after: Bdd,
+    pub(crate) quant: Bdd,
 }
 
-fn build_fused_cubes(
+pub(crate) fn build_fused_cubes(
     sym: &mut SymbolicStg<'_>,
     marking_only: bool,
     transitions: &[TransId],
@@ -502,7 +524,7 @@ fn build_fused_cubes(
 }
 
 /// One fused δ application (forward or backward) confined to `within`.
-fn fused_apply(
+pub(crate) fn fused_apply(
     sym: &mut SymbolicStg<'_>,
     spec: &FixpointSpec,
     cubes: &FusedCubes,
@@ -598,6 +620,169 @@ fn run_clustered(
         // keeps their handles valid, so the next iteration reuses them
         // under the improved order.
         maybe_reorder(sym, opts, spec, &[reached, from], &[], &engine_roots);
+    }
+    FixpointOutcome { reached, iterations, rings: Vec::new(), shard_peak_nodes: 0 }
+}
+
+// ---------------------------------------------------------------------------
+// Saturation engine: cluster-local fixpoints, deepest homes first.
+// ---------------------------------------------------------------------------
+
+/// Cluster → home-level assignment for [`EngineKind::Saturation`]: a
+/// cluster's *home* is the deepest level of the current variable order
+/// from which its whole support union is still at or below — i.e. the
+/// topmost (smallest-index; levels grow towards the terminals) level any
+/// of its variables sits on. The cluster's support then lies entirely in
+/// `[home, n)`, so its firings can never build structure above the home
+/// and [`stgcheck_bdd::BddManager::and_exists_below`] may descend the
+/// state set structurally down to it.
+///
+/// The assignment is a pure, permutation-stable function of the variable
+/// order and the support sets: permuting the order (via
+/// `apply_var_order` or a sifting pass) changes each home exactly to the
+/// minimum of the *new* levels of the same variables — nothing else
+/// about the schedule's derivation looks at the manager. The engine
+/// re-derives homes after every actual sift; the unit tests below pin
+/// the stability property.
+///
+/// A cluster with empty support (a δ that touches no variable) is
+/// homed at the top so it fires once in the final sweep position.
+pub(crate) fn saturation_homes(mgr: &BddManager, cluster_supports: &[BTreeSet<Var>]) -> Vec<usize> {
+    cluster_supports
+        .iter()
+        .map(|sup| sup.iter().map(|&v| mgr.level_of(v)).min().unwrap_or(0))
+        .collect()
+}
+
+/// The saturation firing order: cluster indices sorted deepest home
+/// first (largest level index — furthest from the root), with the
+/// cluster index as a deterministic tiebreak. Pure function of `homes`.
+pub(crate) fn saturation_schedule(homes: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..homes.len()).collect();
+    order.sort_by_key(|&c| (std::cmp::Reverse(homes[c]), c));
+    order
+}
+
+/// [`fused_apply`] bounded at the firing cluster's home level: identical
+/// result, but the `and_exists` recursion keeps the state set's shape
+/// above `home` instead of re-peeking the cubes at every node.
+fn fused_apply_below(
+    sym: &mut SymbolicStg<'_>,
+    spec: &FixpointSpec,
+    cubes: &FusedCubes,
+    set: Bdd,
+    home: usize,
+) -> Bdd {
+    let (select, reimpose) = match spec.direction {
+        StepDirection::Forward => (cubes.before, cubes.after),
+        StepDirection::Backward => (cubes.after, cubes.before),
+    };
+    let mgr = sym.manager_mut();
+    let moved = mgr.and_exists_below(set, select, cubes.quant, home);
+    let img = mgr.and(moved, reimpose);
+    match spec.within {
+        Some(w) => sym.manager_mut().and(img, w),
+        None => img,
+    }
+}
+
+/// Ciardo-style saturation over the clustered engine's grouping.
+///
+/// The sweep walks the schedule (deepest homes first) and fires each
+/// cluster to a *local fixpoint*: its transitions chain from the full
+/// reached set until nothing new appears, every step bounded at the
+/// cluster's home level. When a cluster grows the reached set, the new
+/// states may re-enable transitions that were already saturated deeper
+/// down — but only in clusters whose support overlaps this one: a
+/// disjoint-support cluster's enabling valuations are untouched by the
+/// growth (its firings commute with this cluster's), so it provably
+/// stays at its fixpoint. The sweep therefore restarts at the deepest
+/// already-done *overlapping* cluster and re-saturates upward from
+/// there.
+///
+/// Termination: every restart is caused by a strict growth of the
+/// reached set (finite lattice), and between growths the schedule
+/// position strictly advances. On convergence every cluster is at a
+/// local fixpoint of the final set, which is exactly the global least
+/// fixpoint the other engines compute — `tests/engines.rs` and
+/// `tests/differential.rs` pin the handle-identical agreement.
+///
+/// Under `--reorder sift|auto` a sifting pass is only considered after
+/// a cluster visit that actually grew the set (an unconditional call
+/// would re-sift on every visit under `--reorder sift` and never let
+/// the schedule drain). When a pass really ran, the levels moved, so
+/// the homes are re-derived from the new order and the sweep restarts
+/// on the fresh schedule.
+fn run_saturation(
+    sym: &mut SymbolicStg<'_>,
+    opts: &EngineOptions,
+    spec: &FixpointSpec,
+    transitions: &[TransId],
+    init: Bdd,
+) -> FixpointOutcome {
+    let mut fused = build_fused_cubes(sym, spec.marking_only, transitions);
+    let supports: Vec<BTreeSet<Var>> =
+        fused.iter().map(|f| sym.manager().support(f.quant).into_iter().collect()).collect();
+    let clusters = cluster_by_support(&supports, opts.effective_max_cluster());
+    let cluster_supports: Vec<BTreeSet<Var>> = clusters
+        .iter()
+        .map(|c| c.iter().flat_map(|&i| supports[i].iter().copied()).collect())
+        .collect();
+    let mut engine_roots: Vec<Bdd> =
+        fused.iter().flat_map(|f| [f.before, f.after, f.quant]).collect();
+    let mut homes = saturation_homes(sym.manager(), &cluster_supports);
+    let mut schedule = saturation_schedule(&homes);
+    let mut reached = init;
+    let mut iterations = 0;
+    let mut pos = 0;
+    while pos < schedule.len() {
+        let c = schedule[pos];
+        // Local fixpoint: the cluster's transitions chain from the full
+        // reached set, every and_exists bounded at the home level.
+        let mut grew = false;
+        loop {
+            iterations += 1;
+            let mut acc = reached;
+            for &i in &clusters[c] {
+                let img = fused_apply_below(sym, spec, &fused[i], acc, homes[c]);
+                acc = sym.manager_mut().or(acc, img);
+                maybe_gc(sym, spec, &[reached, acc], &[], &engine_roots);
+            }
+            if acc == reached {
+                break;
+            }
+            grew = true;
+            reached = acc;
+        }
+        if !grew {
+            pos += 1;
+            continue;
+        }
+        // The cubes are deliberately *not* protected across the sift:
+        // they are cheap to rebuild and keeping 3·|T| cube roots live
+        // through every pass inflates the sift's transient peak on small
+        // nets. If a pass really ran, the sift-leading GC dangled them —
+        // rebuild from scratch, re-derive the now-stale home levels and
+        // restart the sweep on the new schedule (`reached` is protected
+        // and keeps its handle across the in-place sift; the cluster
+        // supports are variable sets, untouched by any reorder).
+        let sift_before = sym.manager().stats().sift_runs;
+        maybe_reorder(sym, opts, spec, &[reached], &[], &[]);
+        if sym.manager().stats().sift_runs != sift_before {
+            fused = build_fused_cubes(sym, spec.marking_only, transitions);
+            engine_roots = fused.iter().flat_map(|f| [f.before, f.after, f.quant]).collect();
+            homes = saturation_homes(sym.manager(), &cluster_supports);
+            schedule = saturation_schedule(&homes);
+            pos = 0;
+            continue;
+        }
+        // Re-saturate the deepest already-done cluster the growth may
+        // have re-enabled; with no overlapping earlier cluster the
+        // fixpoints below are intact and the sweep moves up.
+        match (0..pos).find(|&j| !cluster_supports[schedule[j]].is_disjoint(&cluster_supports[c])) {
+            Some(j) => pos = j,
+            None => pos += 1,
+        }
     }
     FixpointOutcome { reached, iterations, rings: Vec::new(), shard_peak_nodes: 0 }
 }
@@ -1011,11 +1196,116 @@ mod tests {
             ("per-transition", EngineKind::PerTransition),
             ("clustered", EngineKind::Clustered),
             ("parallel", EngineKind::ParallelSharded),
+            ("saturation", EngineKind::Saturation),
+            ("sat", EngineKind::Saturation),
         ] {
             assert_eq!(s.parse::<EngineKind>().unwrap(), k);
             assert_eq!(k.to_string().parse::<EngineKind>().unwrap(), k);
         }
         assert!("banana".parse::<EngineKind>().is_err());
+    }
+
+    /// Derives the saturation clustering of an STG: per-cluster transition
+    /// groups and their support unions, exactly as `run_saturation` does.
+    fn saturation_clustering(
+        sym: &mut SymbolicStg<'_>,
+        max_cluster: usize,
+    ) -> (Vec<FusedCubes>, Vec<Vec<usize>>, Vec<BTreeSet<Var>>) {
+        let transitions: Vec<_> = sym.stg().net().transitions().collect();
+        let fused = build_fused_cubes(sym, false, &transitions);
+        let supports: Vec<BTreeSet<Var>> =
+            fused.iter().map(|f| sym.manager().support(f.quant).into_iter().collect()).collect();
+        let clusters = cluster_by_support(&supports, max_cluster);
+        let cluster_supports = clusters
+            .iter()
+            .map(|c| c.iter().flat_map(|&i| supports[i].iter().copied()).collect())
+            .collect();
+        (fused, clusters, cluster_supports)
+    }
+
+    /// The home assignment is a pure function of the variable order: each
+    /// home is the minimum level of the cluster's support, nothing else.
+    /// Permuting the order — whether through `apply_var_order` or an
+    /// in-place sifting pass — must re-derive exactly the minimum of the
+    /// *new* levels of the *same* variables, and an order-preserving
+    /// permutation must leave every home (and the schedule) unchanged.
+    #[test]
+    fn saturation_homes_are_a_permutation_stable_function_of_the_order() {
+        let stg = gen::master_read(3);
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let (fused, _clusters, cluster_supports) = saturation_clustering(&mut sym, 8);
+        let mut roots: Vec<Bdd> = fused.iter().flat_map(|f| [f.before, f.after, f.quant]).collect();
+
+        let check = |sym: &SymbolicStg<'_>| {
+            let homes = saturation_homes(sym.manager(), &cluster_supports);
+            for (c, sup) in cluster_supports.iter().enumerate() {
+                let min = sup.iter().map(|&v| sym.manager().level_of(v)).min().unwrap();
+                assert_eq!(homes[c], min, "cluster {c}: home is not the support's top level");
+                assert!(
+                    sup.iter().all(|&v| sym.manager().level_of(v) >= homes[c]),
+                    "cluster {c}: support reaches above its home"
+                );
+            }
+            homes
+        };
+
+        let before = check(&sym);
+        let schedule_before = saturation_schedule(&before);
+
+        // Identity permutation: homes and schedule must be bit-identical.
+        let identity = sym.manager().order();
+        sym.apply_var_order(&identity, &mut roots);
+        assert_eq!(check(&sym), before);
+        assert_eq!(saturation_schedule(&before), schedule_before);
+
+        // Reversal: every home moves, but stays the support's minimum
+        // level under the new order.
+        let reversed: Vec<Var> = sym.manager().order().into_iter().rev().collect();
+        sym.apply_var_order(&reversed, &mut roots);
+        let after = check(&sym);
+        assert_ne!(after, before, "reversing the order must move some home");
+
+        // An in-place sifting pass is just another permutation.
+        let mut all = sym.permanent_roots();
+        all.extend_from_slice(&roots);
+        sym.manager_mut().sift(&all);
+        check(&sym);
+    }
+
+    /// Deepest homes first, cluster index as tiebreak — and the schedule
+    /// is a permutation of the cluster indices.
+    #[test]
+    fn saturation_schedule_is_deepest_first_and_deterministic() {
+        let homes = vec![2, 5, 5, 0, 7];
+        let schedule = saturation_schedule(&homes);
+        assert_eq!(schedule, vec![4, 1, 2, 0, 3]);
+        let mut sorted = schedule.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..homes.len()).collect::<Vec<_>>());
+        assert_eq!(schedule, saturation_schedule(&homes), "must be deterministic");
+    }
+
+    /// The bounded fused apply agrees with the unbounded one at the home
+    /// level of the firing transition's cluster (and at bound 0, where it
+    /// degenerates to plain `fused_apply`).
+    #[test]
+    fn bounded_fused_apply_matches_unbounded_at_the_home_level() {
+        let stg = gen::muller_pipeline(5);
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let code = sym.effective_initial_code().unwrap();
+        let t = sym.traverse(code, TraversalStrategy::Chained);
+        let (fused, clusters, cluster_supports) = saturation_clustering(&mut sym, 8);
+        let homes = saturation_homes(sym.manager(), &cluster_supports);
+        let spec = FixpointSpec::forward_full();
+        for (c, cluster) in clusters.iter().enumerate() {
+            for &i in cluster {
+                let free = fused_apply(&mut sym, &spec, &fused[i], t.reached);
+                let bounded = fused_apply_below(&mut sym, &spec, &fused[i], t.reached, homes[c]);
+                assert_eq!(free, bounded, "cluster {c} transition {i} at home {}", homes[c]);
+                let at_top = fused_apply_below(&mut sym, &spec, &fused[i], t.reached, 0);
+                assert_eq!(free, at_top, "bound 0 must degenerate to fused_apply");
+            }
+        }
     }
 
     #[test]
@@ -1043,6 +1333,12 @@ mod tests {
             EngineOptions {
                 kind: EngineKind::ParallelSharded,
                 jobs: 3,
+                ..EngineOptions::default()
+            },
+            EngineOptions { kind: EngineKind::Saturation, ..EngineOptions::default() },
+            EngineOptions {
+                kind: EngineKind::Saturation,
+                max_cluster: 1,
                 ..EngineOptions::default()
             },
         ] {

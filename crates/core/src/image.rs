@@ -226,4 +226,53 @@ mod tests {
         assert_eq!(w.code, "0");
         assert_eq!(w.marked_places, vec!["q".to_string()]);
     }
+
+    /// The saturation engine's level-bounded fused step is a third
+    /// formulation of the same δ: for every transition it must agree
+    /// with this module's cofactor/product pipeline — forward and
+    /// backward — when bounded at the transition's own top support
+    /// level, the tightest bound its cluster home can ever take.
+    #[test]
+    fn bounded_fused_image_matches_cofactor_pipeline() {
+        use crate::engine::{build_fused_cubes, fused_apply, FixpointSpec, StepDirection};
+        for stg in [gen::mutex_element(), gen::muller_pipeline(4), gen::master_read(2)] {
+            let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+            let code = sym.effective_initial_code().unwrap();
+            let t = sym.traverse(code, crate::traverse::TraversalStrategy::Chained);
+            let transitions: Vec<_> = stg.net().transitions().collect();
+            let fused = build_fused_cubes(&mut sym, false, &transitions);
+            for (i, &tr) in transitions.iter().enumerate() {
+                let home = sym
+                    .manager()
+                    .support(fused[i].quant)
+                    .into_iter()
+                    .map(|v| sym.manager().level_of(v))
+                    .min()
+                    .unwrap();
+                for direction in [StepDirection::Forward, StepDirection::Backward] {
+                    let spec = FixpointSpec { direction, ..FixpointSpec::forward_full() };
+                    let pipeline = match direction {
+                        StepDirection::Forward => sym.image(t.reached, tr),
+                        StepDirection::Backward => sym.preimage(t.reached, tr),
+                    };
+                    let (select, reimpose) = match direction {
+                        StepDirection::Forward => (fused[i].before, fused[i].after),
+                        StepDirection::Backward => (fused[i].after, fused[i].before),
+                    };
+                    let moved =
+                        sym.manager().and_exists_below(t.reached, select, fused[i].quant, home);
+                    let bounded = sym.manager().and(moved, reimpose);
+                    assert_eq!(
+                        bounded,
+                        pipeline,
+                        "{} t={} dir={direction:?}",
+                        stg.name(),
+                        stg.net().trans_name(tr)
+                    );
+                    let unbounded = fused_apply(&mut sym, &spec, &fused[i], t.reached);
+                    assert_eq!(bounded, unbounded, "{} bounded vs fused", stg.name());
+                }
+            }
+        }
+    }
 }

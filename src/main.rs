@@ -5,8 +5,9 @@
 //!
 //!   --arbitration        allow non-input/non-input disabling (arbiters)
 //!   --order <o>          interleaved|places|signals|declaration
-//!   --engine <e>         per-transition|clustered|parallel (default:
-//!                        per-transition; see docs/traversal-engines.md)
+//!   --engine <e>         per-transition|clustered|parallel|saturation
+//!                        (default: per-transition; see
+//!                        docs/traversal-engines.md)
 //!   --jobs <n>           worker threads for --engine parallel (default:
 //!                        available parallelism); with the default shared
 //!                        manager the workers race on one BDD arena, so
@@ -36,7 +37,8 @@ struct Cli {
 
 fn usage() -> &'static str {
     "usage: stgcheck [--arbitration] [--order interleaved|places|signals|declaration] \
-     [--engine per-transition|clustered|parallel] [--jobs N] [--sharing shared|private] \
+     [--engine per-transition|clustered|parallel|saturation] [--jobs N] \
+     [--sharing shared|private] \
      [--reorder none|sift|auto] [--bfs] [--quiet] file.g [file2.g ...]"
 }
 

@@ -11,7 +11,8 @@ mod common;
 
 use common::{fixture, fixture_corpus, imported_corpus};
 use stgcheck::core::{
-    cross_check_reachability, verify, SymbolicStg, TraversalStrategy, VarOrder, VerifyOptions,
+    cross_check_reachability, verify, EngineKind, EngineOptions, ReorderMode, SymbolicStg,
+    TraversalStrategy, VarOrder, VerifyOptions,
 };
 use stgcheck::stg::gen;
 use stgcheck::stg::{
@@ -151,6 +152,41 @@ fn dead_transitions_agree_between_engines() {
         // one (never enabled) only for enabled-but-blocked transitions,
         // which cannot happen in a consistent STG; assert equality.
         assert_eq!(explicit, symbolic, "{}", stg.name());
+    }
+}
+
+/// The saturation engine against the explicit checker: its reached set
+/// (the state count is an exact proxy — the engines-suite already pins
+/// the handle) and every verdict facet must match the `state_graph`
+/// enumeration on random safe STGs, across all three reorder modes, on
+/// the corpus nets too.
+#[test]
+fn saturation_agrees_with_explicit_enumeration() {
+    let mut nets: Vec<Stg> = (0..40u64).map(gen::random_safe_stg).collect();
+    nets.extend(corpus());
+    for stg in nets {
+        let explicit = check_explicit(&stg, SgOptions::default(), PersistencyPolicy::default());
+        for reorder in [ReorderMode::None, ReorderMode::Sift, ReorderMode::Auto] {
+            let opts = VerifyOptions {
+                engine: EngineOptions { kind: EngineKind::Saturation, ..Default::default() },
+                reorder,
+                ..VerifyOptions::default()
+            };
+            let symbolic = verify(&stg, opts).unwrap();
+            let ctx = format!("{} reorder {reorder}", stg.name());
+            assert_eq!(explicit.states as u128, symbolic.num_states, "{ctx}: state counts");
+            assert_eq!(explicit.consistent(), symbolic.consistent(), "{ctx}: consistency");
+            assert_eq!(explicit.safe, symbolic.safe(), "{ctx}: safety");
+            assert_eq!(
+                explicit.persistency.is_empty(),
+                symbolic.persistent(),
+                "{ctx}: persistency"
+            );
+            if symbolic.fake_free() {
+                assert_eq!(explicit.verdict, symbolic.verdict, "{ctx}: verdict");
+            }
+            assert_eq!(symbolic.engine, "saturation", "{ctx}: engine column");
+        }
     }
 }
 

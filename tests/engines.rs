@@ -1,8 +1,8 @@
-//! Image-engine equivalence suite: `PerTransition`, `Clustered` and
-//! `ParallelSharded` must produce the *identical* `Reached` BDD (the
-//! same canonical handle in the same manager) and the same state count
-//! on every benchmark family fixture, on the pathological generators,
-//! and on random STGs.
+//! Image-engine equivalence suite: `PerTransition`, `Clustered`,
+//! `ParallelSharded` and `Saturation` must produce the *identical*
+//! `Reached` BDD (the same canonical handle in the same manager) and the
+//! same state count on every benchmark family fixture, on the
+//! pathological generators, and on random STGs.
 //!
 //! The frozen-marking traversal and the full verification pipeline are
 //! covered too, so a future engine cannot drift on any of the loops it
@@ -74,6 +74,11 @@ fn engines() -> Vec<(&'static str, EngineOptions)> {
                 sharing: ShardSharing::Private,
                 ..Default::default()
             },
+        ),
+        ("saturation", EngineOptions { kind: EngineKind::Saturation, ..Default::default() }),
+        (
+            "saturation/cap1",
+            EngineOptions { kind: EngineKind::Saturation, max_cluster: 1, ..Default::default() },
         ),
     ]
 }
@@ -148,7 +153,7 @@ fn engines_agree_on_frozen_marking_traversal() {
 fn full_verification_verdicts_are_engine_independent() {
     for stg in corpus() {
         let base = verify(&stg, VerifyOptions::default()).unwrap();
-        for kind in [EngineKind::Clustered, EngineKind::ParallelSharded] {
+        for kind in [EngineKind::Clustered, EngineKind::ParallelSharded, EngineKind::Saturation] {
             let opts = VerifyOptions {
                 engine: EngineOptions { kind, jobs: 2, ..Default::default() },
                 ..VerifyOptions::default()
@@ -181,8 +186,12 @@ fn full_verification_verdicts_are_engine_independent() {
 fn verdicts_and_counts_are_reorder_independent() {
     for stg in corpus() {
         let base = verify(&stg, VerifyOptions::default()).unwrap();
-        for kind in [EngineKind::PerTransition, EngineKind::Clustered, EngineKind::ParallelSharded]
-        {
+        for kind in [
+            EngineKind::PerTransition,
+            EngineKind::Clustered,
+            EngineKind::ParallelSharded,
+            EngineKind::Saturation,
+        ] {
             for reorder in [ReorderMode::None, ReorderMode::Sift, ReorderMode::Auto] {
                 let opts = VerifyOptions {
                     engine: EngineOptions { kind, jobs: 2, ..Default::default() },
@@ -201,6 +210,52 @@ fn verdicts_and_counts_are_reorder_independent() {
                 assert_eq!(report.irreducible_signals, base.irreducible_signals, "{ctx}");
                 if reorder == ReorderMode::Sift {
                     assert!(report.sift_passes > 0, "{ctx}: sift mode must run passes");
+                }
+            }
+        }
+    }
+}
+
+/// The tentpole lock-down for the saturation engine: the full four-engine
+/// matrix — every engine × `--reorder {none,sift,auto}`, and for the
+/// parallel engine additionally × `--sharing {shared,private}` — must
+/// produce the *identical* `Reached` handle and state count on every
+/// benchmark family and on random safe STGs.
+///
+/// A sifting run garbage-collects everything outside its own roots, so a
+/// reference handle from *before* the sift would dangle; instead the
+/// per-transition reference is recomputed right after each configuration
+/// in the same manager, where handle equality is exactly function
+/// equality under the then-current order.
+#[test]
+fn four_engine_reorder_sharing_matrix_agrees_on_reached() {
+    let mut nets = fixture_corpus();
+    nets.extend(imported_corpus());
+    nets.extend((0..10u64).map(gen::random_safe_stg));
+    for stg in nets {
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let code = sym.effective_initial_code().unwrap();
+        let states = sym.traverse_with_engine(code, &EngineOptions::default()).stats.num_states;
+        for kind in [
+            EngineKind::PerTransition,
+            EngineKind::Clustered,
+            EngineKind::ParallelSharded,
+            EngineKind::Saturation,
+        ] {
+            let sharings: &[ShardSharing] = if kind == EngineKind::ParallelSharded {
+                &[ShardSharing::Shared, ShardSharing::Private]
+            } else {
+                &[ShardSharing::Shared]
+            };
+            for reorder in [ReorderMode::None, ReorderMode::Sift, ReorderMode::Auto] {
+                for &sharing in sharings {
+                    let opts =
+                        EngineOptions { kind, jobs: 2, reorder, sharing, ..Default::default() };
+                    let t = sym.traverse_with_engine(code, &opts);
+                    let base = sym.traverse_with_engine(code, &EngineOptions::default());
+                    let ctx = format!("{}: {kind} reorder {reorder} sharing {sharing}", stg.name());
+                    assert_eq!(t.reached, base.reached, "{ctx}: reached handle differs");
+                    assert_eq!(t.stats.num_states, states, "{ctx}: state count differs");
                 }
             }
         }
