@@ -79,5 +79,5 @@ pub use analysis::Cubes;
 pub use expr::{BoolExpr, ParseExprError};
 pub use manager::{BddManager, ManagerStats};
 pub use node::{Bdd, Literal, Var};
-pub use serialize::{SerializeError, SerializedBdd};
+pub use serialize::{BddCheckpoint, SerializeError, SerializedBdd};
 pub use sift::SiftStats;

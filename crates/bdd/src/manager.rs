@@ -388,6 +388,102 @@ impl BddManager {
         id.complement_if(flip)
     }
 
+    /// Rebuilds a [`crate::SerializedBdd`] through the O(n) bulk loader
+    /// instead of the per-node `mk` descent; returns a
+    /// handle canonical-equal to [`BddManager::import_bdd`] on the same
+    /// snapshot (asserted by the round-trip test matrix).
+    pub fn bulk_import_bdd(&mut self, s: &crate::SerializedBdd) -> Bdd {
+        let handles = self.bulk_load_nodes(s.node_list());
+        decode_ref(&handles, s.root_ref())
+    }
+
+    /// Rebuilds every named root of a [`crate::BddCheckpoint`] in one
+    /// bulk pass over the shared node list. The caller is responsible for
+    /// having validated the header (net hash, variable names) against its
+    /// own context; this method only requires that every node level fits
+    /// this manager's variable range.
+    pub fn bulk_import_checkpoint(&mut self, ck: &crate::BddCheckpoint) -> Vec<(String, Bdd)> {
+        let handles = self.bulk_load_nodes(&ck.nodes);
+        ck.roots.iter().map(|&(ref name, r)| (name.clone(), decode_ref(&handles, r))).collect()
+    }
+
+    /// O(n) level-ordered import of a topologically ordered `(level, lo,
+    /// hi)` node list: groups nodes by level and walks levels bottom-up,
+    /// inserting each node straight into its unique-table shard via a
+    /// single `entry` probe — no recursive `mk` descent, no shard lock,
+    /// one table touch per level. Children sit strictly deeper than their
+    /// parents (guaranteed by export and enforced when decoding byte
+    /// streams), so every reference is resolved by the time it is read.
+    ///
+    /// Applies exactly the canonicalization `mk` applies (alias collapse
+    /// and the regular-`lo` complement normal form), so the returned
+    /// handles are identical to what a recursive import would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node's level is outside this manager's variable range.
+    fn bulk_load_nodes(&mut self, list: &[(u32, u32, u32)]) -> Vec<Bdd> {
+        let nvars = self.num_vars();
+        let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); nvars];
+        for (i, &(level, _, _)) in list.iter().enumerate() {
+            assert!(
+                (level as usize) < nvars,
+                "bulk import refers to level {level} but manager has {nvars} variables"
+            );
+            by_level[level as usize].push(i as u32);
+        }
+        let mut handles: Vec<Bdd> = vec![Bdd::FALSE; list.len()];
+        let mut resolved = vec![false; list.len()];
+        let mut created = 0usize;
+        // Disjoint field borrows: the free list, each level's unique
+        // table, and the (interior-mutable) arena are touched directly so
+        // allocation can happen while a shard is open.
+        let free = self.free.get_mut().expect("free list");
+        for level in (0..nvars).rev() {
+            if by_level[level].is_empty() {
+                continue;
+            }
+            let table = self.subtables[level].get_mut().expect("unique-table shard");
+            table.reserve(by_level[level].len());
+            for &i in &by_level[level] {
+                let (_, lo_r, hi_r) = list[i as usize];
+                debug_assert!(
+                    ref_resolved(&resolved, lo_r) && ref_resolved(&resolved, hi_r),
+                    "bulk import fed a list without the child-strictly-deeper invariant"
+                );
+                let lo = decode_ref(&handles, lo_r);
+                let hi = decode_ref(&handles, hi_r);
+                let id = if lo == hi {
+                    lo
+                } else {
+                    // Same canonical form as `mk`: store regular-lo,
+                    // return the tagged handle.
+                    let flip = lo.is_complemented();
+                    let (lo, hi) = if flip { (lo.complement(), hi.complement()) } else { (lo, hi) };
+                    let found = match table.entry((lo, hi)) {
+                        std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            let slot = free.pop().unwrap_or_else(|| self.nodes.alloc());
+                            self.nodes.set(slot as usize, Node { level: level as Level, lo, hi });
+                            created += 1;
+                            *e.insert(Bdd::from_slot(slot))
+                        }
+                    };
+                    found.complement_if(flip)
+                };
+                handles[i as usize] = id;
+                resolved[i as usize] = true;
+            }
+        }
+        *self.free_hint.get_mut() = free.len();
+        let live = *self.live.get_mut() + created;
+        *self.live.get_mut() = live;
+        if live > *self.peak_live.get_mut() {
+            *self.peak_live.get_mut() = live;
+        }
+        handles
+    }
+
     #[inline]
     pub(crate) fn node(&self, f: Bdd) -> Node {
         self.nodes.get(f.index())
@@ -714,6 +810,24 @@ impl BddManager {
         let live_in_tables: usize =
             self.subtables.iter().map(|t| t.lock().expect("unique-table shard").len()).sum();
         assert_eq!(live_in_tables, self.live_nodes(), "live count out of sync");
+    }
+}
+
+/// Decodes a tagged serialized reference (bit 0 = complement, `0` =
+/// terminal, `k + 1` = entry `k`) against already-resolved handles.
+fn decode_ref(handles: &[Bdd], r: u32) -> Bdd {
+    match r >> 1 {
+        0 => Bdd::TRUE.complement_if(r & 1 != 0),
+        k => handles[(k - 1) as usize].complement_if(r & 1 != 0),
+    }
+}
+
+/// `true` when the reference points at the terminal or an entry already
+/// resolved by the bulk loader (debug-assert guard).
+fn ref_resolved(resolved: &[bool], r: u32) -> bool {
+    match r >> 1 {
+        0 => true,
+        k => resolved[(k - 1) as usize],
     }
 }
 

@@ -423,3 +423,59 @@ proptest! {
         prop_assert_eq!(total, m.sat_count(f));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every strict prefix of a valid v2 stream is rejected with a typed
+    /// error — decode never panics and never fabricates a BDD.
+    #[test]
+    fn serialized_prefixes_always_error(e in arb_expr()) {
+        let (m, f) = compile(&e);
+        let bytes = m.export_bdd(f).to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                stgcheck_bdd::SerializedBdd::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {} / {} bytes decoded", cut, bytes.len()
+            );
+        }
+    }
+
+    /// Single-byte corruption of a valid v2 stream never panics: decode
+    /// either errors or yields a stream that imports into a well-formed
+    /// manager (canonical invariants intact).
+    #[test]
+    fn serialized_mutations_never_panic(e in arb_expr(), pos_seed in any::<u32>(), flip in 1u8..=255) {
+        let (m, f) = compile(&e);
+        let bytes = m.export_bdd(f).to_bytes();
+        let pos = pos_seed as usize % bytes.len();
+        let mut mutated = bytes.clone();
+        mutated[pos] ^= flip;
+        if let Ok(s) = stgcheck_bdd::SerializedBdd::from_bytes(&mutated) {
+            // Level bounds were validated against the stream itself; give
+            // the import a manager wide enough for any level mentioned.
+            let mut fresh = BddManager::new();
+            fresh.new_vars("x", NVARS.max(s.max_level() + 1));
+            let g = fresh.import_bdd(&s);
+            let h = fresh.bulk_import_bdd(&s);
+            prop_assert_eq!(g, h);
+            fresh.check_invariants();
+        }
+    }
+
+    /// v3 checkpoints: every strict prefix and every single-byte flip is
+    /// rejected (the trailing checksum covers the whole artifact).
+    #[test]
+    fn checkpoint_mutations_always_error(e in arb_expr(), pos_seed in any::<u32>(), flip in 1u8..=255) {
+        let (m, f) = compile(&e);
+        let ck = m.export_checkpoint(42, &[("reached", f)], &[("iterations".to_string(), 7)]);
+        let bytes = ck.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(stgcheck_bdd::BddCheckpoint::from_bytes(&bytes[..cut]).is_err());
+        }
+        let pos = pos_seed as usize % bytes.len();
+        let mut mutated = bytes.clone();
+        mutated[pos] ^= flip;
+        prop_assert!(stgcheck_bdd::BddCheckpoint::from_bytes(&mutated).is_err());
+    }
+}

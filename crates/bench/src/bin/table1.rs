@@ -34,17 +34,26 @@
 //!   workload table; a single `.g` file path pins one net;
 //! * `--json <path>` additionally writes every row as machine-readable
 //!   JSON (per net: states, peak live nodes, wall time, engine, reorder
-//!   mode, …) so the perf trajectory is recorded across PRs — the
-//!   checked-in `BENCH_table1.json` is produced this way;
+//!   mode, cache status, …) so the perf trajectory is recorded across
+//!   PRs — the checked-in `BENCH_table1.json` is produced this way;
+//! * `--cache-dir <dir>` routes every row through the persistent result
+//!   store (see `docs/persistent-store.md`): a rerun of an unchanged
+//!   corpus reports `cache: warm` rows served without any fixpoint;
+//! * `--warm-rerun` (requires `--cache-dir`) runs the whole table twice
+//!   in one invocation — a cold pass then a warm pass — asserting that
+//!   both passes agree on every verdict and state count and printing the
+//!   aggregate cold/warm wall times and the speedup;
 //! * `--small` runs the quick workload set across **all** engines — the
 //!   CI smoke configuration that keeps the engine column honest.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::Instant;
 
 use stgcheck_bench::{quick_workloads, table1_workloads, workloads_from_dir};
 use stgcheck_core::{
-    verify, EngineKind, ReorderMode, ShardSharing, SymbolicReport, VarOrder, VerifyOptions,
+    verify_persistent, CacheStatus, EngineKind, PersistOptions, ReorderMode, ShardSharing,
+    SymbolicReport, VarOrder, VerifyOptions,
 };
 use stgcheck_stg::{build_state_graph, PersistencyPolicy, SgOptions};
 
@@ -92,7 +101,11 @@ struct JsonRow {
     peak_live_nodes: usize,
     final_nodes: usize,
     sift_passes: usize,
+    /// Measured wall seconds around the whole verification call — for a
+    /// warm row this is the cache-lookup time, which is the point.
     wall_s: f64,
+    /// Result-cache status of this row: off, cold, warm or incremental.
+    cache: String,
     verdict: &'static str,
 }
 
@@ -107,7 +120,7 @@ fn write_json(path: &PathBuf, rows: &[JsonRow]) -> std::io::Result<()> {
             "    {{\"name\": \"{}\", \"engine\": \"{}\", \"reorder\": \"{}\", \
              \"order\": \"{}\", \"jobs\": {}, \"states\": \"{}\", \
              \"peak_live_nodes\": {}, \"final_nodes\": {}, \"sift_passes\": {}, \
-             \"wall_s\": {:.6}, \"verdict\": \"{}\"}}{}\n",
+             \"wall_s\": {:.6}, \"cache\": \"{}\", \"verdict\": \"{}\"}}{}\n",
             json_escape(&r.name),
             r.engine,
             r.reorder,
@@ -118,6 +131,7 @@ fn write_json(path: &PathBuf, rows: &[JsonRow]) -> std::io::Result<()> {
             r.final_nodes,
             r.sift_passes,
             r.wall_s,
+            r.cache,
             r.verdict,
             if i + 1 == rows.len() { "" } else { "," },
         ));
@@ -158,6 +172,12 @@ fn main() {
     });
     let json_path: Option<PathBuf> = value_of("--json").map(PathBuf::from);
     let from_dir: Option<PathBuf> = value_of("--from-dir").map(PathBuf::from);
+    let cache_dir: Option<PathBuf> = value_of("--cache-dir").map(PathBuf::from);
+    let warm_rerun = args.iter().any(|a| a == "--warm-rerun");
+    if warm_rerun && cache_dir.is_none() {
+        eprintln!("--warm-rerun requires --cache-dir");
+        std::process::exit(2);
+    }
     let engines: Vec<EngineKind> = match value_of("--engine").map(String::as_str) {
         None if small => ALL_ENGINES.to_vec(),
         None => vec![EngineKind::PerTransition],
@@ -207,75 +227,126 @@ fn main() {
         None => table1_workloads(),
     };
     let mut json_rows: Vec<JsonRow> = Vec::new();
-    for w in workloads {
-        // The explicit baseline is engine- and reorder-independent: time
-        // it once per workload, outside the row loops.
-        let explicit_cell: Option<Result<(f64, usize), String>> = (explicit && w.explicit_feasible)
-            .then(|| {
-                let start = Instant::now();
-                let sg = build_state_graph(&w.stg, SgOptions::default());
-                let secs = start.elapsed().as_secs_f64();
-                sg.map(|sg| (secs, sg.len())).map_err(|e| e.to_string())
-            });
-        for &kind in &engines {
-            for &reorder in &reorders {
-                let opts = VerifyOptions {
-                    order,
-                    policy: PersistencyPolicy { allow_arbitration: w.arbitration },
-                    engine: stgcheck_core::EngineOptions {
-                        kind,
-                        jobs,
-                        sharing,
-                        ..Default::default()
-                    },
-                    reorder,
-                };
-                let report = match verify(&w.stg, opts) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        println!("{:<16} verification aborted: {e}", w.name);
-                        continue;
+    let persist = PersistOptions { cache_dir: cache_dir.clone(), ..PersistOptions::default() };
+    let passes = if warm_rerun { 2 } else { 1 };
+    // Cold-pass verdict + state count per (net, engine, reorder), checked
+    // against the warm pass: a cache hit must be byte-identical on the
+    // columns that matter.
+    let mut cold_results: HashMap<(String, String, String), (&'static str, String)> =
+        HashMap::new();
+    let mut pass_wall = [0.0f64; 2];
+    for (pass, pass_wall_slot) in pass_wall.iter_mut().enumerate().take(passes) {
+        if warm_rerun {
+            println!();
+            println!("-- pass {}: {} --", pass + 1, if pass == 0 { "cold" } else { "warm" });
+        }
+        for w in &workloads {
+            // The explicit baseline is engine- and reorder-independent:
+            // time it once per workload (cold pass only), outside the row
+            // loops.
+            let explicit_cell: Option<Result<(f64, usize), String>> =
+                (explicit && w.explicit_feasible && pass == 0).then(|| {
+                    let start = Instant::now();
+                    let sg = build_state_graph(&w.stg, SgOptions::default());
+                    let secs = start.elapsed().as_secs_f64();
+                    sg.map(|sg| (secs, sg.len())).map_err(|e| e.to_string())
+                });
+            for &kind in &engines {
+                for &reorder in &reorders {
+                    let opts = VerifyOptions {
+                        order,
+                        policy: PersistencyPolicy { allow_arbitration: w.arbitration },
+                        engine: stgcheck_core::EngineOptions {
+                            kind,
+                            jobs,
+                            sharing,
+                            ..Default::default()
+                        },
+                        reorder,
+                    };
+                    let start = Instant::now();
+                    let run = match verify_persistent(&w.stg, opts, &persist) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            println!("{:<16} verification aborted: {e}", w.name);
+                            continue;
+                        }
+                    };
+                    let wall_s = start.elapsed().as_secs_f64();
+                    *pass_wall_slot += wall_s;
+                    let report = run.report.expect("no abort_after configured");
+                    let mut row = report.table1_row();
+                    if explicit {
+                        match &explicit_cell {
+                            Some(Ok((secs, len))) => {
+                                assert_eq!(
+                                    *len as u128, report.num_states,
+                                    "{}: explicit and symbolic disagree",
+                                    w.name
+                                );
+                                row.push_str(&format!(" {secs:>10.3}"));
+                            }
+                            Some(Err(e)) => row.push_str(&format!(" {e:>10}")),
+                            None => row.push_str(&format!(" {:>10}", "—")),
+                        }
                     }
-                };
-                let mut row = report.table1_row();
-                if explicit {
-                    match &explicit_cell {
-                        Some(Ok((secs, len))) => {
+                    row.push_str(&format!(" {reorder:>7}"));
+                    let verdict = match report.verdict {
+                        stgcheck_stg::Implementability::Gate => "gate",
+                        stgcheck_stg::Implementability::InputOutput => "i/o",
+                        stgcheck_stg::Implementability::SpeedIndependent => "si-only",
+                        stgcheck_stg::Implementability::NotImplementable => "reject",
+                    };
+                    row.push_str(&format!(" {verdict:>10}"));
+                    println!("{row}");
+                    let states = stgcheck_core::format_states(report.num_states);
+                    if warm_rerun {
+                        let key = (w.name.clone(), report.engine.clone(), reorder.to_string());
+                        if pass == 0 {
+                            cold_results.insert(key, (verdict, states.clone()));
+                        } else {
                             assert_eq!(
-                                *len as u128, report.num_states,
-                                "{}: explicit and symbolic disagree",
+                                run.cache,
+                                CacheStatus::Warm,
+                                "{}: warm pass missed the cache",
                                 w.name
                             );
-                            row.push_str(&format!(" {secs:>10.3}"));
+                            let (cold_verdict, cold_states) =
+                                cold_results.get(&key).expect("cold row for warm row");
+                            assert_eq!(
+                                (*cold_verdict, cold_states),
+                                (verdict, &states),
+                                "{}: warm result diverges from cold",
+                                w.name
+                            );
                         }
-                        Some(Err(e)) => row.push_str(&format!(" {e:>10}")),
-                        None => row.push_str(&format!(" {:>10}", "—")),
                     }
+                    json_rows.push(JsonRow {
+                        name: w.name.clone(),
+                        engine: report.engine.clone(),
+                        reorder,
+                        order,
+                        jobs,
+                        states,
+                        peak_live_nodes: report.bdd_peak,
+                        final_nodes: report.bdd_final,
+                        sift_passes: report.sift_passes,
+                        wall_s,
+                        cache: run.cache.to_string(),
+                        verdict,
+                    });
                 }
-                row.push_str(&format!(" {reorder:>7}"));
-                let verdict = match report.verdict {
-                    stgcheck_stg::Implementability::Gate => "gate",
-                    stgcheck_stg::Implementability::InputOutput => "i/o",
-                    stgcheck_stg::Implementability::SpeedIndependent => "si-only",
-                    stgcheck_stg::Implementability::NotImplementable => "reject",
-                };
-                row.push_str(&format!(" {verdict:>10}"));
-                println!("{row}");
-                json_rows.push(JsonRow {
-                    name: w.name.clone(),
-                    engine: report.engine.clone(),
-                    reorder,
-                    order,
-                    jobs,
-                    states: stgcheck_core::format_states(report.num_states),
-                    peak_live_nodes: report.bdd_peak,
-                    final_nodes: report.bdd_final,
-                    sift_passes: report.sift_passes,
-                    wall_s: report.times.total,
-                    verdict,
-                });
             }
         }
+    }
+    if warm_rerun {
+        println!();
+        println!(
+            "cache: cold pass {:.3}s, warm pass {:.3}s ({:.1}x speedup), verdicts identical",
+            pass_wall[0],
+            pass_wall[1],
+            pass_wall[0] / pass_wall[1].max(1e-9),
+        );
     }
     if let Some(path) = &json_path {
         if let Err(e) = write_json(path, &json_rows) {

@@ -7,7 +7,7 @@ use stgcheck_bdd::{Bdd, Literal};
 use stgcheck_stg::{Polarity, SignalId, SignalKind};
 
 use crate::encode::{StateWitness, SymbolicStg};
-use crate::engine::{run_fixpoint, FixpointSpec, StepDirection};
+use crate::engine::{run_fixpoint, FixpointCtl, FixpointSpec, StepDirection};
 
 /// The four characteristic regions of one signal, projected to binary
 /// codes (`∃p` applied, paper notation):
@@ -173,9 +173,10 @@ impl SymbolicStg<'_> {
             gc: false,
             ..FixpointSpec::forward_full()
         };
-        let set = run_fixpoint(self, &opts, &backward, &input_transitions, start).reached;
+        let mut ctl = FixpointCtl::default();
+        let set = run_fixpoint(self, &opts, &backward, &input_transitions, start, &mut ctl).reached;
         let forward = FixpointSpec { gc: false, ..FixpointSpec::forward_full() };
-        let set = run_fixpoint(self, &opts, &forward, &input_transitions, set).reached;
+        let set = run_fixpoint(self, &opts, &forward, &input_transitions, set, &mut ctl).reached;
         let mgr = self.manager_mut();
         let hit = mgr.and(set, er_state);
         let hit = mgr.and(hit, cont);

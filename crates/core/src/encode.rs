@@ -11,7 +11,7 @@
 //! * `NSM(t) = ∧_{p∈t•} p′` — no successor marked;
 //! * `ASM(t) = ∧_{p∈t•} p`  — all successors marked.
 
-use stgcheck_bdd::{Bdd, BddManager, Literal, Var};
+use stgcheck_bdd::{Bdd, BddCheckpoint, BddManager, Literal, Var};
 use stgcheck_petri::{PlaceId, TransId};
 use stgcheck_stg::{Code, Polarity, SignalId, Stg};
 
@@ -341,6 +341,60 @@ impl<'a> SymbolicStg<'a> {
         for (i, e) in extra.iter_mut().enumerate() {
             *e = mapped[base + i];
         }
+    }
+
+    /// Exports named roots as a durable v3 checkpoint artifact stamped
+    /// with `net_hash` (see `docs/persistent-store.md`).
+    pub fn export_checkpoint(
+        &self,
+        net_hash: u128,
+        roots: &[(&str, Bdd)],
+        meta: &[(String, u64)],
+    ) -> BddCheckpoint {
+        self.mgr.export_checkpoint(net_hash, roots, meta)
+    }
+
+    /// Imports a v3 checkpoint into this context by *name*: every
+    /// checkpoint variable must exist here (place/signal variables are
+    /// named `p:…`/`s:…`, so names are stable across runs), and the
+    /// manager is re-ordered so its top levels line up with the
+    /// checkpoint's level semantics before the one-pass bulk load.
+    /// Variables of this context that the checkpoint does not mention
+    /// (a monotone edit's new places) keep their relative order below
+    /// the imported block.
+    ///
+    /// Reordering invalidates every caller-held handle, exactly like
+    /// [`SymbolicStg::apply_var_order`] — call this before computing
+    /// anything else against the context.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first name mismatch; the context is
+    /// untouched in that case.
+    pub fn import_checkpoint(&mut self, ck: &BddCheckpoint) -> Result<Vec<(String, Bdd)>, String> {
+        let by_name: std::collections::HashMap<&str, Var> = (0..self.mgr.num_vars())
+            .map(|lvl| {
+                let v = self.mgr.var_at(lvl);
+                (self.mgr.var_name(v), v)
+            })
+            .collect();
+        let mut order: Vec<Var> = Vec::with_capacity(self.mgr.num_vars());
+        for name in &ck.var_names {
+            match by_name.get(name.as_str()) {
+                Some(&v) => order.push(v),
+                None => {
+                    return Err(format!(
+                        "checkpoint variable `{name}` does not exist in this net's encoding"
+                    ))
+                }
+            }
+        }
+        let in_ck: std::collections::HashSet<Var> = order.iter().copied().collect();
+        order.extend(self.mgr.order().into_iter().filter(|v| !in_ck.contains(v)));
+        if order != self.mgr.order() {
+            self.apply_var_order(&order, &mut []);
+        }
+        Ok(self.mgr.bulk_import_checkpoint(ck))
     }
 
     /// The characteristic cubes of transition `t`.

@@ -289,7 +289,8 @@ impl FixpointSpec {
 /// Result of one [`run_fixpoint`] call.
 pub(crate) struct FixpointOutcome {
     /// The least fixpoint: everything reachable from `init` under the
-    /// spec's step.
+    /// spec's step — or, when `interrupted`, the partial set reached so
+    /// far (also captured in the final checkpoint snapshot).
     pub reached: Bdd,
     /// Outer iterations until convergence (engine-dependent; only the
     /// final set is engine-independent).
@@ -299,6 +300,105 @@ pub(crate) struct FixpointOutcome {
     /// Highest per-worker peak of live BDD nodes (0 for the sequential
     /// engines, whose peak shows up in the main manager).
     pub shard_peak_nodes: usize,
+    /// `true` when the loop stopped at [`FixpointCtl::abort_after`]
+    /// instead of converging; a final snapshot was written if a
+    /// checkpoint path is configured.
+    pub interrupted: bool,
+}
+
+/// State imported from a previous run's checkpoint, ready to seed a
+/// fixpoint loop (the handles live in the *current* manager — the caller
+/// has already bulk-imported the snapshot and validated its header).
+pub(crate) struct ResumeState {
+    /// The reached set at the time of the snapshot.
+    pub reached: Bdd,
+    /// The frontier at the time of the snapshot.
+    pub frontier: Bdd,
+    /// Outer iterations completed at the time of the snapshot.
+    pub iterations: usize,
+}
+
+/// Mid-run checkpoint/resume control for [`run_fixpoint`]: the knobs
+/// behind `--checkpoint`, `--checkpoint-every`, `--resume` and the
+/// `--abort-after` test hook. [`FixpointCtl::default`] disables all of
+/// it, which is what every auxiliary fixpoint (per-signal inference,
+/// frozen traversals, CSC backward closures) passes.
+#[derive(Default)]
+pub(crate) struct FixpointCtl {
+    /// Snapshot cadence in outer iterations; `0` disables periodic
+    /// snapshots (an abort still writes a final snapshot).
+    pub every: usize,
+    /// Snapshot destination; `None` disables checkpointing entirely.
+    pub path: Option<std::path::PathBuf>,
+    /// The net's content hash, stamped into every snapshot header so a
+    /// resume against a different net is rejected at load.
+    pub net_hash: u128,
+    /// Stop the loop (writing a final snapshot) once this many outer
+    /// iterations have run; `0` means run to convergence. Drives the
+    /// resume-equivalence tests and the CI interrupt smoke.
+    pub abort_after: usize,
+    /// Seed state from a previous snapshot; consumed by the engine.
+    pub resume: Option<ResumeState>,
+    /// First I/O error hit while writing snapshots. Snapshot failures do
+    /// not stop the fixpoint — the caller surfaces this as a warning.
+    pub io_error: Option<String>,
+    /// Iteration count at the last snapshot written.
+    pub(crate) last_snapshot: usize,
+}
+
+impl FixpointCtl {
+    /// Seeds a loop: the resumed `(reached ∪ init, frontier, iterations)`
+    /// or the fresh `(init, init, 0)`. Union with `init` keeps the seed
+    /// sound even for a snapshot taken before init was folded in.
+    fn seed(&mut self, sym: &SymbolicStg<'_>, init: Bdd) -> (Bdd, Bdd, usize) {
+        match self.resume.take() {
+            Some(r) => {
+                self.last_snapshot = r.iterations;
+                (sym.manager().or(r.reached, init), r.frontier, r.iterations)
+            }
+            None => (init, init, 0),
+        }
+    }
+
+    /// End-of-iteration hook: writes a periodic snapshot when due and
+    /// returns `true` when the run must stop (`abort_after` reached), in
+    /// which case a final snapshot has been written unconditionally.
+    fn tick(
+        &mut self,
+        sym: &SymbolicStg<'_>,
+        reached: Bdd,
+        frontier: Bdd,
+        iterations: usize,
+    ) -> bool {
+        let abort = self.abort_after > 0 && iterations >= self.abort_after;
+        let due = self.every > 0 && iterations - self.last_snapshot >= self.every;
+        if self.path.is_some() && (abort || due) {
+            self.snapshot(sym, reached, frontier, iterations);
+        }
+        abort
+    }
+
+    fn snapshot(&mut self, sym: &SymbolicStg<'_>, reached: Bdd, frontier: Bdd, iterations: usize) {
+        let Some(path) = self.path.clone() else { return };
+        self.last_snapshot = iterations;
+        let ck = sym.manager().export_checkpoint(
+            self.net_hash,
+            &[("reached", reached), ("frontier", frontier)],
+            &[("iterations".to_string(), iterations as u64)],
+        );
+        if let Err(e) = write_atomically(&path, &ck.to_bytes()) {
+            self.io_error
+                .get_or_insert_with(|| format!("checkpoint write to {}: {e}", path.display()));
+        }
+    }
+}
+
+/// tmp-then-rename write: a crash mid-write never leaves a torn artifact
+/// at the destination (the v3 checksum catches everything else).
+pub(crate) fn write_atomically(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Runs the shared fixed-point loop with the selected engine.
@@ -308,17 +408,22 @@ pub(crate) fn run_fixpoint(
     spec: &FixpointSpec,
     transitions: &[TransId],
     init: Bdd,
+    ctl: &mut FixpointCtl,
 ) -> FixpointOutcome {
     debug_assert!(
         !spec.record_rings
             || (opts.kind == EngineKind::PerTransition && opts.strategy == TraversalStrategy::Bfs),
         "rings require the strict-BFS per-transition engine"
     );
+    debug_assert!(
+        ctl.resume.is_none() || !spec.record_rings,
+        "resume cannot reconstruct strict-BFS rings"
+    );
     match opts.kind {
-        EngineKind::PerTransition => run_per_transition(sym, opts, spec, transitions, init),
-        EngineKind::Clustered => run_clustered(sym, opts, spec, transitions, init),
-        EngineKind::ParallelSharded => run_parallel(sym, opts, spec, transitions, init),
-        EngineKind::Saturation => run_saturation(sym, opts, spec, transitions, init),
+        EngineKind::PerTransition => run_per_transition(sym, opts, spec, transitions, init, ctl),
+        EngineKind::Clustered => run_clustered(sym, opts, spec, transitions, init, ctl),
+        EngineKind::ParallelSharded => run_parallel(sym, opts, spec, transitions, init, ctl),
+        EngineKind::Saturation => run_saturation(sym, opts, spec, transitions, init, ctl),
     }
 }
 
@@ -411,11 +516,10 @@ fn run_per_transition(
     spec: &FixpointSpec,
     transitions: &[TransId],
     init: Bdd,
+    ctl: &mut FixpointCtl,
 ) -> FixpointOutcome {
-    let mut reached = init;
-    let mut from = init;
+    let (mut reached, mut from, mut iterations) = ctl.seed(sym, init);
     let mut rings = if spec.record_rings { vec![init] } else { Vec::new() };
-    let mut iterations = 0;
     loop {
         iterations += 1;
         let to = match opts.strategy {
@@ -452,8 +556,17 @@ fn run_per_transition(
         from = new;
         maybe_gc(sym, spec, &[reached, from], &rings, &[]);
         maybe_reorder(sym, opts, spec, &[reached, from], &rings, &[]);
+        if ctl.tick(sym, reached, from, iterations) {
+            return FixpointOutcome {
+                reached,
+                iterations,
+                rings,
+                shard_peak_nodes: 0,
+                interrupted: true,
+            };
+        }
     }
-    FixpointOutcome { reached, iterations, rings, shard_peak_nodes: 0 }
+    FixpointOutcome { reached, iterations, rings, shard_peak_nodes: 0, interrupted: false }
 }
 
 // ---------------------------------------------------------------------------
@@ -585,15 +698,14 @@ fn run_clustered(
     spec: &FixpointSpec,
     transitions: &[TransId],
     init: Bdd,
+    ctl: &mut FixpointCtl,
 ) -> FixpointOutcome {
     let fused = build_fused_cubes(sym, spec.marking_only, transitions);
     let supports: Vec<BTreeSet<Var>> =
         fused.iter().map(|f| sym.manager().support(f.quant).into_iter().collect()).collect();
     let clusters = cluster_by_support(&supports, opts.effective_max_cluster());
     let engine_roots: Vec<Bdd> = fused.iter().flat_map(|f| [f.before, f.after, f.quant]).collect();
-    let mut reached = init;
-    let mut from = init;
-    let mut iterations = 0;
+    let (mut reached, mut from, mut iterations) = ctl.seed(sym, init);
     loop {
         iterations += 1;
         // Chained across clusters, breadth-first within each cluster: the
@@ -620,8 +732,23 @@ fn run_clustered(
         // keeps their handles valid, so the next iteration reuses them
         // under the improved order.
         maybe_reorder(sym, opts, spec, &[reached, from], &[], &engine_roots);
+        if ctl.tick(sym, reached, from, iterations) {
+            return FixpointOutcome {
+                reached,
+                iterations,
+                rings: Vec::new(),
+                shard_peak_nodes: 0,
+                interrupted: true,
+            };
+        }
     }
-    FixpointOutcome { reached, iterations, rings: Vec::new(), shard_peak_nodes: 0 }
+    FixpointOutcome {
+        reached,
+        iterations,
+        rings: Vec::new(),
+        shard_peak_nodes: 0,
+        interrupted: false,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -719,6 +846,7 @@ fn run_saturation(
     spec: &FixpointSpec,
     transitions: &[TransId],
     init: Bdd,
+    ctl: &mut FixpointCtl,
 ) -> FixpointOutcome {
     let mut fused = build_fused_cubes(sym, spec.marking_only, transitions);
     let supports: Vec<BTreeSet<Var>> =
@@ -732,8 +860,10 @@ fn run_saturation(
         fused.iter().flat_map(|f| [f.before, f.after, f.quant]).collect();
     let mut homes = saturation_homes(sym.manager(), &cluster_supports);
     let mut schedule = saturation_schedule(&homes);
-    let mut reached = init;
-    let mut iterations = 0;
+    // Saturation has no global frontier; a resumed snapshot seeds the
+    // reached set and the sweep simply re-saturates every cluster against
+    // it (already-saturated clusters converge in one pass).
+    let (mut reached, _, mut iterations) = ctl.seed(sym, init);
     let mut pos = 0;
     while pos < schedule.len() {
         let c = schedule[pos];
@@ -753,6 +883,17 @@ fn run_saturation(
             }
             grew = true;
             reached = acc;
+        }
+        // The snapshot's frontier *is* the reached set here — saturation
+        // resumes by re-saturating, not by frontier replay.
+        if ctl.tick(sym, reached, reached, iterations) {
+            return FixpointOutcome {
+                reached,
+                iterations,
+                rings: Vec::new(),
+                shard_peak_nodes: 0,
+                interrupted: true,
+            };
         }
         if !grew {
             pos += 1;
@@ -784,7 +925,13 @@ fn run_saturation(
             None => pos += 1,
         }
     }
-    FixpointOutcome { reached, iterations, rings: Vec::new(), shard_peak_nodes: 0 }
+    FixpointOutcome {
+        reached,
+        iterations,
+        rings: Vec::new(),
+        shard_peak_nodes: 0,
+        interrupted: false,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -904,6 +1051,7 @@ fn run_parallel(
     spec: &FixpointSpec,
     transitions: &[TransId],
     init: Bdd,
+    ctl: &mut FixpointCtl,
 ) -> FixpointOutcome {
     let jobs = opts.effective_jobs().min(transitions.len() / MIN_SHARD_TRANSITIONS);
     if jobs < 2 {
@@ -914,11 +1062,13 @@ fn run_parallel(
             strategy: TraversalStrategy::Chained,
             ..*opts
         };
-        return run_per_transition(sym, &seq, spec, transitions, init);
+        return run_per_transition(sym, &seq, spec, transitions, init, ctl);
     }
     match opts.sharing {
-        ShardSharing::Shared => run_parallel_shared(sym, opts, spec, transitions, init, jobs),
-        ShardSharing::Private => run_parallel_private(sym, opts, spec, transitions, init, jobs),
+        ShardSharing::Shared => run_parallel_shared(sym, opts, spec, transitions, init, jobs, ctl),
+        ShardSharing::Private => {
+            run_parallel_private(sym, opts, spec, transitions, init, jobs, ctl)
+        }
     }
 }
 
@@ -945,11 +1095,10 @@ fn run_parallel_shared(
     transitions: &[TransId],
     init: Bdd,
     jobs: usize,
+    ctl: &mut FixpointCtl,
 ) -> FixpointOutcome {
     let shards = balance_shards(sym, transitions, jobs);
-    let mut reached = init;
-    let mut from = init;
-    let mut iterations = 0;
+    let (mut reached, mut from, mut iterations) = ctl.seed(sym, init);
     loop {
         iterations += 1;
         let shared: &SymbolicStg<'_> = sym;
@@ -974,10 +1123,25 @@ fn run_parallel_shared(
         // borrow is exclusive again.
         maybe_gc(sym, spec, &[reached, from], &[], &[]);
         maybe_reorder(sym, opts, spec, &[reached, from], &[], &[]);
+        if ctl.tick(sym, reached, from, iterations) {
+            return FixpointOutcome {
+                reached,
+                iterations,
+                rings: Vec::new(),
+                shard_peak_nodes: 0,
+                interrupted: true,
+            };
+        }
     }
     // The shared peak is the main manager's peak; there is no separate
     // worker column to report.
-    FixpointOutcome { reached, iterations, rings: Vec::new(), shard_peak_nodes: 0 }
+    FixpointOutcome {
+        reached,
+        iterations,
+        rings: Vec::new(),
+        shard_peak_nodes: 0,
+        interrupted: false,
+    }
 }
 
 /// The compatibility engine: private per-worker managers exchanging
@@ -991,6 +1155,7 @@ fn run_parallel_private(
     transitions: &[TransId],
     init: Bdd,
     jobs: usize,
+    ctl: &mut FixpointCtl,
 ) -> FixpointOutcome {
     let stg = sym.stg();
     let order = sym.order();
@@ -1048,9 +1213,7 @@ fn run_parallel_private(
             });
         }
         drop(res_tx);
-        let mut reached = init;
-        let mut from = init;
-        let mut iterations = 0;
+        let (mut reached, mut from, mut iterations) = ctl.seed(sym, init);
         let mut shard_peak = 0;
         let mut sent_order = start_order;
         loop {
@@ -1085,9 +1248,25 @@ fn run_parallel_private(
             // level semantics from the order broadcast above on the next
             // iteration.
             maybe_reorder(sym, opts, spec, &[reached, from], &[], &[]);
+            if ctl.tick(sym, reached, from, iterations) {
+                drop(cmd_txs); // workers see a closed channel and exit
+                return FixpointOutcome {
+                    reached,
+                    iterations,
+                    rings: Vec::new(),
+                    shard_peak_nodes: shard_peak,
+                    interrupted: true,
+                };
+            }
         }
         drop(cmd_txs); // workers see a closed channel and exit
-        FixpointOutcome { reached, iterations, rings: Vec::new(), shard_peak_nodes: shard_peak }
+        FixpointOutcome {
+            reached,
+            iterations,
+            rings: Vec::new(),
+            shard_peak_nodes: shard_peak,
+            interrupted: false,
+        }
     })
 }
 
@@ -1316,7 +1495,14 @@ mod tests {
         let init = sym.initial_state(code);
         let transitions: Vec<_> = stg.net().transitions().collect();
         let spec = FixpointSpec::forward_full();
-        let base = run_fixpoint(&mut sym, &EngineOptions::default(), &spec, &transitions, init);
+        let base = run_fixpoint(
+            &mut sym,
+            &EngineOptions::default(),
+            &spec,
+            &transitions,
+            init,
+            &mut FixpointCtl::default(),
+        );
         for opts in [
             EngineOptions { strategy: TraversalStrategy::Bfs, ..EngineOptions::default() },
             EngineOptions {
@@ -1342,8 +1528,16 @@ mod tests {
                 ..EngineOptions::default()
             },
         ] {
-            let out = run_fixpoint(&mut sym, &opts, &spec, &transitions, init);
+            let out = run_fixpoint(
+                &mut sym,
+                &opts,
+                &spec,
+                &transitions,
+                init,
+                &mut FixpointCtl::default(),
+            );
             assert_eq!(out.reached, base.reached, "{opts:?}");
+            assert!(!out.interrupted);
         }
     }
 }

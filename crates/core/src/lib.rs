@@ -53,6 +53,7 @@ mod image;
 mod logic;
 mod persistency;
 mod safety;
+mod store;
 mod trace;
 mod traverse;
 mod verify;
@@ -64,8 +65,12 @@ pub use engine::{EngineKind, EngineOptions, ReorderMode, ShardSharing};
 pub use logic::{LogicError, SignalFunction};
 pub use persistency::{SymSignalViolation, SymTransViolation};
 pub use safety::SafetyViolation;
+pub use store::{CacheStatus, ResultStore};
 pub use trace::RingTraversal;
 pub use traverse::{
     cross_check_reachability, format_states, Traversal, TraversalStats, TraversalStrategy,
 };
-pub use verify::{verify, PhaseTimes, SymbolicReport, VerifyError, VerifyOptions};
+pub use verify::{
+    verify, verify_persistent, PersistOptions, PhaseTimes, SymbolicReport, VerifyError,
+    VerifyOptions, VerifyRun,
+};

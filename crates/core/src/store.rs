@@ -1,0 +1,717 @@
+//! The content-addressed on-disk result store behind `--cache-dir`.
+//!
+//! A verification verdict is a pure function of the net and the
+//! engine-relevant options, so it can be cached by content: the key is
+//! [`stgcheck_stg::Stg::content_hash`] (stable under whitespace, comments
+//! and declaration reordering of the `.g` source) plus a short tag of
+//! every option that influences the run. Per completed verification the
+//! store holds four artifacts (see `docs/persistent-store.md`):
+//!
+//! * `<key>.report` — the full [`SymbolicReport`] in a line-based text
+//!   format; any malformed or truncated file is a cache miss, never an
+//!   error;
+//! * `<key>.reached` — the final reached set as a v3
+//!   [`BddCheckpoint`], so a warm hit can materialize the BDD without
+//!   re-running the fixpoint;
+//! * `<hash>.g` — the canonical `.g` snapshot of the net, used to
+//!   reconstruct the *previous* net for the monotone-edit check;
+//! * `latest-<name>-<opts>` — a pointer from the net's name to the hash
+//!   most recently verified under those options, which is how an edited
+//!   net finds its predecessor for incremental reverification.
+//!
+//! All writes go through the same tmp-then-rename protocol as engine
+//! checkpoints, so a crash never leaves a torn artifact under a valid
+//! name.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
+
+use stgcheck_bdd::{Bdd, BddCheckpoint};
+use stgcheck_petri::{PetriNet, PlaceId, TransId};
+use stgcheck_stg::{
+    parse_g, write_g, Code, FakeConflict, Implementability, Polarity, SignalId, Stg,
+};
+
+use crate::consistency::ConsistencyViolation;
+use crate::csc::CscAnalysis;
+use crate::encode::{StateWitness, VarOrder};
+use crate::engine::{write_atomically, EngineKind, ReorderMode, ShardSharing};
+use crate::persistency::{SymSignalViolation, SymTransViolation};
+use crate::safety::SafetyViolation;
+use crate::traverse::{TraversalStats, TraversalStrategy};
+use crate::verify::{PhaseTimes, SymbolicReport, VerifyOptions};
+
+/// Where a [`crate::verify_persistent`] result came from.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum CacheStatus {
+    /// No cache directory was configured.
+    #[default]
+    Off,
+    /// Computed from scratch (and stored for next time).
+    Cold,
+    /// Served from the store without running any fixpoint.
+    Warm,
+    /// Computed, but with the traversal seeded from the reached set of a
+    /// monotone predecessor net instead of from the initial state.
+    Incremental,
+}
+
+impl std::fmt::Display for CacheStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CacheStatus::Off => "off",
+            CacheStatus::Cold => "cold",
+            CacheStatus::Warm => "warm",
+            CacheStatus::Incremental => "incremental",
+        })
+    }
+}
+
+/// A `--cache-dir` directory of verification artifacts.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn open(dir: &Path) -> io::Result<ResultStore> {
+        std::fs::create_dir_all(dir)?;
+        Ok(ResultStore { dir: dir.to_path_buf() })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        self.dir.join(file)
+    }
+
+    /// Loads a cached report; any unreadable or malformed artifact is a
+    /// miss.
+    pub(crate) fn load_report(&self, key: &str) -> Option<SymbolicReport> {
+        let text = std::fs::read_to_string(self.path(&format!("{key}.report"))).ok()?;
+        report_from_text(&text)
+    }
+
+    /// Loads the stored reached-set checkpoint for `key`.
+    pub(crate) fn load_reached(&self, key: &str) -> Option<BddCheckpoint> {
+        let bytes = std::fs::read(self.path(&format!("{key}.reached"))).ok()?;
+        BddCheckpoint::from_bytes(&bytes).ok()
+    }
+
+    /// Persists a completed verification: report, reached-set checkpoint,
+    /// canonical net snapshot and the `latest` pointer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O failure; partially-written artifacts are
+    /// impossible (tmp-then-rename) but partial *sets* are — the loaders
+    /// treat every artifact independently, so that is safe.
+    pub(crate) fn store_result(
+        &self,
+        key: &str,
+        hash: u128,
+        stg: &Stg,
+        report: &SymbolicReport,
+        reached: &BddCheckpoint,
+    ) -> io::Result<()> {
+        write_atomically(&self.path(&format!("{key}.report")), report_to_text(report).as_bytes())?;
+        write_atomically(&self.path(&format!("{key}.reached")), &reached.to_bytes())?;
+        let declared = match stg.initial_code() {
+            Some(c) => c.0.to_string(),
+            None => "-".to_string(),
+        };
+        let snapshot = format!("# stgcheck-snapshot-v1 declared-code={declared}\n{}", write_g(stg));
+        write_atomically(&self.path(&format!("{hash:032x}.g")), snapshot.as_bytes())?;
+        write_atomically(
+            &self.path(&latest_pointer(stg.name(), key)),
+            format!("{hash:032x}").as_bytes(),
+        )
+    }
+
+    /// Follows the `latest` pointer for this net name + option tag and
+    /// reconstructs the previously verified net. Returns `None` when
+    /// there is no predecessor or any artifact is missing/corrupt
+    /// (including a snapshot whose content hash no longer matches its
+    /// file name — that is tampering or corruption, not an error).
+    pub(crate) fn load_predecessor(&self, name: &str, key: &str) -> Option<(Stg, u128)> {
+        let hex = std::fs::read_to_string(self.path(&latest_pointer(name, key))).ok()?;
+        let hash = u128::from_str_radix(hex.trim(), 16).ok()?;
+        let text = std::fs::read_to_string(self.path(&format!("{hash:032x}.g"))).ok()?;
+        let stg = parse_snapshot(&text)?;
+        (stg.content_hash() == hash).then_some((stg, hash))
+    }
+}
+
+/// The store key: 32 hex digits of the content hash, then a short tag of
+/// every option that changes what a run computes or reports.
+pub(crate) fn cache_key(hash: u128, opts: &VerifyOptions) -> String {
+    format!("{hash:032x}-{}", opts_tag(opts))
+}
+
+fn opts_tag(opts: &VerifyOptions) -> String {
+    let mut engine = opts.engine;
+    if opts.reorder != ReorderMode::None {
+        engine.reorder = opts.reorder;
+    }
+    let order = match opts.order {
+        VarOrder::Interleaved => "iv",
+        VarOrder::PlacesThenSignals => "ps",
+        VarOrder::SignalsThenPlaces => "sp",
+        VarOrder::Declaration => "de",
+    };
+    let policy = if opts.policy.allow_arbitration { "arb" } else { "strict" };
+    let kind = match engine.kind {
+        EngineKind::PerTransition => "pt",
+        EngineKind::Clustered => "cl",
+        EngineKind::ParallelSharded => "pa",
+        EngineKind::Saturation => "sa",
+    };
+    let strategy = match engine.strategy {
+        TraversalStrategy::Chained => "ch",
+        TraversalStrategy::Bfs => "bf",
+    };
+    let sharing = match engine.sharing {
+        ShardSharing::Shared => "ss",
+        ShardSharing::Private => "sv",
+    };
+    let reorder = match engine.reorder {
+        ReorderMode::None => "rn",
+        ReorderMode::Sift => "rs",
+        ReorderMode::Auto => "ra",
+    };
+    format!(
+        "{order}-{policy}-{kind}-{strategy}-j{}-c{}-{sharing}-{reorder}",
+        engine.jobs, engine.max_cluster
+    )
+}
+
+/// File name of the `latest` pointer: sanitized net name plus the option
+/// tag carried by `key` (everything after the 32-digit hash).
+fn latest_pointer(net_name: &str, key: &str) -> String {
+    let opts = &key[33..];
+    let sanitized: String = net_name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '_' })
+        .collect();
+    format!("latest-{sanitized}-{opts}")
+}
+
+/// Parses a stored canonical snapshot: the marker line restores the
+/// declared initial code that the `.g` dialect cannot express.
+fn parse_snapshot(text: &str) -> Option<Stg> {
+    let (first, rest) = text.split_once('\n')?;
+    let declared = first.strip_prefix("# stgcheck-snapshot-v1 declared-code=")?;
+    let mut stg = parse_g(rest).ok()?;
+    if declared != "-" {
+        stg.set_initial_code(Some(Code(declared.parse().ok()?)));
+    }
+    Some(stg)
+}
+
+/// The structural monotone-edit rule (see `docs/persistent-store.md`):
+/// `new` extends `old` purely by *adding* transitions (and the places
+/// wired to them) when
+///
+/// * the signal interface is the identical `(name, kind)` sequence —
+///   codes are index-based, so even a reordering breaks compatibility;
+/// * every old place exists in `new` by name with the same initial
+///   marking;
+/// * every old transition exists in `new` with the same label and
+///   exactly the same pre/post arc multisets (by place name and weight).
+///
+/// Under these conditions every firing sequence of `old` replays
+/// verbatim in `new` while the added places keep their initial tokens,
+/// so `Reached_old × init(new places) ⊆ Reached_new` and the old reached
+/// set is a sound traversal seed. Anything else — removed or rewired
+/// transitions, changed markings — fails the check and the caller falls
+/// back to scratch, never to an approximation.
+pub(crate) fn monotone_extension(old: &Stg, new: &Stg) -> bool {
+    if old.num_signals() != new.num_signals() {
+        return false;
+    }
+    for (a, b) in old.signals().zip(new.signals()) {
+        if old.signal_name(a) != new.signal_name(b) || old.signal_kind(a) != new.signal_kind(b) {
+            return false;
+        }
+    }
+    let (old_net, new_net) = (old.net(), new.net());
+    let new_places: HashMap<&str, PlaceId> =
+        new_net.places().map(|p| (new_net.place_name(p), p)).collect();
+    for p in old_net.places() {
+        let Some(&q) = new_places.get(old_net.place_name(p)) else {
+            return false;
+        };
+        if old_net.initial_tokens(p) != new_net.initial_tokens(q) {
+            return false;
+        }
+    }
+    let new_by_label: HashMap<String, TransId> =
+        new_net.transitions().map(|t| (new.label_string(t), t)).collect();
+    let arc_names = |net: &PetriNet, arcs: &[(PlaceId, u32)]| -> Vec<(String, u32)> {
+        let mut v: Vec<(String, u32)> =
+            arcs.iter().map(|&(p, w)| (net.place_name(p).to_string(), w)).collect();
+        v.sort();
+        v
+    };
+    for t in old_net.transitions() {
+        let Some(&u) = new_by_label.get(&old.label_string(t)) else {
+            return false;
+        };
+        if arc_names(old_net, old_net.preset(t)) != arc_names(new_net, new_net.preset(u))
+            || arc_names(old_net, old_net.postset(t)) != arc_names(new_net, new_net.postset(u))
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// The place names of `old` — the complement (against `new`) is what an
+/// incremental seed must pin to the initial marking.
+pub(crate) fn place_names(stg: &Stg) -> HashSet<String> {
+    stg.net().places().map(|p| stg.net().place_name(p).to_string()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Report (de)serialization: a hand-rolled line format. Loading is
+// all-or-nothing — any surprise yields `None`, which the store treats as
+// a cache miss.
+// ---------------------------------------------------------------------------
+
+/// Percent-escapes the separator characters of the report format.
+fn enc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '|' => out.push_str("%7C"),
+            ',' => out.push_str("%2C"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn dec(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = s.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(hex, 16).ok()? as char);
+            i += 3;
+        } else {
+            let c = s[i..].chars().next()?;
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    Some(out)
+}
+
+fn wit_str(w: &StateWitness) -> String {
+    let places: Vec<String> = w.marked_places.iter().map(|p| enc(p)).collect();
+    format!("{}|{}", enc(&w.code), places.join(","))
+}
+
+fn wit_parse(s: &str) -> Option<StateWitness> {
+    let (code, places) = s.split_once('|')?;
+    let marked_places =
+        places.split(',').filter(|p| !p.is_empty()).map(dec).collect::<Option<Vec<String>>>()?;
+    Some(StateWitness { marked_places, code: dec(code)? })
+}
+
+fn opt_wit_str(w: &Option<StateWitness>) -> String {
+    match w {
+        Some(w) => wit_str(w),
+        None => "-".to_string(),
+    }
+}
+
+fn opt_wit_parse(s: &str) -> Option<Option<StateWitness>> {
+    if s == "-" {
+        Some(None)
+    } else {
+        wit_parse(s).map(Some)
+    }
+}
+
+fn bool_str(b: bool) -> &'static str {
+    if b {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+fn bool_parse(s: &str) -> Option<bool> {
+    match s {
+        "1" => Some(true),
+        "0" => Some(false),
+        _ => None,
+    }
+}
+
+fn verdict_str(v: Implementability) -> &'static str {
+    match v {
+        Implementability::Gate => "gate",
+        Implementability::InputOutput => "io",
+        Implementability::SpeedIndependent => "si",
+        Implementability::NotImplementable => "not",
+    }
+}
+
+fn verdict_parse(s: &str) -> Option<Implementability> {
+    match s {
+        "gate" => Some(Implementability::Gate),
+        "io" => Some(Implementability::InputOutput),
+        "si" => Some(Implementability::SpeedIndependent),
+        "not" => Some(Implementability::NotImplementable),
+        _ => None,
+    }
+}
+
+/// Renders a report in the versioned line format. `f64` fields use
+/// Rust's shortest round-trip formatting, so loads are bit-exact.
+pub(crate) fn report_to_text(r: &SymbolicReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str("stgcheck-report-v1\n");
+    let _ = writeln!(out, "name {}", enc(&r.name));
+    let _ = writeln!(out, "engine {}", enc(&r.engine));
+    let _ = writeln!(out, "dims {} {}", r.places, r.signals);
+    let _ = writeln!(out, "states {}", r.num_states);
+    let _ = writeln!(out, "bdd {} {} {}", r.bdd_peak, r.sift_passes, r.bdd_final);
+    let t = &r.traversal;
+    let _ = writeln!(
+        out,
+        "trav {} {} {} {} {} {} {}",
+        t.iterations,
+        t.peak_nodes,
+        t.worker_peak_nodes,
+        t.final_nodes,
+        t.sift_passes,
+        t.num_states,
+        t.seconds
+    );
+    let _ = writeln!(out, "code {}", r.initial_code.0);
+    let _ = writeln!(out, "deadlock {}", opt_wit_str(&r.deadlock));
+    for v in &r.safety {
+        let _ = writeln!(
+            out,
+            "safety {} {} {}",
+            v.transition.index(),
+            v.place.index(),
+            wit_str(&v.witness)
+        );
+    }
+    for v in &r.consistency {
+        let pol = if v.polarity == Polarity::Rise { "R" } else { "F" };
+        let _ = writeln!(out, "consistency {} {pol} {}", v.signal.index(), wit_str(&v.witness));
+    }
+    for v in &r.persistency {
+        let _ = writeln!(
+            out,
+            "persistency {} {} {}",
+            v.fired.index(),
+            v.disabled.index(),
+            wit_str(&v.witness)
+        );
+    }
+    for v in &r.transition_persistency {
+        let _ = writeln!(
+            out,
+            "transpers {} {} {}",
+            v.fired.index(),
+            v.disabled.index(),
+            wit_str(&v.witness)
+        );
+    }
+    for v in &r.fake_violations {
+        let _ = writeln!(
+            out,
+            "fake {} {} {} {} {}",
+            v.t1.index(),
+            v.t2.index(),
+            bool_str(v.co_enabled),
+            bool_str(v.fake_1_by_2),
+            bool_str(v.fake_2_by_1)
+        );
+    }
+    let _ = writeln!(out, "deterministic {}", bool_str(r.deterministic));
+    for a in &r.csc {
+        let _ = writeln!(
+            out,
+            "csc {} {} {}",
+            a.signal.index(),
+            bool_str(a.holds),
+            opt_wit_str(&a.witness)
+        );
+    }
+    for s in &r.irreducible_signals {
+        let _ = writeln!(out, "irreducible {}", s.index());
+    }
+    let tm = &r.times;
+    let _ = writeln!(
+        out,
+        "times {} {} {} {} {}",
+        tm.traversal_consistency, tm.persistency, tm.commutativity, tm.csc, tm.total
+    );
+    let _ = writeln!(out, "verdict {}", verdict_str(r.verdict));
+    out.push_str("end\n");
+    out
+}
+
+/// Parses [`report_to_text`] output; `None` on any malformation.
+///
+/// Loaded [`CscAnalysis`] entries carry a *placeholder* `contradictory`
+/// BDD — `FALSE` when CSC holds (which is exact: `holds` is defined as
+/// the contradictory set being empty) and `TRUE` otherwise, preserving
+/// the `holds ⇔ contradictory.is_false()` invariant without a manager to
+/// rebuild the real set in.
+pub(crate) fn report_from_text(text: &str) -> Option<SymbolicReport> {
+    let mut lines = text.lines();
+    if lines.next()? != "stgcheck-report-v1" {
+        return None;
+    }
+    let mut name = None;
+    let mut engine = None;
+    let mut dims = None;
+    let mut states = None;
+    let mut bdd = None;
+    let mut trav = None;
+    let mut code = None;
+    let mut deadlock = None;
+    let mut safety = Vec::new();
+    let mut consistency = Vec::new();
+    let mut persistency = Vec::new();
+    let mut transition_persistency = Vec::new();
+    let mut fake_violations = Vec::new();
+    let mut deterministic = None;
+    let mut csc = Vec::new();
+    let mut irreducible_signals = Vec::new();
+    let mut times = None;
+    let mut verdict = None;
+    let mut complete = false;
+    for line in lines {
+        if complete {
+            return None; // trailing junk after `end`
+        }
+        let mut parts = line.split(' ');
+        let tag = parts.next()?;
+        let rest: Vec<&str> = parts.collect();
+        match (tag, rest.as_slice()) {
+            ("name", [n]) => name = Some(dec(n)?),
+            ("engine", [e]) => engine = Some(dec(e)?),
+            ("dims", [p, s]) => dims = Some((p.parse().ok()?, s.parse().ok()?)),
+            ("states", [n]) => states = Some(n.parse::<u128>().ok()?),
+            ("bdd", [a, b, c]) => {
+                bdd = Some((a.parse().ok()?, b.parse().ok()?, c.parse().ok()?));
+            }
+            ("trav", [a, b, c, d, e, f, g]) => {
+                trav = Some(TraversalStats {
+                    iterations: a.parse().ok()?,
+                    peak_nodes: b.parse().ok()?,
+                    worker_peak_nodes: c.parse().ok()?,
+                    final_nodes: d.parse().ok()?,
+                    sift_passes: e.parse().ok()?,
+                    num_states: f.parse().ok()?,
+                    seconds: g.parse().ok()?,
+                });
+            }
+            ("code", [n]) => code = Some(Code(n.parse().ok()?)),
+            ("deadlock", [w]) => deadlock = Some(opt_wit_parse(w)?),
+            ("safety", [t, p, w]) => safety.push(SafetyViolation {
+                transition: TransId::from_index(t.parse().ok()?),
+                place: PlaceId::from_index(p.parse().ok()?),
+                witness: wit_parse(w)?,
+            }),
+            ("consistency", [s, pol, w]) => consistency.push(ConsistencyViolation {
+                signal: SignalId::from_index(s.parse().ok()?),
+                polarity: match *pol {
+                    "R" => Polarity::Rise,
+                    "F" => Polarity::Fall,
+                    _ => return None,
+                },
+                witness: wit_parse(w)?,
+            }),
+            ("persistency", [t, s, w]) => persistency.push(SymSignalViolation {
+                fired: TransId::from_index(t.parse().ok()?),
+                disabled: SignalId::from_index(s.parse().ok()?),
+                witness: wit_parse(w)?,
+            }),
+            ("transpers", [t, u, w]) => transition_persistency.push(SymTransViolation {
+                fired: TransId::from_index(t.parse().ok()?),
+                disabled: TransId::from_index(u.parse().ok()?),
+                witness: wit_parse(w)?,
+            }),
+            ("fake", [t1, t2, co, f12, f21]) => fake_violations.push(FakeConflict {
+                t1: TransId::from_index(t1.parse().ok()?),
+                t2: TransId::from_index(t2.parse().ok()?),
+                co_enabled: bool_parse(co)?,
+                fake_1_by_2: bool_parse(f12)?,
+                fake_2_by_1: bool_parse(f21)?,
+            }),
+            ("deterministic", [b]) => deterministic = Some(bool_parse(b)?),
+            ("csc", [s, h, w]) => {
+                let holds = bool_parse(h)?;
+                csc.push(CscAnalysis {
+                    signal: SignalId::from_index(s.parse().ok()?),
+                    holds,
+                    contradictory: if holds { Bdd::FALSE } else { Bdd::TRUE },
+                    witness: opt_wit_parse(w)?,
+                });
+            }
+            ("irreducible", [s]) => {
+                irreducible_signals.push(SignalId::from_index(s.parse().ok()?));
+            }
+            ("times", [a, b, c, d, e]) => {
+                times = Some(PhaseTimes {
+                    traversal_consistency: a.parse().ok()?,
+                    persistency: b.parse().ok()?,
+                    commutativity: c.parse().ok()?,
+                    csc: d.parse().ok()?,
+                    total: e.parse().ok()?,
+                });
+            }
+            ("verdict", [v]) => verdict = Some(verdict_parse(v)?),
+            ("end", []) => complete = true,
+            _ => return None,
+        }
+    }
+    if !complete {
+        return None; // truncated
+    }
+    let (places, signals) = dims?;
+    let (bdd_peak, sift_passes, bdd_final) = bdd?;
+    Some(SymbolicReport {
+        name: name?,
+        engine: engine?,
+        places,
+        signals,
+        num_states: states?,
+        bdd_peak,
+        sift_passes,
+        bdd_final,
+        traversal: trav?,
+        initial_code: code?,
+        deadlock: deadlock?,
+        safety,
+        consistency,
+        persistency,
+        transition_persistency,
+        fake_violations,
+        deterministic: deterministic?,
+        csc,
+        irreducible_signals,
+        times: times?,
+        verdict: verdict?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgcheck_stg::gen;
+
+    fn roundtrip(stg: &Stg) {
+        let report = crate::verify(stg, VerifyOptions::default()).unwrap();
+        let text = report_to_text(&report);
+        let back = report_from_text(&text).expect("round-trip parse");
+        // Everything the text format carries must survive bit-exactly.
+        assert_eq!(back.name, report.name);
+        assert_eq!(back.engine, report.engine);
+        assert_eq!(back.num_states, report.num_states);
+        assert_eq!(back.verdict, report.verdict);
+        assert_eq!(back.initial_code, report.initial_code);
+        assert_eq!(back.times.total, report.times.total);
+        assert_eq!(back.traversal.seconds, report.traversal.seconds);
+        assert_eq!(back.safety.len(), report.safety.len());
+        assert_eq!(back.deterministic, report.deterministic);
+        assert_eq!(back.csc.len(), report.csc.len());
+        for (a, b) in back.csc.iter().zip(&report.csc) {
+            assert_eq!(a.holds, b.holds);
+            assert_eq!(a.witness, b.witness);
+            assert_eq!(a.holds, a.contradictory.is_false(), "placeholder invariant");
+        }
+        assert_eq!(back.irreducible_signals, report.irreducible_signals);
+        // And re-rendering is a fixpoint.
+        assert_eq!(report_to_text(&back), text);
+    }
+
+    #[test]
+    fn report_text_round_trips() {
+        roundtrip(&gen::muller_pipeline(4));
+        roundtrip(&gen::vme_read()); // CSC violations + witnesses
+        roundtrip(&gen::nonpersistent_stg()); // persistency violations
+        roundtrip(&gen::unsafe_stg()); // safety violations
+    }
+
+    #[test]
+    fn malformed_reports_are_misses() {
+        let report = crate::verify(&gen::muller_pipeline(3), VerifyOptions::default()).unwrap();
+        let text = report_to_text(&report);
+        assert!(report_from_text(&text).is_some());
+        // Truncations (drop the `end` trailer or cut mid-line) are misses.
+        for cut in [text.len() - 4, text.len() / 2, 10, 0] {
+            assert!(report_from_text(&text[..cut]).is_none(), "cut at {cut}");
+        }
+        // Unknown tags, bad version and trailing junk are misses.
+        assert!(report_from_text(&text.replace("verdict", "verdikt")).is_none());
+        assert!(report_from_text(&text.replace("report-v1", "report-v9")).is_none());
+        assert!(report_from_text(&format!("{text}junk\n")).is_none());
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in ["plain", "with space", "a|b,c", "100%", "tab\there", "nl\nthere", ""] {
+            assert_eq!(dec(&enc(s)).as_deref(), Some(s));
+        }
+        assert_eq!(dec("%zz"), None);
+        assert_eq!(dec("%2"), None);
+    }
+
+    #[test]
+    fn monotone_extension_accepts_pure_additions() {
+        // muller_pipeline(3) → muller_pipeline(4) is NOT monotone (the
+        // interface grows), but a net against itself trivially is.
+        let a = gen::muller_pipeline(3);
+        assert!(monotone_extension(&a, &a));
+        assert!(!monotone_extension(&a, &gen::muller_pipeline(4)));
+        // Different initial marking breaks it.
+        let b = gen::mutex_element();
+        assert!(monotone_extension(&b, &b));
+        assert!(!monotone_extension(&a, &b));
+    }
+
+    #[test]
+    fn cache_keys_separate_options() {
+        let base = VerifyOptions::default();
+        let k0 = cache_key(7, &base);
+        assert!(k0.starts_with("00000000000000000000000000000007-"));
+        let mut sift = base;
+        sift.reorder = ReorderMode::Sift;
+        assert_ne!(cache_key(7, &sift), k0);
+        let mut cl = base;
+        cl.engine.kind = EngineKind::Clustered;
+        assert_ne!(cache_key(7, &cl), k0);
+        assert_ne!(cache_key(8, &base), k0);
+        // The latest pointer survives hostile names.
+        let p = latest_pointer("weird net/name", &k0);
+        assert!(p.starts_with("latest-weird_net_name-"));
+        assert!(!p.contains('/'));
+    }
+}

@@ -13,7 +13,7 @@ use stgcheck_petri::TransId;
 use stgcheck_stg::Code;
 
 use crate::encode::SymbolicStg;
-use crate::engine::{run_fixpoint, EngineKind, EngineOptions, FixpointSpec};
+use crate::engine::{run_fixpoint, EngineKind, EngineOptions, FixpointCtl, FixpointSpec};
 use crate::traverse::{TraversalStats, TraversalStrategy};
 
 /// A traversal that retained its frontier rings for trace extraction.
@@ -43,7 +43,7 @@ impl SymbolicStg<'_> {
             ..*self.engine()
         };
         let spec = FixpointSpec { record_rings: true, ..FixpointSpec::forward_full() };
-        let out = run_fixpoint(self, &opts, &spec, &transitions, init);
+        let out = run_fixpoint(self, &opts, &spec, &transitions, init, &mut FixpointCtl::default());
         let stats = TraversalStats {
             iterations: out.iterations,
             peak_nodes: self.manager().peak_live_nodes(),

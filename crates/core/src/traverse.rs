@@ -9,7 +9,7 @@ use stgcheck_bdd::Bdd;
 use stgcheck_stg::{Code, Polarity, SgError, SgOptions, SignalId};
 
 use crate::encode::SymbolicStg;
-use crate::engine::{run_fixpoint, EngineKind, EngineOptions, FixpointSpec};
+use crate::engine::{run_fixpoint, EngineKind, EngineOptions, FixpointCtl, FixpointSpec};
 
 /// Frontier strategy for the fixed-point loop.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -102,12 +102,26 @@ impl SymbolicStg<'_> {
 
     /// Runs the Fig. 5 traversal with an explicit engine configuration.
     pub fn traverse_with_engine(&mut self, code: Code, opts: &EngineOptions) -> Traversal {
+        self.traverse_with_engine_ctl(code, opts, &mut FixpointCtl::default()).0
+    }
+
+    /// [`SymbolicStg::traverse_with_engine`] with checkpoint/resume
+    /// control threaded through to the fixed-point loop. Returns the
+    /// traversal plus whether the loop was interrupted by the control's
+    /// abort hook (in which case `reached` and the stats describe the
+    /// partial traversal captured in the final snapshot).
+    pub(crate) fn traverse_with_engine_ctl(
+        &mut self,
+        code: Code,
+        opts: &EngineOptions,
+        ctl: &mut FixpointCtl,
+    ) -> (Traversal, bool) {
         let start = Instant::now();
         self.manager_mut().reset_peak();
         let sift_runs_before = self.manager().stats().sift_runs;
         let init = self.initial_state(code);
         let transitions: Vec<_> = self.stg().net().transitions().collect();
-        let out = run_fixpoint(self, opts, &FixpointSpec::forward_full(), &transitions, init);
+        let out = run_fixpoint(self, opts, &FixpointSpec::forward_full(), &transitions, init, ctl);
         let stats = TraversalStats {
             iterations: out.iterations,
             peak_nodes: self.manager().peak_live_nodes(),
@@ -117,7 +131,7 @@ impl SymbolicStg<'_> {
             num_states: self.manager().sat_count(out.reached),
             seconds: start.elapsed().as_secs_f64(),
         };
-        Traversal { reached: out.reached, stats }
+        (Traversal { reached: out.reached, stats }, out.interrupted)
     }
 
     /// Marking-only traversal with the edges of `frozen` signals removed —
@@ -143,7 +157,15 @@ impl SymbolicStg<'_> {
             })
             .collect();
         let opts = *self.engine();
-        run_fixpoint(self, &opts, &FixpointSpec::forward_markings(), &transitions, init).reached
+        run_fixpoint(
+            self,
+            &opts,
+            &FixpointSpec::forward_markings(),
+            &transitions,
+            init,
+            &mut FixpointCtl::default(),
+        )
+        .reached
     }
 
     /// Symbolic initial-code inference (paper Section 5.1): for each

@@ -11,17 +11,20 @@
 //! 4. **CSC** — Complete State Coding per non-input signal and
 //!    CSC-reducibility via the frozen-input traversal.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use stgcheck_bdd::{BddCheckpoint, Literal};
 use stgcheck_stg::{Code, FakeConflict, Implementability, PersistencyPolicy, SgError, Stg};
 
 use crate::consistency::ConsistencyViolation;
 use crate::csc::CscAnalysis;
 use crate::encode::{SymbolicStg, VarOrder};
-use crate::engine::{EngineOptions, ReorderMode};
+use crate::engine::{EngineOptions, FixpointCtl, ReorderMode, ResumeState};
 use crate::persistency::{SymSignalViolation, SymTransViolation};
 use crate::safety::SafetyViolation;
-use crate::traverse::{format_states, TraversalStats};
+use crate::store::{cache_key, monotone_extension, place_names, CacheStatus, ResultStore};
+use crate::traverse::{format_states, Traversal, TraversalStats};
 
 /// Options for [`verify`].
 #[derive(Copy, Clone, Debug, Default)]
@@ -180,12 +183,15 @@ impl SymbolicReport {
 pub enum VerifyError {
     /// No initial code and inference failed.
     InitialCode(SgError),
+    /// The persistent result store could not be opened or written.
+    Store(String),
 }
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VerifyError::InitialCode(e) => write!(f, "cannot determine initial code: {e}"),
+            VerifyError::Store(e) => write!(f, "result store: {e}"),
         }
     }
 }
@@ -202,21 +208,45 @@ impl std::error::Error for VerifyError {}
 pub fn verify(stg: &Stg, opts: VerifyOptions) -> Result<SymbolicReport, VerifyError> {
     let total_start = Instant::now();
     let mut sym = SymbolicStg::new(stg, opts.order);
-    let mut engine = opts.engine;
-    if opts.reorder != ReorderMode::None {
-        engine.reorder = opts.reorder;
-    }
+    let engine = effective_engine(&opts);
     sym.set_engine(engine);
 
     // Phase 1: traversal + consistency (+ safeness).
     let t0 = Instant::now();
     let initial_code = sym.effective_initial_code().map_err(VerifyError::InitialCode)?;
     let traversal = sym.traverse_engine(initial_code);
+    Ok(finish_verification(&mut sym, &opts, &engine, initial_code, traversal, total_start, t0))
+}
+
+/// The engine options [`verify`] actually runs: [`VerifyOptions::reorder`]
+/// overrides [`EngineOptions::reorder`] when set.
+fn effective_engine(opts: &VerifyOptions) -> EngineOptions {
+    let mut engine = opts.engine;
+    if opts.reorder != ReorderMode::None {
+        engine.reorder = opts.reorder;
+    }
+    engine
+}
+
+/// Everything after the main traversal: the rest of phase 1 (consistency,
+/// safeness, deadlock), phases 2–4, the verdict and the report assembly.
+/// Shared by [`verify`] and [`verify_persistent`] so an incremental or
+/// resumed traversal feeds the identical checking pipeline.
+fn finish_verification(
+    sym: &mut SymbolicStg<'_>,
+    opts: &VerifyOptions,
+    engine: &EngineOptions,
+    initial_code: Code,
+    traversal: Traversal,
+    total_start: Instant,
+    phase1_start: Instant,
+) -> SymbolicReport {
+    let stg = sym.stg();
     let reached = traversal.reached;
     let consistency = sym.check_consistency(reached);
     let safety = sym.check_safeness(reached);
     let deadlock = sym.check_deadlock(reached);
-    let t_tc = t0.elapsed().as_secs_f64();
+    let t_tc = phase1_start.elapsed().as_secs_f64();
 
     // Phase 2: persistency. Fed the full reached set so violation
     // witnesses carry signal codes; the marking projection is still used
@@ -264,7 +294,7 @@ pub fn verify(stg: &Stg, opts: VerifyOptions) -> Result<SymbolicReport, VerifyEr
     };
 
     let total = total_start.elapsed().as_secs_f64();
-    Ok(SymbolicReport {
+    SymbolicReport {
         name: stg.name().to_string(),
         engine: engine.kind.to_string(),
         places: stg.net().num_places(),
@@ -292,7 +322,250 @@ pub fn verify(stg: &Stg, opts: VerifyOptions) -> Result<SymbolicReport, VerifyEr
             total,
         },
         verdict,
-    })
+    }
+}
+
+/// Persistence knobs for [`verify_persistent`]: the `--cache-dir`,
+/// `--checkpoint`/`--checkpoint-every`/`--resume` and `--incremental`
+/// family. The default disables everything, making
+/// [`verify_persistent`] equivalent to [`verify`].
+#[derive(Clone, Debug, Default)]
+pub struct PersistOptions {
+    /// Content-addressed result cache directory (`--cache-dir`).
+    pub cache_dir: Option<PathBuf>,
+    /// Traversal checkpoint file (`--checkpoint`).
+    pub checkpoint: Option<PathBuf>,
+    /// Snapshot cadence in outer iterations; `0` snapshots only when the
+    /// run is aborted (`--checkpoint-every`).
+    pub checkpoint_every: usize,
+    /// Seed the traversal from the checkpoint file when it exists and
+    /// matches this net's content hash (`--resume`).
+    pub resume: bool,
+    /// Seed the traversal from the cached reached set of a monotone
+    /// predecessor net (`--incremental`). Falls back to scratch — never
+    /// to an approximation — when the previous version is not a pure
+    /// extension.
+    pub incremental: bool,
+    /// Interrupt the traversal (writing a final checkpoint) after this
+    /// many outer iterations; `0` runs to convergence. Test hook behind
+    /// `--abort-after`.
+    pub abort_after: usize,
+}
+
+/// Outcome of [`verify_persistent`].
+#[derive(Clone, Debug)]
+pub struct VerifyRun {
+    /// The verification report; `None` when the run was interrupted by
+    /// [`PersistOptions::abort_after`] before the fixpoint converged.
+    pub report: Option<SymbolicReport>,
+    /// Where the result came from.
+    pub cache: CacheStatus,
+    /// `true` when the traversal stopped early; a checkpoint (if
+    /// configured) was written and a later `--resume` run continues it.
+    pub interrupted: bool,
+    /// Human-readable notes: resume/fallback decisions and non-fatal I/O
+    /// problems.
+    pub notes: Vec<String>,
+}
+
+/// [`verify`] with a persistence layer around the traversal: a warm
+/// cache hit returns the stored report without running any fixpoint;
+/// otherwise the traversal may be seeded from an interrupted run's
+/// checkpoint (`resume`) or from a monotone predecessor's reached set
+/// (`incremental`), and the completed result is written back to the
+/// store.
+///
+/// # Errors
+///
+/// [`VerifyError::InitialCode`] as for [`verify`];
+/// [`VerifyError::Store`] when the cache directory cannot be created.
+/// Unusable checkpoints or non-monotone edits are *not* errors — they
+/// degrade to a scratch run with a note in [`VerifyRun::notes`].
+pub fn verify_persistent(
+    stg: &Stg,
+    opts: VerifyOptions,
+    persist: &PersistOptions,
+) -> Result<VerifyRun, VerifyError> {
+    let total_start = Instant::now();
+    let store = match &persist.cache_dir {
+        Some(dir) => Some(
+            ResultStore::open(dir)
+                .map_err(|e| VerifyError::Store(format!("cannot open {}: {e}", dir.display())))?,
+        ),
+        None => None,
+    };
+    let hash = stg.content_hash();
+    let key = cache_key(hash, &opts);
+    let mut notes = Vec::new();
+    if let Some(store) = &store {
+        if let Some(mut report) = store.load_report(&key) {
+            // The content hash ignores the model name; report the name
+            // the caller used, not the one cached under.
+            report.name = stg.name().to_string();
+            return Ok(VerifyRun {
+                report: Some(report),
+                cache: CacheStatus::Warm,
+                interrupted: false,
+                notes,
+            });
+        }
+    }
+
+    let mut sym = SymbolicStg::new(stg, opts.order);
+    let engine = effective_engine(&opts);
+    sym.set_engine(engine);
+    let phase1_start = Instant::now();
+    let initial_code = sym.effective_initial_code().map_err(VerifyError::InitialCode)?;
+    let mut ctl = FixpointCtl {
+        every: persist.checkpoint_every,
+        path: persist.checkpoint.clone(),
+        net_hash: hash,
+        abort_after: persist.abort_after,
+        ..FixpointCtl::default()
+    };
+    let mut cache = if store.is_some() { CacheStatus::Cold } else { CacheStatus::Off };
+
+    if persist.resume {
+        if let Some(path) = &persist.checkpoint {
+            match load_resume(path, hash, &mut sym) {
+                Ok(Some(resume)) => {
+                    notes.push(format!(
+                        "resumed from checkpoint at iteration {}",
+                        resume.iterations
+                    ));
+                    ctl.resume = Some(resume);
+                }
+                Ok(None) => notes.push("no checkpoint found; starting fresh".to_string()),
+                Err(e) => notes.push(format!("checkpoint unusable ({e}); starting from scratch")),
+            }
+        }
+    }
+    if ctl.resume.is_none() && persist.incremental {
+        if let Some(store) = &store {
+            match incremental_seed(store, stg, &key, initial_code, &mut sym) {
+                Ok(Some((resume, old_states))) => {
+                    notes.push(format!("seeded from a monotone predecessor ({old_states} states)"));
+                    ctl.resume = Some(resume);
+                    cache = CacheStatus::Incremental;
+                }
+                Ok(None) => {
+                    notes.push("no cached predecessor; running from scratch".to_string());
+                }
+                Err(e) => {
+                    notes.push(format!("incremental seed unavailable ({e}); running from scratch"));
+                }
+            }
+        }
+    }
+
+    let (traversal, interrupted) = sym.traverse_with_engine_ctl(initial_code, &engine, &mut ctl);
+    if let Some(err) = ctl.io_error.take() {
+        notes.push(format!("checkpoint write failed: {err}"));
+    }
+    if interrupted {
+        return Ok(VerifyRun { report: None, cache, interrupted: true, notes });
+    }
+
+    let reached = traversal.reached;
+    let report = finish_verification(
+        &mut sym,
+        &opts,
+        &engine,
+        initial_code,
+        traversal,
+        total_start,
+        phase1_start,
+    );
+    if let Some(store) = &store {
+        let iterations = report.traversal.iterations as u64;
+        let ck = sym.export_checkpoint(
+            hash,
+            &[("reached", reached)],
+            &[("iterations".to_string(), iterations)],
+        );
+        if let Err(e) = store.store_result(&key, hash, stg, &report, &ck) {
+            notes.push(format!("could not store result: {e}"));
+        }
+    }
+    if let Some(path) = &persist.checkpoint {
+        // The run converged: the mid-run checkpoint is obsolete (and
+        // would otherwise short-circuit a future --resume of an edited
+        // net into a stale-but-matching state).
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(VerifyRun { report: Some(report), cache, interrupted: false, notes })
+}
+
+/// Loads a traversal checkpoint for `--resume`. A missing file is
+/// `Ok(None)` (fresh start, not an anomaly); everything else that
+/// prevents a resume is an `Err` message for the notes.
+fn load_resume(
+    path: &Path,
+    hash: u128,
+    sym: &mut SymbolicStg<'_>,
+) -> Result<Option<ResumeState>, String> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let ck = BddCheckpoint::from_bytes(&bytes).map_err(|e| format!("corrupt checkpoint: {e}"))?;
+    if ck.net_hash != hash {
+        return Err("checkpoint belongs to a different net".to_string());
+    }
+    let roots = sym.import_checkpoint(&ck)?;
+    let find = |name: &str| roots.iter().find(|(n, _)| n == name).map(|(_, b)| *b);
+    let reached = find("reached").ok_or("checkpoint has no `reached` root")?;
+    let frontier = find("frontier").unwrap_or(reached);
+    let iterations = ck.meta_value("iterations").unwrap_or(0) as usize;
+    Ok(Some(ResumeState { reached, frontier, iterations }))
+}
+
+/// Builds the incremental-reverification seed: the predecessor's reached
+/// set with every *new* place pinned to its initial marking. Only sound
+/// when the edit is a monotone extension (see
+/// [`monotone_extension`]) and the effective initial code is unchanged —
+/// anything else is an `Err` and the caller runs from scratch.
+fn incremental_seed(
+    store: &ResultStore,
+    stg: &Stg,
+    key: &str,
+    initial_code: Code,
+    sym: &mut SymbolicStg<'_>,
+) -> Result<Option<(ResumeState, u128)>, String> {
+    let Some((old, old_hash)) = store.load_predecessor(stg.name(), key) else {
+        return Ok(None);
+    };
+    if !monotone_extension(&old, stg) {
+        return Err("the previous version is not a monotone restriction of this net".to_string());
+    }
+    let old_key = format!("{old_hash:032x}{}", &key[32..]);
+    let old_report = store.load_report(&old_key).ok_or("predecessor report missing")?;
+    if old_report.initial_code != initial_code {
+        return Err("the effective initial code changed".to_string());
+    }
+    let ck = store.load_reached(&old_key).ok_or("predecessor reached set missing")?;
+    if ck.net_hash != old_hash {
+        return Err("predecessor checkpoint carries a mismatched hash".to_string());
+    }
+    let roots = sym.import_checkpoint(&ck)?;
+    let old_reached = roots
+        .iter()
+        .find(|(n, _)| n == "reached")
+        .map(|(_, b)| *b)
+        .ok_or("predecessor checkpoint has no `reached` root")?;
+    let old_places = place_names(&old);
+    let net = stg.net();
+    let mut pins: Vec<Literal> = Vec::new();
+    for p in net.places() {
+        if !old_places.contains(net.place_name(p)) {
+            pins.push(Literal::new(sym.place_var(p), net.initial_tokens(p) > 0));
+        }
+    }
+    let mgr = sym.manager_mut();
+    let pin_cube = mgr.cube(&pins);
+    let seed = mgr.and(old_reached, pin_cube);
+    Ok(Some((ResumeState { reached: seed, frontier: seed, iterations: 0 }, old_report.num_states)))
 }
 
 #[cfg(test)]

@@ -237,6 +237,115 @@ impl Stg {
     pub fn parse_label(&self, text: &str) -> Result<TransLabel, StgError> {
         parse_label_with(text, &self.name_to_signal)
     }
+
+    /// Content-addressed identity of the net: a 128-bit hash over a
+    /// canonical description of its structure — signals (name + kind,
+    /// sorted by name), the initial code (as per-signal bits in that
+    /// sorted order), transitions (by canonical label), and the places
+    /// as an anonymous multiset of `(tokens, producers, consumers)`
+    /// records with arc weights.
+    ///
+    /// The hash is computed from the *parsed* structure, so it is stable
+    /// under whitespace, comments, and declaration reordering of the `.g`
+    /// source. The model name and place names are deliberately excluded:
+    /// they carry no behaviour (implicit places are anonymous routing
+    /// nodes, and verdicts don't depend on what a place is called). Equal
+    /// hashes mean structurally identical nets (modulo the 128-bit
+    /// collision bound) — the contract the result cache in
+    /// `stgcheck-core` relies on.
+    pub fn content_hash(&self) -> u128 {
+        let desc = self.canonical_descriptor();
+        // Two FNV-1a-64 passes with independent offset bases give the
+        // 128-bit key without pulling in a hashing dependency.
+        let lo = fnv1a64(0xcbf2_9ce4_8422_2325, desc.as_bytes());
+        let hi = fnv1a64(0x9e37_79b9_7f4a_7c15 ^ desc.len() as u64, desc.as_bytes());
+        ((hi as u128) << 64) | lo as u128
+    }
+
+    /// The canonical structural description hashed by
+    /// [`Stg::content_hash`]. Names are length-prefixed so that no
+    /// concatenation of fields can collide with another net's fields.
+    fn canonical_descriptor(&self) -> String {
+        use std::fmt::Write as _;
+        fn canon(s: &str) -> String {
+            format!("{}:{s}", s.len())
+        }
+        let mut out = String::from("stg-v1;");
+        let mut sigs: Vec<SignalId> = self.signals().collect();
+        sigs.sort_by(|a, b| self.signal_name(*a).cmp(self.signal_name(*b)));
+        out.push_str("signals;");
+        for &s in &sigs {
+            let kind = match self.signal_kind(s) {
+                SignalKind::Input => 'i',
+                SignalKind::Output => 'o',
+                SignalKind::Internal => 'n',
+            };
+            let _ = write!(out, "{}{kind};", canon(self.signal_name(s)));
+        }
+        out.push_str("init;");
+        match self.initial_code {
+            None => out.push_str("absent;"),
+            Some(c) => {
+                for &s in &sigs {
+                    out.push(if c.get(s) { '1' } else { '0' });
+                }
+                out.push(';');
+            }
+        }
+        let mut trans: Vec<String> = self.net.transitions().map(|t| self.label_string(t)).collect();
+        trans.sort();
+        out.push_str("transitions;");
+        for t in &trans {
+            let _ = write!(out, "{};", canon(t));
+        }
+        // Places are identified purely by their arc structure; the record
+        // multiset is order-insensitive by sorting.
+        let mut recs: Vec<String> = Vec::new();
+        for p in self.net.places() {
+            let weight_in = |t: TransId| {
+                self.net.postset(t).iter().find(|&&(q, _)| q == p).map_or(0, |&(_, w)| w)
+            };
+            let weight_out = |t: TransId| {
+                self.net.preset(t).iter().find(|&&(q, _)| q == p).map_or(0, |&(_, w)| w)
+            };
+            let mut producers: Vec<String> = self
+                .net
+                .place_preset(p)
+                .iter()
+                .map(|&t| format!("{}*{}", canon(&self.label_string(t)), weight_in(t)))
+                .collect();
+            producers.sort();
+            let mut consumers: Vec<String> = self
+                .net
+                .place_postset(p)
+                .iter()
+                .map(|&t| format!("{}*{}", canon(&self.label_string(t)), weight_out(t)))
+                .collect();
+            consumers.sort();
+            recs.push(format!(
+                "{}<{}>[{}]",
+                self.net.initial_tokens(p),
+                producers.join(","),
+                consumers.join(",")
+            ));
+        }
+        recs.sort();
+        out.push_str("places;");
+        for r in &recs {
+            let _ = write!(out, "{};", canon(r));
+        }
+        out
+    }
+}
+
+/// FNV-1a over `bytes` starting from the given offset basis.
+fn fnv1a64(offset: u64, bytes: &[u8]) -> u64 {
+    let mut h = offset;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Splits `sig+/2` into `(signal name, polarity, instance)`.
@@ -610,5 +719,114 @@ mod tests {
         let mutex = stg.net().place_by_name("mutex").unwrap();
         assert_eq!(stg.net().place_postset(mutex).len(), 2);
         assert_eq!(stg.net().initial_tokens(mutex), 1);
+    }
+
+    const HASH_BASE: &str = "\
+.model hs
+.inputs r
+.outputs a
+.graph
+r+ a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.end
+";
+
+    #[test]
+    fn content_hash_ignores_whitespace_and_comments() {
+        let noisy = "\
+# a comment line
+.model hs   # trailing comment
+
+.inputs    r
+.outputs a
+
+.graph
+r+     a+   # arc
+a+ r-
+r- a-
+a- r+
+.marking {   <a-,r+>   }
+.end
+";
+        let a = crate::parse_g(HASH_BASE).unwrap();
+        let b = crate::parse_g(noisy).unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn content_hash_ignores_declaration_order_and_model_name() {
+        // Signals declared in the opposite order, graph lines shuffled,
+        // different model name: same net, same hash.
+        let reordered = "\
+.model renamed
+.outputs a
+.inputs r
+.graph
+a- r+
+r- a-
+a+ r-
+r+ a+
+.marking { <a-,r+> }
+.end
+";
+        let a = crate::parse_g(HASH_BASE).unwrap();
+        let b = crate::parse_g(reordered).unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn content_hash_separates_different_nets() {
+        let a = crate::parse_g(HASH_BASE).unwrap();
+        // Different marking position.
+        let moved_token = HASH_BASE.replace("<a-,r+>", "<r+,a+>");
+        // Signal kind flipped.
+        let flipped = HASH_BASE.replace(".inputs r", ".internal r");
+        // An extra transition pair on a fresh signal.
+        let wider = "\
+.model hs
+.inputs r b
+.outputs a
+.graph
+r+ a+
+a+ r-
+r- a-
+a- r+
+b+ b-
+b- b+
+.marking { <a-,r+> <b-,b+> }
+.end
+";
+        for other in [moved_token.as_str(), flipped.as_str(), wider] {
+            let b = crate::parse_g(other).unwrap();
+            assert_ne!(a.content_hash(), b.content_hash(), "variant:\n{other}");
+        }
+        // Initial code participates: same structure, explicit code differs.
+        let mut with_code = crate::parse_g(HASH_BASE).unwrap();
+        with_code.set_initial_code(Some(Code(0b01)));
+        assert_ne!(a.content_hash(), with_code.content_hash());
+    }
+
+    #[test]
+    fn content_hash_is_stable_under_signal_index_permutation() {
+        // Initial codes are index-based bitmasks; the canonical hash must
+        // compare values per *name*, not per index.
+        let mut b1 = StgBuilder::new("m");
+        b1.input("x");
+        b1.input("y");
+        b1.cycle(&["x+", "y+", "x-", "y-"]);
+        b1.initial_code_str("01"); // x=0, y=1
+        let s1 = b1.build().unwrap();
+
+        let mut b2 = StgBuilder::new("m");
+        b2.input("y");
+        b2.input("x");
+        b2.cycle(&["x+", "y+", "x-", "y-"]);
+        b2.initial_code_str("10"); // y=1, x=0 — same values, new indices
+        let s2 = b2.build().unwrap();
+
+        assert_eq!(s1.content_hash(), s2.content_hash());
     }
 }

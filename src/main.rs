@@ -19,19 +19,36 @@
 //!                        (in-place sifting; see docs/reordering.md)
 //!   --bfs                strict breadth-first traversal (default: chained)
 //!   --quiet              only print the verdict line per file
+//!   --cache-dir <dir>    content-addressed result cache: a rerun of an
+//!                        unchanged net (same options) returns the stored
+//!                        verdict without any fixpoint (see
+//!                        docs/persistent-store.md)
+//!   --checkpoint <file>  snapshot the traversal state to <file> so an
+//!                        interrupted run can be resumed
+//!   --checkpoint-every <n>  snapshot cadence in iterations (default 16
+//!                        when --checkpoint is set)
+//!   --resume             seed the traversal from --checkpoint if present
+//!   --incremental        with --cache-dir: seed from the reached set of a
+//!                        monotone predecessor of this net, if cached
+//!   --abort-after <n>    stop the traversal after n iterations, writing a
+//!                        final checkpoint (testing/interrupt hook)
 //! ```
 //!
 //! Exit status: 0 when every file is I/O-implementable or better, 1 when
-//! any file fails, 2 on usage or parse errors.
+//! any file fails, 2 on usage or parse errors, 3 when a traversal was
+//! interrupted by `--abort-after` (a checkpoint was written).
 
 use std::process::ExitCode;
 
-use stgcheck::core::{verify, SymbolicReport, TraversalStrategy, VarOrder, VerifyOptions};
+use stgcheck::core::{
+    verify_persistent, PersistOptions, SymbolicReport, TraversalStrategy, VarOrder, VerifyOptions,
+};
 use stgcheck::stg::{parse_g, Implementability, PersistencyPolicy};
 
 struct Cli {
     files: Vec<String>,
     options: VerifyOptions,
+    persist: PersistOptions,
     quiet: bool,
 }
 
@@ -39,11 +56,20 @@ fn usage() -> &'static str {
     "usage: stgcheck [--arbitration] [--order interleaved|places|signals|declaration] \
      [--engine per-transition|clustered|parallel|saturation] [--jobs N] \
      [--sharing shared|private] \
-     [--reorder none|sift|auto] [--bfs] [--quiet] file.g [file2.g ...]"
+     [--reorder none|sift|auto] [--bfs] [--quiet] \
+     [--cache-dir DIR] [--incremental] \
+     [--checkpoint FILE] [--checkpoint-every N] [--resume] [--abort-after N] \
+     file.g [file2.g ...]"
 }
 
 fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
-    let mut cli = Cli { files: Vec::new(), options: VerifyOptions::default(), quiet: false };
+    let mut cli = Cli {
+        files: Vec::new(),
+        options: VerifyOptions::default(),
+        persist: PersistOptions::default(),
+        quiet: false,
+    };
+    let mut every_given = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -79,12 +105,37 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
                 let v = it.next().ok_or("--sharing needs a value")?;
                 cli.options.engine.sharing = v.parse()?;
             }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a directory")?;
+                cli.persist.cache_dir = Some(v.into());
+            }
+            "--checkpoint" => {
+                let v = it.next().ok_or("--checkpoint needs a file")?;
+                cli.persist.checkpoint = Some(v.into());
+            }
+            "--checkpoint-every" => {
+                let v = it.next().ok_or("--checkpoint-every needs a value")?;
+                cli.persist.checkpoint_every = v
+                    .parse()
+                    .map_err(|_| format!("--checkpoint-every needs a number, got `{v}`"))?;
+                every_given = true;
+            }
+            "--resume" => cli.persist.resume = true,
+            "--incremental" => cli.persist.incremental = true,
+            "--abort-after" => {
+                let v = it.next().ok_or("--abort-after needs a value")?;
+                cli.persist.abort_after =
+                    v.parse().map_err(|_| format!("--abort-after needs a number, got `{v}`"))?;
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n{}", usage()));
             }
             file => cli.files.push(file.to_string()),
         }
+    }
+    if cli.persist.checkpoint.is_some() && !every_given {
+        cli.persist.checkpoint_every = 16;
     }
     if cli.files.is_empty() {
         return Err(usage().to_string());
@@ -148,6 +199,7 @@ fn main() -> ExitCode {
         }
     };
     let mut all_ok = true;
+    let mut any_interrupted = false;
     for file in &cli.files {
         let source = match std::fs::read_to_string(file) {
             Ok(s) => s,
@@ -163,7 +215,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let report = match verify(&stg, cli.options) {
+        let run = match verify_persistent(&stg, cli.options, &cli.persist) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("{file}: {e}");
@@ -171,6 +223,17 @@ fn main() -> ExitCode {
                 continue;
             }
         };
+        if !cli.quiet {
+            for note in &run.notes {
+                println!("{file}: note: {note}");
+            }
+        }
+        if run.interrupted {
+            any_interrupted = true;
+            println!("{file}: interrupted (checkpoint written; rerun with --resume)");
+            continue;
+        }
+        let report = run.report.expect("non-interrupted run carries a report");
         let implementable =
             matches!(report.verdict, Implementability::Gate | Implementability::InputOutput);
         all_ok &= implementable;
@@ -178,11 +241,16 @@ fn main() -> ExitCode {
             println!("{file}: {}", report.verdict);
         } else {
             println!("== {file} ==");
+            if cli.persist.cache_dir.is_some() {
+                println!("  cache:       {}", run.cache);
+            }
             print_full(&report, &stg);
             println!("  verdict:     {}\n", report.verdict);
         }
     }
-    if all_ok {
+    if any_interrupted {
+        ExitCode::from(3)
+    } else if all_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
