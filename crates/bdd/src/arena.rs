@@ -50,12 +50,18 @@ const SEG_SIZE: usize = 1 << SEG_BITS;
 const NUM_SEGS: usize = 1 << 11;
 
 /// Hard node cap imposed by the 27-bit `lo` slot field: 2²⁷ ≈ 134 M
-/// nodes (1 GiB of cells).
-pub(crate) const MAX_SLOTS: usize = 1 << 27;
+/// nodes (1 GiB of cells). Hitting it is not a panic: allocation fails,
+/// the manager's [`crate::Budget`] trips with
+/// [`crate::ResourceError::ArenaExhausted`] and the run degrades to a
+/// checkpoint.
+pub const MAX_SLOTS: usize = 1 << 27;
 
 /// Hard variable cap imposed by the 9-bit level field: levels `0..510`
-/// are real, `510` marks a dead slot and `511` the terminal.
-pub(crate) const MAX_VARS: usize = 510;
+/// are real, `510` marks a dead slot and `511` the terminal. Callers that
+/// encode external input should check against this bound up front —
+/// `stgcheck-core` rejects oversized nets with a typed error before
+/// building any BDD.
+pub const MAX_VARS: usize = 510;
 
 /// In-word level sentinels (the `Level` type itself keeps its wide
 /// `u32::MAX`-family sentinels; they are translated at the cell
@@ -114,17 +120,20 @@ impl NodeArena {
             segs: (0..NUM_SEGS).map(|_| OnceLock::new()).collect(),
             hwm: AtomicUsize::new(0),
         };
-        let slot = arena.alloc();
+        let slot = arena.alloc_raw().expect("an empty arena cannot be exhausted");
         debug_assert_eq!(slot, 0);
         arena.set(0, terminal);
         arena
     }
 
     /// Number of slots ever allocated (the exclusive upper bound of valid
-    /// indices; includes dead slots).
+    /// indices; includes dead slots). Failed allocations transiently bump
+    /// the high-water mark past the cap before [`NodeArena::alloc`] parks
+    /// it back, so the count is clamped here — every index below the
+    /// returned value has an allocated segment.
     #[inline]
     pub(crate) fn len(&self) -> usize {
-        self.hwm.load(Ordering::Relaxed)
+        self.hwm.load(Ordering::Relaxed).min(MAX_SLOTS)
     }
 
     #[inline]
@@ -198,13 +207,34 @@ impl NodeArena {
 
     /// Claims a fresh slot, allocating its segment on first touch.
     /// Callable from any thread; two callers never receive the same slot.
-    pub(crate) fn alloc(&self) -> u32 {
+    ///
+    /// Returns `None` when the packed-cell slot range (2^27 nodes) is
+    /// exhausted — the caller (the manager's `mk`) turns that into a
+    /// budget trip, never a panic. The `arena-alloc` failpoint injects
+    /// the same outcome deterministically for the robustness suite.
+    pub(crate) fn alloc(&self) -> Option<u32> {
+        if crate::failpoint::hit("arena-alloc") {
+            return None;
+        }
+        self.alloc_raw()
+    }
+
+    /// [`NodeArena::alloc`] minus the failpoint: the terminal slot claimed
+    /// during construction is scaffolding, not an interesting fault site —
+    /// an always-firing `arena-alloc` must exhaust verification, not make
+    /// the manager unconstructible.
+    fn alloc_raw(&self) -> Option<u32> {
         let i = self.hwm.fetch_add(1, Ordering::Relaxed);
-        assert!(i < MAX_SLOTS, "node arena exhausted the packed-cell slot range (2^27 nodes)");
+        if i >= MAX_SLOTS {
+            // Park the mark at the cap so `len()` stays honest no matter
+            // how many allocations fail after exhaustion.
+            self.hwm.fetch_min(MAX_SLOTS, Ordering::Relaxed);
+            return None;
+        }
         let (s, off) = locate(i);
         debug_assert!(off < SEG_SIZE);
         self.segs[s].get_or_init(|| (0..SEG_SIZE).map(|_| AtomicU64::new(0)).collect());
-        i as u32
+        Some(i as u32)
     }
 }
 
@@ -232,7 +262,7 @@ mod tests {
     fn alloc_set_get_round_trip() {
         let arena = NodeArena::new(Node::terminal());
         assert_eq!(arena.len(), 1);
-        let slots: Vec<u32> = (0..10_000).map(|_| arena.alloc()).collect();
+        let slots: Vec<u32> = (0..10_000).map(|_| arena.alloc().unwrap()).collect();
         for (k, &s) in slots.iter().enumerate() {
             let n = Node {
                 level: (k % MAX_VARS) as Level,
@@ -268,7 +298,7 @@ mod tests {
                     scope.spawn(move || {
                         (0..per_thread)
                             .map(|k| {
-                                let s = arena.alloc();
+                                let s = arena.alloc().unwrap();
                                 arena.set(
                                     s as usize,
                                     Node {
@@ -309,7 +339,7 @@ mod readbench {
         let arena = NodeArena::new(Node::terminal());
         let mut plain: Vec<Node> = vec![Node::terminal()];
         for k in 1..N {
-            let s = arena.alloc() as usize;
+            let s = arena.alloc().unwrap() as usize;
             let n = Node {
                 level: (k % 64) as Level,
                 lo: Bdd((((k * 2_654_435_761) % N) & !1) as u32),

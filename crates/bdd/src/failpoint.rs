@@ -1,0 +1,164 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A *failpoint* is a named hook compiled into a failure-prone code path
+//! (arena allocation, cache-dir writes, checkpoint renames). Disarmed —
+//! the production state — every hook costs one relaxed load of a global
+//! flag and nothing else. Armed (via [`arm`] or the
+//! `STGCHECK_FAILPOINTS` environment variable / `--failpoints` CLI flag),
+//! each named hook deterministically reports an injected failure, which
+//! the host code must turn into a typed error or a clean cold-path
+//! recompute — never a panic, a wrong verdict, or a partial artifact.
+//!
+//! Spec grammar (`;`-separated):
+//!
+//! ```text
+//! arena-alloc            fail every hit of `arena-alloc`
+//! store-rename=3         fail only the 3rd hit (1-based) of `store-rename`
+//! ```
+//!
+//! The registry is global process state, so tests that arm failpoints
+//! must serialize through [`exclusive`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Fast global switch: `false` (the default) short-circuits every hook.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Every failpoint compiled into the codebase. [`arm`] validates specs
+/// against this list so a typo'd `--failpoints` flag fails loudly instead
+/// of silently injecting nothing.
+pub const KNOWN: &[&str] = &["arena-alloc", "store-write", "store-rename", "store-read"];
+
+/// When to fire an armed failpoint.
+#[derive(Debug, Clone, Copy)]
+enum FireRule {
+    /// Fail every hit.
+    Always,
+    /// Fail only the n-th hit (1-based).
+    Nth(u64),
+}
+
+#[derive(Default)]
+struct Registry {
+    /// name → (rule, hits so far).
+    points: HashMap<String, (FireRule, u64)>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn test_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Serialises tests that arm failpoints: the registry is process-global,
+/// so concurrent arming tests would observe each other's faults. Arming
+/// while holding this guard; [`disarm_all`] before dropping it.
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    test_lock().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Arms failpoints from a spec string (see module docs for the grammar).
+/// Names are validated against [`KNOWN`]; a typo'd spec is an error, not
+/// a silent no-op.
+pub fn arm(spec: &str) -> Result<(), String> {
+    let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+    for part in spec.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+        let (name, rule) = match part.split_once('=') {
+            None => (part, FireRule::Always),
+            Some((name, n)) => {
+                let n: u64 =
+                    n.parse().map_err(|_| format!("failpoint `{name}`: bad hit count `{n}`"))?;
+                if n == 0 {
+                    return Err(format!("failpoint `{name}`: hit counts are 1-based"));
+                }
+                (name, FireRule::Nth(n))
+            }
+        };
+        if !KNOWN.contains(&name) {
+            return Err(format!("unknown failpoint `{name}` (known: {})", KNOWN.join(", ")));
+        }
+        reg.points.insert(name.to_string(), (rule, 0));
+    }
+    if !reg.points.is_empty() {
+        ARMED.store(true, Ordering::Release);
+    }
+    Ok(())
+}
+
+/// Arms failpoints from the `STGCHECK_FAILPOINTS` environment variable,
+/// if set. Returns the spec error, if any.
+pub fn arm_from_env() -> Result<(), String> {
+    match std::env::var("STGCHECK_FAILPOINTS") {
+        Ok(spec) if !spec.trim().is_empty() => arm(&spec),
+        _ => Ok(()),
+    }
+}
+
+/// Disarms every failpoint and resets hit counters.
+pub fn disarm_all() {
+    let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+    reg.points.clear();
+    ARMED.store(false, Ordering::Release);
+}
+
+/// The hook: returns `true` when an injected failure should fire at this
+/// site. Disarmed cost is a single relaxed load.
+#[inline]
+pub fn hit(name: &str) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    hit_slow(name)
+}
+
+#[cold]
+fn hit_slow(name: &str) -> bool {
+    let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+    match reg.points.get_mut(name) {
+        None => false,
+        Some((rule, hits)) => {
+            *hits += 1;
+            match *rule {
+                FireRule::Always => true,
+                FireRule::Nth(n) => *hits == n,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_is_inert_and_specs_parse() {
+        let _guard = exclusive();
+        disarm_all();
+        assert!(!hit("arena-alloc"));
+
+        arm("arena-alloc").unwrap();
+        assert!(hit("arena-alloc"));
+        assert!(hit("arena-alloc"));
+        assert!(!hit("other-point"));
+
+        disarm_all();
+        assert!(!hit("arena-alloc"));
+
+        arm("store-rename=2; store-write").unwrap();
+        assert!(!hit("store-rename"));
+        assert!(hit("store-rename"));
+        assert!(!hit("store-rename"));
+        assert!(hit("store-write"));
+
+        assert!(arm("store-read=notanumber").is_err());
+        assert!(arm("store-read=0").is_err());
+        assert!(arm("no-such-point").is_err(), "typos must fail loudly");
+        disarm_all();
+    }
+}

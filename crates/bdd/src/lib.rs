@@ -64,9 +64,11 @@
 
 mod analysis;
 mod arena;
+mod budget;
 mod cache;
 mod dot;
 mod expr;
+pub mod failpoint;
 mod manager;
 mod node;
 mod ops;
@@ -76,6 +78,8 @@ mod serialize;
 mod sift;
 
 pub use analysis::Cubes;
+pub use arena::{MAX_SLOTS, MAX_VARS};
+pub use budget::{Budget, ResourceError};
 pub use expr::{BoolExpr, ParseExprError};
 pub use manager::{BddManager, ManagerStats};
 pub use node::{Bdd, Literal, Var};

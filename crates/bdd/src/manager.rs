@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::arena::NodeArena;
+use crate::budget::{Budget, ResourceError};
 use crate::cache::{CheapBuildHasher, OpCaches};
 use crate::node::{Bdd, Level, Literal, Node, Var, DEAD_LEVEL, TERMINAL_LEVEL};
 
@@ -131,6 +132,15 @@ pub struct BddManager {
     pub(crate) gc_baseline: usize,
     pub(crate) sift_runs: usize,
     pub(crate) sift_swaps: usize,
+    /// The installed resource budget (unlimited by default). Shared with
+    /// worker managers by cloning; see `crate::budget` for the trip-flag
+    /// protocol.
+    pub(crate) budget: Budget,
+    /// Snapshot of `budget.is_limited()` taken at install time (budgets
+    /// are installed at quiesce points, so a plain bool is race-free):
+    /// lets the unbudgeted hot path skip the per-allocation poll
+    /// entirely.
+    pub(crate) budget_limited: bool,
 }
 
 impl Default for BddManager {
@@ -173,13 +183,54 @@ impl BddManager {
             gc_baseline: 0,
             sift_runs: 0,
             sift_swaps: 0,
+            budget: Budget::unlimited(),
+            budget_limited: false,
         }
+    }
+
+    /// Installs a resource budget. A quiesce-point operation: the budget
+    /// governs every subsequent operation on this manager, and clones of
+    /// the same [`Budget`] installed on other managers trip together.
+    ///
+    /// A trip latched on the *outgoing* budget (e.g. arena exhaustion
+    /// while the manager still ran under its default unlimited budget)
+    /// carries over: whatever was built before the trip may be garbage,
+    /// so the manager must stay inert rather than resume live operations
+    /// under the fresh budget.
+    pub fn set_budget(&mut self, budget: Budget) {
+        if let Some(reason) = self.budget.tripped() {
+            budget.trip(reason);
+        }
+        self.budget_limited = budget.is_limited();
+        self.budget = budget;
+    }
+
+    /// The installed resource budget (unlimited unless
+    /// [`BddManager::set_budget`] was called).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// One relaxed load: has the installed budget tripped? Once true, the
+    /// recursive operations bail out returning [`Bdd::FALSE`] without
+    /// memoising — the *inert* mode that guarantees prompt termination
+    /// with an unpoisoned arena and clean caches (see `crate::budget`).
+    #[inline]
+    pub(crate) fn inert(&self) -> bool {
+        self.budget.is_tripped()
     }
 
     /// Declares a fresh variable placed at the bottom of the current order.
     ///
     /// The name is used only for diagnostics and DOT export; it need not be
     /// unique.
+    ///
+    /// # Panics
+    ///
+    /// Panics past [`crate::MAX_VARS`] variables. Callers encoding
+    /// external input must bound-check first (`stgcheck-core` rejects
+    /// oversized nets with a typed error before declaring anything), so
+    /// this assert is an internal invariant, not an input-reachable path.
     pub fn new_var(&mut self, name: impl Into<String>) -> Var {
         assert!(
             self.num_vars() < crate::arena::MAX_VARS,
@@ -274,6 +325,11 @@ impl BddManager {
     /// (`¬lo`, `¬hi` — with `¬lo` regular) and the complemented handle is
     /// returned, so `FALSE` never appears as a stored else edge and every
     /// function has exactly one representation.
+    ///
+    /// When the arena is exhausted this trips the installed [`Budget`]
+    /// and returns [`Bdd::FALSE`] — a valid handle — without publishing
+    /// anything; the enclosing operations observe the trip, stop
+    /// memoising and unwind inertly (see `crate::budget`).
     pub(crate) fn mk(&self, level: Level, lo: Bdd, hi: Bdd) -> Bdd {
         debug_assert!(!self.node(lo).is_dead() && !self.node(hi).is_dead());
         debug_assert!(self.level(lo) > level && self.level(hi) > level);
@@ -287,7 +343,11 @@ impl BddManager {
         if let Some(&found) = table.get(&(lo, hi)) {
             return found.complement_if(flip);
         }
-        let slot = self.alloc_slot();
+        let Some(slot) = self.alloc_slot() else {
+            drop(table);
+            self.budget.trip(ResourceError::ArenaExhausted);
+            return Bdd::FALSE;
+        };
         // Publish order: node data first, then the table entry. The
         // mutex release (and any later release-store of the handle)
         // carries the data to every reader.
@@ -298,6 +358,11 @@ impl BddManager {
         let cur = self.live.fetch_add(1, Ordering::Relaxed) + 1;
         if cur > self.peak_live.load(Ordering::Relaxed) {
             self.peak_live.fetch_max(cur, Ordering::Relaxed);
+        }
+        if self.budget_limited {
+            // The node itself stays valid either way; a trip here merely
+            // makes the *next* recursion steps bail out inertly.
+            self.budget.note_alloc(cur);
         }
         id.complement_if(flip)
     }
@@ -317,13 +382,14 @@ impl BddManager {
     }
 
     /// Claims a node slot: recycled from the free list when the last GC
-    /// left any, freshly bump-allocated otherwise.
-    fn alloc_slot(&self) -> u32 {
+    /// left any, freshly bump-allocated otherwise. `None` when the arena
+    /// slot range is exhausted.
+    fn alloc_slot(&self) -> Option<u32> {
         if self.free_hint.load(Ordering::Relaxed) > 0 {
             let mut free = self.free.lock().expect("free list");
             if let Some(slot) = free.pop() {
                 self.free_hint.store(free.len(), Ordering::Relaxed);
-                return slot;
+                return Some(slot);
             }
         }
         self.nodes.alloc()
@@ -362,7 +428,15 @@ impl BddManager {
                     *self.free_hint.get_mut() = free.len();
                     slot
                 }
-                None => self.nodes.alloc(),
+                // Sifting only rewrites existing structure, so its
+                // transient growth is bounded by the two levels being
+                // swapped; the headroom gate at `sift_pass` entry keeps
+                // this allocation from ever failing (internal invariant —
+                // a mid-swap failure would leave half-rewired levels).
+                None => self
+                    .nodes
+                    .alloc()
+                    .expect("arena exhausted mid-sift despite the sift_pass headroom gate"),
             }
         };
         self.nodes.set(slot as usize, Node { level, lo, hi });
@@ -392,19 +466,27 @@ impl BddManager {
     /// instead of the per-node `mk` descent; returns a
     /// handle canonical-equal to [`BddManager::import_bdd`] on the same
     /// snapshot (asserted by the round-trip test matrix).
-    pub fn bulk_import_bdd(&mut self, s: &crate::SerializedBdd) -> Bdd {
-        let handles = self.bulk_load_nodes(s.node_list());
-        decode_ref(&handles, s.root_ref())
+    ///
+    /// Errors (instead of panicking) when a node refers to a level this
+    /// manager does not have or the arena runs out of slots mid-import —
+    /// both reachable from checkpoint files, which are external input.
+    pub fn bulk_import_bdd(&mut self, s: &crate::SerializedBdd) -> Result<Bdd, String> {
+        let handles = self.bulk_load_nodes(s.node_list())?;
+        Ok(decode_ref(&handles, s.root_ref()))
     }
 
     /// Rebuilds every named root of a [`crate::BddCheckpoint`] in one
     /// bulk pass over the shared node list. The caller is responsible for
     /// having validated the header (net hash, variable names) against its
     /// own context; this method only requires that every node level fits
-    /// this manager's variable range.
-    pub fn bulk_import_checkpoint(&mut self, ck: &crate::BddCheckpoint) -> Vec<(String, Bdd)> {
-        let handles = self.bulk_load_nodes(&ck.nodes);
-        ck.roots.iter().map(|&(ref name, r)| (name.clone(), decode_ref(&handles, r))).collect()
+    /// this manager's variable range — and reports a typed error (never a
+    /// panic) when it does not, since checkpoints are external input.
+    pub fn bulk_import_checkpoint(
+        &mut self,
+        ck: &crate::BddCheckpoint,
+    ) -> Result<Vec<(String, Bdd)>, String> {
+        let handles = self.bulk_load_nodes(&ck.nodes)?;
+        Ok(ck.roots.iter().map(|&(ref name, r)| (name.clone(), decode_ref(&handles, r))).collect())
     }
 
     /// O(n) level-ordered import of a topologically ordered `(level, lo,
@@ -419,17 +501,19 @@ impl BddManager {
     /// and the regular-`lo` complement normal form), so the returned
     /// handles are identical to what a recursive import would produce.
     ///
-    /// # Panics
-    ///
-    /// Panics if a node's level is outside this manager's variable range.
-    fn bulk_load_nodes(&mut self, list: &[(u32, u32, u32)]) -> Vec<Bdd> {
+    /// Errors if a node's level is outside this manager's variable range
+    /// or the arena runs out of slots mid-import. A failed import leaves
+    /// only orphan (dead-weight but well-formed) nodes behind — the next
+    /// GC reclaims them; no table entry ever points at unwritten storage.
+    fn bulk_load_nodes(&mut self, list: &[(u32, u32, u32)]) -> Result<Vec<Bdd>, String> {
         let nvars = self.num_vars();
         let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); nvars];
         for (i, &(level, _, _)) in list.iter().enumerate() {
-            assert!(
-                (level as usize) < nvars,
-                "bulk import refers to level {level} but manager has {nvars} variables"
-            );
+            if level as usize >= nvars {
+                return Err(format!(
+                    "bulk import refers to level {level} but manager has {nvars} variables"
+                ));
+            }
             by_level[level as usize].push(i as u32);
         }
         let mut handles: Vec<Bdd> = vec![Bdd::FALSE; list.len()];
@@ -439,7 +523,8 @@ impl BddManager {
         // table, and the (interior-mutable) arena are touched directly so
         // allocation can happen while a shard is open.
         let free = self.free.get_mut().expect("free list");
-        for level in (0..nvars).rev() {
+        let mut failure: Option<String> = None;
+        'levels: for level in (0..nvars).rev() {
             if by_level[level].is_empty() {
                 continue;
             }
@@ -463,7 +548,16 @@ impl BddManager {
                     let found = match table.entry((lo, hi)) {
                         std::collections::hash_map::Entry::Occupied(e) => *e.get(),
                         std::collections::hash_map::Entry::Vacant(e) => {
-                            let slot = free.pop().unwrap_or_else(|| self.nodes.alloc());
+                            let slot =
+                                match free.pop().map(Some).unwrap_or_else(|| self.nodes.alloc()) {
+                                    Some(slot) => slot,
+                                    None => {
+                                        failure = Some(
+                                            "node arena exhausted during bulk import".to_string(),
+                                        );
+                                        break 'levels;
+                                    }
+                                };
                             self.nodes.set(slot as usize, Node { level: level as Level, lo, hi });
                             created += 1;
                             *e.insert(Bdd::from_slot(slot))
@@ -475,13 +569,20 @@ impl BddManager {
                 resolved[i as usize] = true;
             }
         }
+        // Account for the nodes actually created even on a failed import:
+        // they are hash-consed into the unique tables, so they are live
+        // (orphans the next GC will reclaim), and the counters must agree
+        // with the tables either way.
         *self.free_hint.get_mut() = free.len();
         let live = *self.live.get_mut() + created;
         *self.live.get_mut() = live;
         if live > *self.peak_live.get_mut() {
             *self.peak_live.get_mut() = live;
         }
-        handles
+        match failure {
+            Some(msg) => Err(msg),
+            None => Ok(handles),
+        }
     }
 
     #[inline]

@@ -50,6 +50,9 @@ impl BddManager {
         if let Some(r) = self.caches.bin_get(BinOp::And, a, b) {
             return r;
         }
+        if self.inert() {
+            return Bdd::FALSE;
+        }
         let (lf, fe0, fe1) = self.peek(f);
         let (lg, ge0, ge1) = self.peek(g);
         let top = lf.min(lg);
@@ -58,6 +61,11 @@ impl BddManager {
         let lo = self.and(f0, g0);
         let hi = self.and(f1, g1);
         let r = self.mk(top, lo, hi);
+        // A trip below this frame means `lo`/`hi` may be inert garbage:
+        // never publish such a result to the memo table.
+        if self.inert() {
+            return Bdd::FALSE;
+        }
         self.caches.bin_insert(BinOp::And, a, b, r);
         r
     }
@@ -90,6 +98,9 @@ impl BddManager {
         if let Some(r) = self.caches.bin_get(BinOp::Xor, a, b) {
             return r.complement_if(parity);
         }
+        if self.inert() {
+            return Bdd::FALSE;
+        }
         let (lf, fe0, fe1) = self.peek(f);
         let (lg, ge0, ge1) = self.peek(g);
         let top = lf.min(lg);
@@ -98,6 +109,9 @@ impl BddManager {
         let lo = self.xor(f0, g0);
         let hi = self.xor(f1, g1);
         let r = self.mk(top, lo, hi);
+        if self.inert() {
+            return Bdd::FALSE;
+        }
         self.caches.bin_insert(BinOp::Xor, a, b, r);
         r.complement_if(parity)
     }
@@ -173,6 +187,9 @@ impl BddManager {
         if let Some(r) = self.caches.ite_get(f, g, h) {
             return r.complement_if(flip);
         }
+        if self.inert() {
+            return Bdd::FALSE;
+        }
         let (lf, fe0, fe1) = self.peek(f);
         let (lg, ge0, ge1) = self.peek(g);
         let (lh, he0, he1) = self.peek(h);
@@ -183,6 +200,9 @@ impl BddManager {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(top, lo, hi);
+        if self.inert() {
+            return Bdd::FALSE;
+        }
         self.caches.ite_insert(f, g, h, r);
         r.complement_if(flip)
     }

@@ -120,7 +120,9 @@ impl BddManager {
     ///
     /// Panics in debug builds if `c` is not a cube.
     pub fn cofactor_cube(&self, f: Bdd, c: Bdd) -> Bdd {
-        debug_assert!(self.is_cube(c), "cofactor requires a cube");
+        // A tripped manager may be handed garbage built by inert ops; the
+        // recursion below bails out inert before touching it.
+        debug_assert!(self.inert() || self.is_cube(c), "cofactor requires a cube");
         let tag = f.is_complemented();
         self.cofactor_rec(f.regular(), c).complement_if(tag)
     }
@@ -133,6 +135,9 @@ impl BddManager {
         }
         if let Some(r) = self.caches.bin_get(BinOp::CofactorCube, f, c) {
             return r;
+        }
+        if self.inert() {
+            return Bdd::FALSE;
         }
         let (fl, flo, fhi) = self.peek(f);
         let (cl, clo, chi) = self.peek(c);
@@ -152,6 +157,11 @@ impl BddManager {
             let hi = self.cofactor_rec(fhi.regular(), c).complement_if(hi_tag);
             self.mk(fl, lo, hi)
         };
+        // Budget trip below this frame → sub-results may be inert
+        // garbage: never publish them to the memo table.
+        if self.inert() {
+            return Bdd::FALSE;
+        }
         self.caches.bin_insert(BinOp::CofactorCube, f, c, r);
         r
     }
@@ -172,7 +182,7 @@ impl BddManager {
     /// assert_eq!(m.exists(f, cube), vy); // ∃x. x∧y = y
     /// ```
     pub fn exists(&self, f: Bdd, c: Bdd) -> Bdd {
-        debug_assert!(self.is_cube(c), "quantification prefix must be a cube");
+        debug_assert!(self.inert() || self.is_cube(c), "quantification prefix must be a cube");
         self.exists_rec(f, c)
     }
 
@@ -195,6 +205,9 @@ impl BddManager {
         if let Some(r) = self.caches.bin_get(BinOp::Exists, f, c) {
             return r;
         }
+        if self.inert() {
+            return Bdd::FALSE;
+        }
         let r = if cl == fl {
             let lo = self.exists_rec(flo, ctail);
             if lo.is_true() {
@@ -209,6 +222,9 @@ impl BddManager {
             let hi = self.exists_rec(fhi, c);
             self.mk(fl, lo, hi)
         };
+        if self.inert() {
+            return Bdd::FALSE;
+        }
         self.caches.bin_insert(BinOp::Exists, f, c, r);
         r
     }
@@ -216,7 +232,7 @@ impl BddManager {
     /// Universal abstraction `∀ vars(c) . f`, as the free complement dual
     /// `¬∃ vars(c) . ¬f` — no recursion or cache of its own.
     pub fn forall(&self, f: Bdd, c: Bdd) -> Bdd {
-        debug_assert!(self.is_cube(c), "quantification prefix must be a cube");
+        debug_assert!(self.inert() || self.is_cube(c), "quantification prefix must be a cube");
         self.exists_rec(f.complement(), c).complement()
     }
 
@@ -225,7 +241,7 @@ impl BddManager {
     /// Avoids materialising the intermediate conjunction, which is the
     /// classic optimisation for image computations.
     pub fn and_exists(&self, f: Bdd, g: Bdd, c: Bdd) -> Bdd {
-        debug_assert!(self.is_cube(c), "quantification prefix must be a cube");
+        debug_assert!(self.inert() || self.is_cube(c), "quantification prefix must be a cube");
         self.and_exists_rec(f, g, c)
     }
 
@@ -245,6 +261,9 @@ impl BddManager {
         let (a, b) = (f.min(g), f.max(g));
         if let Some(r) = self.caches.and_exists_get(a, b, c) {
             return r;
+        }
+        if self.inert() {
+            return Bdd::FALSE;
         }
         let (lf, fe0, fe1) = self.peek(f);
         let (lg, ge0, ge1) = self.peek(g);
@@ -279,6 +298,9 @@ impl BddManager {
             let hi = self.and_exists_rec(f1, g1, c2);
             self.mk(top, lo, hi)
         };
+        if self.inert() {
+            return Bdd::FALSE;
+        }
         self.caches.and_exists_insert(a, b, c, r);
         r
     }
@@ -303,7 +325,7 @@ impl BddManager {
     /// Panics in debug builds when `c` is not a cube or when `g`/`c`
     /// reach above the bound.
     pub fn and_exists_below(&self, f: Bdd, g: Bdd, c: Bdd, bound: usize) -> Bdd {
-        debug_assert!(self.is_cube(c), "quantification prefix must be a cube");
+        debug_assert!(self.inert() || self.is_cube(c), "quantification prefix must be a cube");
         debug_assert!(
             self.support(g)
                 .iter()
@@ -328,10 +350,16 @@ impl BddManager {
         if let Some(r) = self.caches.and_exists_get(a, b, c) {
             return r;
         }
+        if self.inert() {
+            return Bdd::FALSE;
+        }
         let (fl, f0, f1) = self.peek(f);
         let lo = self.and_exists_below_rec(f0, g, c, bound);
         let hi = self.and_exists_below_rec(f1, g, c, bound);
         let r = self.mk(fl, lo, hi);
+        if self.inert() {
+            return Bdd::FALSE;
+        }
         self.caches.and_exists_insert(a, b, c, r);
         r
     }

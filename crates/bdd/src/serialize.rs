@@ -787,7 +787,7 @@ mod tests {
         // their complement relationship.
         let mut b = BddManager::new();
         b.new_vars("x", 6);
-        let roots = b.bulk_import_checkpoint(&back);
+        let roots = b.bulk_import_checkpoint(&back).expect("bulk import");
         assert_eq!(roots.len(), 3);
         assert_eq!(roots[0].0, "reached");
         assert_eq!(b.sat_count(roots[0].1), a.sat_count(f));
@@ -833,13 +833,13 @@ mod tests {
         // Same manager: bulk load must dedup against existing nodes and
         // return the identical handle.
         let mut same = a;
-        let g = same.bulk_import_bdd(&s);
+        let g = same.bulk_import_bdd(&s).expect("bulk import");
         assert_eq!(g, f);
         assert_eq!(same.export_bdd(g), s);
         same.check_invariants();
         // Fresh manager: bulk and recursive imports agree handle-for-handle.
         let (mut b, c) = twin_managers(8);
-        let via_bulk = b.bulk_import_bdd(&s);
+        let via_bulk = b.bulk_import_bdd(&s).expect("bulk import");
         let via_mk = c.import_bdd(&s);
         assert_eq!(b.export_bdd(via_bulk), c.export_bdd(via_mk));
         assert_eq!(b.sat_count(via_bulk), same.sat_count(f));

@@ -243,6 +243,16 @@ impl BddManager {
         let before = self.live_nodes();
         let mut stats =
             SiftStats { nodes_before: before, nodes_after: before, swaps: 0, blocks_sifted: 0 };
+        // Headroom gate: swaps transiently rewrite dependent nodes into
+        // fresh slots, and a mid-swap allocation failure would leave two
+        // half-rewired levels — unrecoverable. With less than 1/8 of the
+        // arena's slot range left, skip the pass entirely; the budget
+        // machinery (not sifting) is responsible for ending a run that
+        // close to the cap.
+        if self.nodes.len() > crate::arena::MAX_SLOTS - crate::arena::MAX_SLOTS / 8 {
+            self.finish_sift(&mut stats, swaps_at_entry);
+            return stats;
+        }
         if self.num_vars() < 2 {
             self.finish_sift(&mut stats, swaps_at_entry);
             return stats;

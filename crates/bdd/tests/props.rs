@@ -457,7 +457,7 @@ proptest! {
             let mut fresh = BddManager::new();
             fresh.new_vars("x", NVARS.max(s.max_level() + 1));
             let g = fresh.import_bdd(&s);
-            let h = fresh.bulk_import_bdd(&s);
+            let h = fresh.bulk_import_bdd(&s).expect("bulk import");
             prop_assert_eq!(g, h);
             fresh.check_invariants();
         }

@@ -43,17 +43,26 @@
 //!   in one invocation — a cold pass then a warm pass — asserting that
 //!   both passes agree on every verdict and state count and printing the
 //!   aggregate cold/warm wall times and the speedup;
+//! * `--timeout <secs>` / `--max-nodes <n>` / `--max-steps <n>` put a
+//!   resource budget on every row; a row that exhausts its budget is
+//!   recorded with `outcome: "exhausted"` (zeroed stats) instead of
+//!   aborting the table, and the process exits 4 (see
+//!   `docs/robustness.md`);
+//! * `--fallback` arms the degradation ladder: on node/arena exhaustion a
+//!   row retries the remaining fixpoint with the saturation engine plus
+//!   forced sifting and, when that completes, is recorded with
+//!   `outcome: "fallback"`;
 //! * `--small` runs the quick workload set across **all** engines — the
 //!   CI smoke configuration that keeps the engine column honest.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use stgcheck_bench::{quick_workloads, table1_workloads, workloads_from_dir};
 use stgcheck_core::{
-    verify_persistent, CacheStatus, EngineKind, PersistOptions, ReorderMode, ShardSharing,
-    SymbolicReport, VarOrder, VerifyOptions,
+    verify_persistent, CacheStatus, EngineKind, Outcome, PersistOptions, ProcessExit, ReorderMode,
+    ShardSharing, SymbolicReport, VarOrder, VerifyOptions,
 };
 use stgcheck_stg::{build_state_graph, PersistencyPolicy, SgOptions};
 
@@ -107,6 +116,15 @@ struct JsonRow {
     /// Result-cache status of this row: off, cold, warm or incremental.
     cache: String,
     verdict: &'static str,
+    /// How the row finished: `ok`, `fallback` (completed via the
+    /// degradation ladder), `exhausted` (budget or arena limit hit) or
+    /// `interrupted` (cooperative cancel).
+    outcome: &'static str,
+    /// Budget the row ran under (0 = unlimited), so perf diffs can tell
+    /// budgeted rows from free-running ones.
+    timeout_s: f64,
+    max_nodes: usize,
+    max_steps: u64,
 }
 
 fn json_escape(s: &str) -> String {
@@ -120,7 +138,9 @@ fn write_json(path: &PathBuf, rows: &[JsonRow]) -> std::io::Result<()> {
             "    {{\"name\": \"{}\", \"engine\": \"{}\", \"reorder\": \"{}\", \
              \"order\": \"{}\", \"jobs\": {}, \"states\": \"{}\", \
              \"peak_live_nodes\": {}, \"final_nodes\": {}, \"sift_passes\": {}, \
-             \"wall_s\": {:.6}, \"cache\": \"{}\", \"verdict\": \"{}\"}}{}\n",
+             \"wall_s\": {:.6}, \"cache\": \"{}\", \"verdict\": \"{}\", \
+             \"outcome\": \"{}\", \"timeout_s\": {}, \"max_nodes\": {}, \
+             \"max_steps\": {}}}{}\n",
             json_escape(&r.name),
             r.engine,
             r.reorder,
@@ -133,6 +153,10 @@ fn write_json(path: &PathBuf, rows: &[JsonRow]) -> std::io::Result<()> {
             r.wall_s,
             r.cache,
             r.verdict,
+            r.outcome,
+            r.timeout_s,
+            r.max_nodes,
+            r.max_steps,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -201,6 +225,32 @@ fn main() {
             }
         },
     };
+    let mut budget = stgcheck_core::BudgetSpec::default();
+    if let Some(v) = value_of("--timeout") {
+        let secs: f64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("--timeout needs a number of seconds, got `{v}`");
+            std::process::exit(2);
+        });
+        if !secs.is_finite() || secs <= 0.0 {
+            eprintln!("--timeout needs a positive number of seconds, got `{v}`");
+            std::process::exit(2);
+        }
+        budget.timeout = Some(Duration::from_secs_f64(secs));
+    }
+    if let Some(v) = value_of("--max-nodes") {
+        budget.max_nodes = v.parse().unwrap_or_else(|_| {
+            eprintln!("--max-nodes needs a number, got `{v}`");
+            std::process::exit(2);
+        });
+    }
+    if let Some(v) = value_of("--max-steps") {
+        budget.max_steps = v.parse().unwrap_or_else(|_| {
+            eprintln!("--max-steps needs a number, got `{v}`");
+            std::process::exit(2);
+        });
+    }
+    budget.fallback = args.iter().any(|a| a == "--fallback");
+    let timeout_s = budget.timeout.map_or(0.0, |d| d.as_secs_f64());
 
     println!("stgcheck — Table 1 reproduction (order: {order:?})");
     println!("columns: example, engine, places, signals, reachable states, BDD peak/final");
@@ -235,6 +285,7 @@ fn main() {
     let mut cold_results: HashMap<(String, String, String), (&'static str, String)> =
         HashMap::new();
     let mut pass_wall = [0.0f64; 2];
+    let mut exit = ProcessExit::Success;
     for (pass, pass_wall_slot) in pass_wall.iter_mut().enumerate().take(passes) {
         if warm_rerun {
             println!();
@@ -263,18 +314,68 @@ fn main() {
                             ..Default::default()
                         },
                         reorder,
+                        budget,
                     };
                     let start = Instant::now();
                     let run = match verify_persistent(&w.stg, opts, &persist) {
                         Ok(r) => r,
                         Err(e) => {
                             println!("{:<16} verification aborted: {e}", w.name);
+                            exit = exit.worst(ProcessExit::Violation);
                             continue;
                         }
                     };
                     let wall_s = start.elapsed().as_secs_f64();
                     *pass_wall_slot += wall_s;
-                    let report = run.report.expect("no abort_after configured");
+                    let report = match run.outcome {
+                        Outcome::Completed(report) => report,
+                        Outcome::Exhausted { reason, .. } => {
+                            println!("{:<16} {kind:>14} budget exhausted: {reason}", w.name);
+                            exit = exit.worst(ProcessExit::Exhausted);
+                            json_rows.push(JsonRow {
+                                name: w.name.clone(),
+                                engine: kind.to_string(),
+                                reorder,
+                                order,
+                                jobs,
+                                states: "?".to_string(),
+                                peak_live_nodes: 0,
+                                final_nodes: 0,
+                                sift_passes: 0,
+                                wall_s,
+                                cache: run.cache.to_string(),
+                                verdict: "?",
+                                outcome: "exhausted",
+                                timeout_s,
+                                max_nodes: budget.max_nodes,
+                                max_steps: budget.max_steps,
+                            });
+                            continue;
+                        }
+                        Outcome::Interrupted { .. } => {
+                            println!("{:<16} {kind:>14} interrupted", w.name);
+                            exit = exit.worst(ProcessExit::Interrupted);
+                            json_rows.push(JsonRow {
+                                name: w.name.clone(),
+                                engine: kind.to_string(),
+                                reorder,
+                                order,
+                                jobs,
+                                states: "?".to_string(),
+                                peak_live_nodes: 0,
+                                final_nodes: 0,
+                                sift_passes: 0,
+                                wall_s,
+                                cache: run.cache.to_string(),
+                                verdict: "?",
+                                outcome: "interrupted",
+                                timeout_s,
+                                max_nodes: budget.max_nodes,
+                                max_steps: budget.max_steps,
+                            });
+                            continue;
+                        }
+                    };
                     let mut row = report.table1_row();
                     if explicit {
                         match &explicit_cell {
@@ -334,6 +435,10 @@ fn main() {
                         wall_s,
                         cache: run.cache.to_string(),
                         verdict,
+                        outcome: if run.fell_back { "fallback" } else { "ok" },
+                        timeout_s,
+                        max_nodes: budget.max_nodes,
+                        max_steps: budget.max_steps,
                     });
                 }
             }
@@ -361,4 +466,7 @@ fn main() {
     println!("graphs (muller, master-read); mutex rows exercise the conflict machinery.");
     println!("Engines must agree on every column except the CPU times (and iterations);");
     println!("reorder modes must agree on everything except BDD sizes and CPU times.");
+    if exit != ProcessExit::Success {
+        std::process::exit(exit.code());
+    }
 }

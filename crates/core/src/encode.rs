@@ -394,7 +394,7 @@ impl<'a> SymbolicStg<'a> {
         if order != self.mgr.order() {
             self.apply_var_order(&order, &mut []);
         }
-        Ok(self.mgr.bulk_import_checkpoint(ck))
+        self.mgr.bulk_import_checkpoint(ck)
     }
 
     /// The characteristic cubes of transition `t`.

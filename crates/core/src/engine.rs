@@ -45,7 +45,7 @@
 use std::collections::BTreeSet;
 use std::sync::mpsc;
 
-use stgcheck_bdd::{Bdd, BddManager, Literal, SerializedBdd, Var};
+use stgcheck_bdd::{Bdd, BddManager, Budget, Literal, ResourceError, SerializedBdd, Var};
 use stgcheck_petri::TransId;
 
 use crate::encode::SymbolicStg;
@@ -286,11 +286,27 @@ impl FixpointSpec {
     }
 }
 
+/// Why [`run_fixpoint`] stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum FixpointStop {
+    /// The least fixpoint was reached; `reached` is the full answer.
+    Converged,
+    /// Stopped cooperatively — [`FixpointCtl::abort_after`] or the
+    /// budget's external cancel flag. `reached` is the last-committed
+    /// sound under-approximation, captured in a final snapshot when a
+    /// checkpoint path is configured.
+    Interrupted,
+    /// A resource limit tripped mid-flight ([`stgcheck_bdd::Budget`]).
+    /// As for `Interrupted`, `reached` is the last-committed state and a
+    /// final snapshot was written when a checkpoint path is configured.
+    Exhausted(ResourceError),
+}
+
 /// Result of one [`run_fixpoint`] call.
 pub(crate) struct FixpointOutcome {
     /// The least fixpoint: everything reachable from `init` under the
-    /// spec's step — or, when `interrupted`, the partial set reached so
-    /// far (also captured in the final checkpoint snapshot).
+    /// spec's step — or, when the loop stopped early, the partial set
+    /// reached so far (also captured in the final checkpoint snapshot).
     pub reached: Bdd,
     /// Outer iterations until convergence (engine-dependent; only the
     /// final set is engine-independent).
@@ -300,10 +316,8 @@ pub(crate) struct FixpointOutcome {
     /// Highest per-worker peak of live BDD nodes (0 for the sequential
     /// engines, whose peak shows up in the main manager).
     pub shard_peak_nodes: usize,
-    /// `true` when the loop stopped at [`FixpointCtl::abort_after`]
-    /// instead of converging; a final snapshot was written if a
-    /// checkpoint path is configured.
-    pub interrupted: bool,
+    /// Whether the loop converged, was interrupted or ran out of budget.
+    pub stop: FixpointStop,
 }
 
 /// State imported from a previous run's checkpoint, ready to seed a
@@ -339,6 +353,12 @@ pub(crate) struct FixpointCtl {
     pub abort_after: usize,
     /// Seed state from a previous snapshot; consumed by the engine.
     pub resume: Option<ResumeState>,
+    /// The resource budget governing this loop. Must share its inner
+    /// state with the budget installed on the manager
+    /// ([`stgcheck_bdd::BddManager::set_budget`]) so the engine's commit
+    /// points and the manager's allocation polls observe the same trip.
+    /// Defaults to unlimited.
+    pub budget: Budget,
     /// First I/O error hit while writing snapshots. Snapshot failures do
     /// not stop the fixpoint — the caller surfaces this as a warning.
     pub io_error: Option<String>,
@@ -363,6 +383,11 @@ impl FixpointCtl {
     /// End-of-iteration hook: writes a periodic snapshot when due and
     /// returns `true` when the run must stop (`abort_after` reached), in
     /// which case a final snapshot has been written unconditionally.
+    ///
+    /// An abort is routed through the budget's cancellation latch so
+    /// every layer sharing the budget — worker managers, in-flight
+    /// `and_exists` recursions — stops cooperatively, exactly as an
+    /// external cancel would.
     fn tick(
         &mut self,
         sym: &SymbolicStg<'_>,
@@ -375,7 +400,39 @@ impl FixpointCtl {
         if self.path.is_some() && (abort || due) {
             self.snapshot(sym, reached, frontier, iterations);
         }
+        if abort {
+            self.budget.trip(ResourceError::Cancelled);
+        }
         abort
+    }
+
+    /// Pre-commit budget check, called by every engine after computing an
+    /// iteration's frontier but *before* merging it into `reached`: once
+    /// the budget has tripped, every value computed since is inert
+    /// garbage (tripped boolean operations return `FALSE` without
+    /// publishing nodes — see [`stgcheck_bdd::Budget`]), so the engine
+    /// abandons the in-flight sets and returns the last-committed state,
+    /// which this hook captures in a final snapshot. Doubling as the
+    /// iteration-boundary coarse poll, it also observes the deadline and
+    /// the cancel flag on allocation-free stretches.
+    fn budget_stop(
+        &mut self,
+        sym: &SymbolicStg<'_>,
+        reached: Bdd,
+        frontier: Bdd,
+        iterations: usize,
+    ) -> Option<FixpointStop> {
+        if !self.budget.is_tripped() {
+            self.budget.check_coarse();
+        }
+        let reason = self.budget.tripped()?;
+        if self.path.is_some() {
+            self.snapshot(sym, reached, frontier, iterations);
+        }
+        Some(match reason {
+            ResourceError::Cancelled => FixpointStop::Interrupted,
+            other => FixpointStop::Exhausted(other),
+        })
     }
 
     fn snapshot(&mut self, sym: &SymbolicStg<'_>, reached: Bdd, frontier: Bdd, iterations: usize) {
@@ -395,9 +452,22 @@ impl FixpointCtl {
 
 /// tmp-then-rename write: a crash mid-write never leaves a torn artifact
 /// at the destination (the v3 checksum catches everything else).
+///
+/// Failpoints `store-write` and `store-rename`
+/// ([`stgcheck_bdd::failpoint`]) fault the two I/O steps. The rename
+/// fault deliberately leaves the already-written `.tmp` file behind —
+/// that is exactly the debris a real crash between the two syscalls
+/// leaves, and the robustness suite asserts no later run mistakes it for
+/// a valid artifact.
 pub(crate) fn write_atomically(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
     let tmp = path.with_extension("tmp");
+    if stgcheck_bdd::failpoint::hit("store-write") {
+        return Err(std::io::Error::other("failpoint store-write armed"));
+    }
     std::fs::write(&tmp, bytes)?;
+    if stgcheck_bdd::failpoint::hit("store-rename") {
+        return Err(std::io::Error::other("failpoint store-rename armed"));
+    }
     std::fs::rename(&tmp, path)
 }
 
@@ -419,6 +489,24 @@ pub(crate) fn run_fixpoint(
         ctl.resume.is_none() || !spec.record_rings,
         "resume cannot reconstruct strict-BFS rings"
     );
+    // A trip that predates the loop (during encoding, inference, or
+    // initial-state construction) means `init` is inert garbage — and so
+    // would be anything seeded from it. Stop here, before the seed and
+    // WITHOUT writing a snapshot: there is nothing sound to export, and
+    // a garbage snapshot would clobber a valid checkpoint that a later
+    // `--resume` still needs.
+    if let Some(reason) = ctl.budget.tripped() {
+        return FixpointOutcome {
+            reached: init,
+            iterations: ctl.resume.as_ref().map_or(0, |r| r.iterations),
+            rings: Vec::new(),
+            shard_peak_nodes: 0,
+            stop: match reason {
+                ResourceError::Cancelled => FixpointStop::Interrupted,
+                other => FixpointStop::Exhausted(other),
+            },
+        };
+    }
     match opts.kind {
         EngineKind::PerTransition => run_per_transition(sym, opts, spec, transitions, init, ctl),
         EngineKind::Clustered => run_clustered(sym, opts, spec, transitions, init, ctl),
@@ -545,6 +633,18 @@ fn run_per_transition(
                 acc
             }
         };
+        // Budget check *before* the convergence test: a mid-sweep trip
+        // makes `to` inert garbage whose diff is spuriously FALSE — the
+        // loop must report exhaustion, never fake convergence.
+        if let Some(stop) = ctl.budget_stop(sym, reached, from, iterations - 1) {
+            return FixpointOutcome {
+                reached,
+                iterations: iterations - 1,
+                rings,
+                shard_peak_nodes: 0,
+                stop,
+            };
+        }
         let new = sym.manager_mut().diff(to, reached);
         if new.is_false() {
             break;
@@ -562,11 +662,17 @@ fn run_per_transition(
                 iterations,
                 rings,
                 shard_peak_nodes: 0,
-                interrupted: true,
+                stop: FixpointStop::Interrupted,
             };
         }
     }
-    FixpointOutcome { reached, iterations, rings, shard_peak_nodes: 0, interrupted: false }
+    FixpointOutcome {
+        reached,
+        iterations,
+        rings,
+        shard_peak_nodes: 0,
+        stop: FixpointStop::Converged,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -721,6 +827,16 @@ fn run_clustered(
             acc = sym.manager_mut().or(acc, delta);
             maybe_gc(sym, spec, &[reached, acc], &[], &engine_roots);
         }
+        // Pre-commit budget check — see `run_per_transition`.
+        if let Some(stop) = ctl.budget_stop(sym, reached, from, iterations - 1) {
+            return FixpointOutcome {
+                reached,
+                iterations: iterations - 1,
+                rings: Vec::new(),
+                shard_peak_nodes: 0,
+                stop,
+            };
+        }
         let new = sym.manager_mut().diff(acc, reached);
         if new.is_false() {
             break;
@@ -738,7 +854,7 @@ fn run_clustered(
                 iterations,
                 rings: Vec::new(),
                 shard_peak_nodes: 0,
-                interrupted: true,
+                stop: FixpointStop::Interrupted,
             };
         }
     }
@@ -747,7 +863,7 @@ fn run_clustered(
         iterations,
         rings: Vec::new(),
         shard_peak_nodes: 0,
-        interrupted: false,
+        stop: FixpointStop::Converged,
     }
 }
 
@@ -878,11 +994,26 @@ fn run_saturation(
                 acc = sym.manager_mut().or(acc, img);
                 maybe_gc(sym, spec, &[reached, acc], &[], &engine_roots);
             }
+            // A trip inside the sweep makes `acc` inert garbage (an OR of
+            // tripped operands is TRUE, which `acc == reached` would
+            // happily commit): abandon it before the comparison.
+            if ctl.budget.is_tripped() {
+                break;
+            }
             if acc == reached {
                 break;
             }
             grew = true;
             reached = acc;
+        }
+        if let Some(stop) = ctl.budget_stop(sym, reached, reached, iterations) {
+            return FixpointOutcome {
+                reached,
+                iterations,
+                rings: Vec::new(),
+                shard_peak_nodes: 0,
+                stop,
+            };
         }
         // The snapshot's frontier *is* the reached set here — saturation
         // resumes by re-saturating, not by frontier replay.
@@ -892,7 +1023,7 @@ fn run_saturation(
                 iterations,
                 rings: Vec::new(),
                 shard_peak_nodes: 0,
-                interrupted: true,
+                stop: FixpointStop::Interrupted,
             };
         }
         if !grew {
@@ -930,7 +1061,7 @@ fn run_saturation(
         iterations,
         rings: Vec::new(),
         shard_peak_nodes: 0,
-        interrupted: false,
+        stop: FixpointStop::Converged,
     }
 }
 
@@ -1109,6 +1240,20 @@ fn run_parallel_shared(
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
         });
+        // Pre-commit budget check, with all workers joined: a trip during
+        // the fan-out makes their closures inert garbage (the closures
+        // themselves exit promptly — a tripped diff is FALSE, which reads
+        // as local convergence). Abandon the parts, keep the committed
+        // state.
+        if let Some(stop) = ctl.budget_stop(sym, reached, from, iterations - 1) {
+            return FixpointOutcome {
+                reached,
+                iterations: iterations - 1,
+                rings: Vec::new(),
+                shard_peak_nodes: 0,
+                stop,
+            };
+        }
         let mut to = from;
         for part in parts {
             to = sym.manager().or(to, part);
@@ -1129,7 +1274,7 @@ fn run_parallel_shared(
                 iterations,
                 rings: Vec::new(),
                 shard_peak_nodes: 0,
-                interrupted: true,
+                stop: FixpointStop::Interrupted,
             };
         }
     }
@@ -1140,7 +1285,7 @@ fn run_parallel_shared(
         iterations,
         rings: Vec::new(),
         shard_peak_nodes: 0,
-        interrupted: false,
+        stop: FixpointStop::Converged,
     }
 }
 
@@ -1167,6 +1312,10 @@ fn run_parallel_private(
     let within_ser = spec.within.map(|w| sym.manager().export_bdd(w));
     let marking_only = spec.marking_only;
     let direction = spec.direction;
+    // Workers share the loop's budget: a trip anywhere (a worker blowing
+    // the node ceiling, the coordinator passing the deadline) reaches
+    // every private manager at its next allocation poll.
+    let budget = ctl.budget.clone();
     std::thread::scope(|scope| {
         let (res_tx, res_rx) = mpsc::channel::<(SerializedBdd, usize)>();
         let mut cmd_txs: Vec<mpsc::Sender<ShardCmd>> = Vec::new();
@@ -1176,6 +1325,7 @@ fn run_parallel_private(
             let res_tx = res_tx.clone();
             let within_ser = within_ser.clone();
             let start_order = start_order.clone();
+            let budget = budget.clone();
             scope.spawn(move || {
                 // Each worker owns a full symbolic context; the
                 // deterministic declaration sequence plus the explicit
@@ -1183,6 +1333,7 @@ fn run_parallel_private(
                 // with the main manager's, which is what makes the
                 // serialised interchange sound.
                 let mut w = SymbolicStg::new(stg, order);
+                w.manager_mut().set_budget(budget);
                 if w.manager().order() != start_order {
                     w.apply_var_order(&start_order, &mut []);
                 }
@@ -1237,6 +1388,18 @@ fn run_parallel_private(
                 to = sym.manager_mut().or(to, part);
                 shard_peak = shard_peak.max(peak);
             }
+            // Pre-commit budget check (all worker results drained above,
+            // so the channel protocol stays in lockstep).
+            if let Some(stop) = ctl.budget_stop(sym, reached, from, iterations - 1) {
+                drop(cmd_txs); // workers see a closed channel and exit
+                return FixpointOutcome {
+                    reached,
+                    iterations: iterations - 1,
+                    rings: Vec::new(),
+                    shard_peak_nodes: shard_peak,
+                    stop,
+                };
+            }
             let new = sym.manager_mut().diff(to, reached);
             if new.is_false() {
                 break;
@@ -1255,7 +1418,7 @@ fn run_parallel_private(
                     iterations,
                     rings: Vec::new(),
                     shard_peak_nodes: shard_peak,
-                    interrupted: true,
+                    stop: FixpointStop::Interrupted,
                 };
             }
         }
@@ -1265,7 +1428,7 @@ fn run_parallel_private(
             iterations,
             rings: Vec::new(),
             shard_peak_nodes: shard_peak,
-            interrupted: false,
+            stop: FixpointStop::Converged,
         }
     })
 }
@@ -1537,7 +1700,7 @@ mod tests {
                 &mut FixpointCtl::default(),
             );
             assert_eq!(out.reached, base.reached, "{opts:?}");
-            assert!(!out.interrupted);
+            assert_eq!(out.stop, FixpointStop::Converged);
         }
     }
 }

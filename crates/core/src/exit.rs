@@ -1,0 +1,80 @@
+//! The process exit-code contract shared by the `stgcheck` CLI and the
+//! `table1` bench driver.
+//!
+//! One enum, one meaning per code, documented in `docs/robustness.md`
+//! and the README:
+//!
+//! | code | meaning |
+//! |-----:|---------|
+//! | 0 | every input verified; no property violation |
+//! | 1 | verification completed and found a property violation |
+//! | 2 | usage, file-read or parse error — nothing was verified |
+//! | 3 | interrupted cooperatively (cancel or `--abort-after`); a resumable checkpoint was written when configured |
+//! | 4 | a resource budget was exhausted (`--timeout`, `--max-nodes`, `--max-steps` or the node arena); resumable like 3 |
+//! | 5 | internal error (invariant violation or unexpected I/O failure) |
+
+/// Documented exit codes for the `stgcheck` and `table1` binaries.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(i32)]
+pub enum ProcessExit {
+    /// Every input verified and no property violation was found.
+    Success = 0,
+    /// Verification completed; at least one input is not implementable
+    /// (or an explicitly requested property failed).
+    Violation = 1,
+    /// Usage, file-read or parse error: nothing was verified.
+    Usage = 2,
+    /// Stopped cooperatively — external cancellation or `--abort-after` —
+    /// with a resumable checkpoint when one was configured. Rerun with
+    /// `--resume` to continue.
+    Interrupted = 3,
+    /// A resource budget was exhausted (`--timeout`, `--max-nodes`,
+    /// `--max-steps`, or the node arena filled up). Rerun with `--resume`
+    /// and a larger budget — the verdict is bit-identical to an
+    /// uninterrupted run.
+    Exhausted = 4,
+    /// Internal error: an invariant violation or an unexpected I/O
+    /// failure that is neither a bad input nor a resource limit.
+    Internal = 5,
+}
+
+impl ProcessExit {
+    /// The numeric code handed to [`std::process::exit`].
+    pub fn code(self) -> i32 {
+        self as i32
+    }
+
+    /// Combines per-file outcomes: the numerically highest code wins, so
+    /// a multi-file run exits 0 only when every file succeeded, and an
+    /// incomplete run (3/4) dominates a mere violation (1).
+    #[must_use]
+    pub fn worst(self, other: ProcessExit) -> ProcessExit {
+        if (other as i32) > (self as i32) {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_the_documented_contract() {
+        assert_eq!(ProcessExit::Success.code(), 0);
+        assert_eq!(ProcessExit::Violation.code(), 1);
+        assert_eq!(ProcessExit::Usage.code(), 2);
+        assert_eq!(ProcessExit::Interrupted.code(), 3);
+        assert_eq!(ProcessExit::Exhausted.code(), 4);
+        assert_eq!(ProcessExit::Internal.code(), 5);
+    }
+
+    #[test]
+    fn worst_takes_the_higher_code() {
+        assert_eq!(ProcessExit::Success.worst(ProcessExit::Violation), ProcessExit::Violation);
+        assert_eq!(ProcessExit::Exhausted.worst(ProcessExit::Violation), ProcessExit::Exhausted);
+        assert_eq!(ProcessExit::Internal.worst(ProcessExit::Success), ProcessExit::Internal);
+    }
+}

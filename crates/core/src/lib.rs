@@ -48,6 +48,7 @@ mod csc;
 mod deadlock;
 mod encode;
 mod engine;
+mod exit;
 mod fake;
 mod image;
 mod logic;
@@ -62,6 +63,7 @@ pub use consistency::ConsistencyViolation;
 pub use csc::{CodeRegions, CscAnalysis};
 pub use encode::{StateWitness, SymbolicStg, TransCubes, VarOrder};
 pub use engine::{EngineKind, EngineOptions, ReorderMode, ShardSharing};
+pub use exit::ProcessExit;
 pub use logic::{LogicError, SignalFunction};
 pub use persistency::{SymSignalViolation, SymTransViolation};
 pub use safety::SafetyViolation;
@@ -71,6 +73,11 @@ pub use traverse::{
     cross_check_reachability, format_states, Traversal, TraversalStats, TraversalStrategy,
 };
 pub use verify::{
-    verify, verify_persistent, PersistOptions, PhaseTimes, SymbolicReport, VerifyError,
-    VerifyOptions, VerifyRun,
+    verify, verify_persistent, BudgetSpec, Outcome, PersistOptions, PhaseTimes, SymbolicReport,
+    VerifyError, VerifyOptions, VerifyRun,
 };
+
+// Budget/cancellation and fault-injection primitives live in the BDD
+// crate (the layer that polls them); re-export the types callers need to
+// configure a run or interpret an exhaustion.
+pub use stgcheck_bdd::{failpoint, Budget, ResourceError};

@@ -95,14 +95,21 @@ impl ResultStore {
     }
 
     /// Loads a cached report; any unreadable or malformed artifact is a
-    /// miss.
+    /// miss. The `store-read` failpoint injects the unreadable case: an
+    /// armed run must degrade to a clean cold recompute, never an error.
     pub(crate) fn load_report(&self, key: &str) -> Option<SymbolicReport> {
+        if stgcheck_bdd::failpoint::hit("store-read") {
+            return None;
+        }
         let text = std::fs::read_to_string(self.path(&format!("{key}.report"))).ok()?;
         report_from_text(&text)
     }
 
     /// Loads the stored reached-set checkpoint for `key`.
     pub(crate) fn load_reached(&self, key: &str) -> Option<BddCheckpoint> {
+        if stgcheck_bdd::failpoint::hit("store-read") {
+            return None;
+        }
         let bytes = std::fs::read(self.path(&format!("{key}.reached"))).ok()?;
         BddCheckpoint::from_bytes(&bytes).ok()
     }
@@ -153,6 +160,12 @@ impl ResultStore {
 
 /// The store key: 32 hex digits of the content hash, then a short tag of
 /// every option that changes what a run computes or reports.
+///
+/// The resource budget ([`crate::BudgetSpec`]) is deliberately *not* part
+/// of the key: a budget changes whether a run finishes, never what a
+/// finished run computes, so a verdict cached by a generous run must
+/// serve a tightly-budgeted rerun (and only completed runs are ever
+/// stored).
 pub(crate) fn cache_key(hash: u128, opts: &VerifyOptions) -> String {
     format!("{hash:032x}-{}", opts_tag(opts))
 }
@@ -709,6 +722,11 @@ mod tests {
         cl.engine.kind = EngineKind::Clustered;
         assert_ne!(cache_key(7, &cl), k0);
         assert_ne!(cache_key(8, &base), k0);
+        // The budget never reaches the key: a verdict cached by a
+        // generous run serves a tightly-budgeted rerun of the same net.
+        let mut tight = base;
+        tight.budget = crate::BudgetSpec { max_nodes: 1000, max_steps: 42, ..Default::default() };
+        assert_eq!(cache_key(7, &tight), k0);
         // The latest pointer survives hostile names.
         let p = latest_pointer("weird net/name", &k0);
         assert!(p.starts_with("latest-weird_net_name-"));

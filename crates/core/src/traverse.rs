@@ -9,7 +9,9 @@ use stgcheck_bdd::Bdd;
 use stgcheck_stg::{Code, Polarity, SgError, SgOptions, SignalId};
 
 use crate::encode::SymbolicStg;
-use crate::engine::{run_fixpoint, EngineKind, EngineOptions, FixpointCtl, FixpointSpec};
+use crate::engine::{
+    run_fixpoint, EngineKind, EngineOptions, FixpointCtl, FixpointSpec, FixpointStop,
+};
 
 /// Frontier strategy for the fixed-point loop.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -107,15 +109,15 @@ impl SymbolicStg<'_> {
 
     /// [`SymbolicStg::traverse_with_engine`] with checkpoint/resume
     /// control threaded through to the fixed-point loop. Returns the
-    /// traversal plus whether the loop was interrupted by the control's
-    /// abort hook (in which case `reached` and the stats describe the
-    /// partial traversal captured in the final snapshot).
+    /// traversal plus why the loop stopped: on anything other than
+    /// [`FixpointStop::Converged`], `reached` and the stats describe the
+    /// partial traversal captured in the final snapshot.
     pub(crate) fn traverse_with_engine_ctl(
         &mut self,
         code: Code,
         opts: &EngineOptions,
         ctl: &mut FixpointCtl,
-    ) -> (Traversal, bool) {
+    ) -> (Traversal, FixpointStop) {
         let start = Instant::now();
         self.manager_mut().reset_peak();
         let sift_runs_before = self.manager().stats().sift_runs;
@@ -131,7 +133,7 @@ impl SymbolicStg<'_> {
             num_states: self.manager().sat_count(out.reached),
             seconds: start.elapsed().as_secs_f64(),
         };
-        (Traversal { reached: out.reached, stats }, out.interrupted)
+        (Traversal { reached: out.reached, stats }, out.stop)
     }
 
     /// Marking-only traversal with the edges of `frozen` signals removed —

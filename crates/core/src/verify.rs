@@ -12,19 +12,61 @@
 //!    CSC-reducibility via the frozen-input traversal.
 
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use stgcheck_bdd::{BddCheckpoint, Literal};
+use stgcheck_bdd::{BddCheckpoint, Budget, Literal, ResourceError};
 use stgcheck_stg::{Code, FakeConflict, Implementability, PersistencyPolicy, SgError, Stg};
 
 use crate::consistency::ConsistencyViolation;
 use crate::csc::CscAnalysis;
 use crate::encode::{SymbolicStg, VarOrder};
-use crate::engine::{EngineOptions, FixpointCtl, ReorderMode, ResumeState};
+use crate::engine::{
+    write_atomically, EngineKind, EngineOptions, FixpointCtl, FixpointStop, ReorderMode,
+    ResumeState,
+};
 use crate::persistency::{SymSignalViolation, SymTransViolation};
 use crate::safety::SafetyViolation;
 use crate::store::{cache_key, monotone_extension, place_names, CacheStatus, ResultStore};
 use crate::traverse::{format_states, Traversal, TraversalStats};
+
+/// Resource limits for one verification run — the `--timeout`,
+/// `--max-nodes`, `--max-steps` and `--fallback` family. The default
+/// imposes nothing, and an unlimited budget costs one predicted branch
+/// per BDD operation.
+///
+/// The limits are deliberately *not* part of the result-store cache key:
+/// a completed verdict is the same verdict however generously it was
+/// budgeted, so a warm hit may legally satisfy a tightly budgeted rerun.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct BudgetSpec {
+    /// Wall-clock deadline for the whole run (`--timeout`); `None` means
+    /// unlimited. The deadline is absolute: a `--fallback` retry runs
+    /// against the remainder, not a fresh allowance.
+    pub timeout: Option<Duration>,
+    /// Live-node ceiling across all managers sharing the budget
+    /// (`--max-nodes`); `0` means unlimited.
+    pub max_nodes: usize,
+    /// Deterministic node-allocation-step ceiling (`--max-steps`); `0`
+    /// means unlimited. Steps count *allocations*, a machine-independent
+    /// progress clock, which is what makes the interrupt-anywhere tests
+    /// reproducible.
+    pub max_steps: u64,
+    /// Degradation ladder: when the node budget or the arena is
+    /// exhausted, checkpoint the partial traversal and retry the
+    /// remaining fixpoint once under the thriftier saturation engine
+    /// with forced sifting, re-armed against the same deadline.
+    pub fallback: bool,
+}
+
+impl BudgetSpec {
+    /// Builds the shared runtime budget, wiring in the caller's cancel
+    /// flag when given.
+    pub(crate) fn build(&self, cancel: Option<Arc<AtomicBool>>) -> Budget {
+        Budget::new(self.timeout, self.max_nodes, self.max_steps, cancel)
+    }
+}
 
 /// Options for [`verify`].
 #[derive(Copy, Clone, Debug, Default)]
@@ -43,6 +85,9 @@ pub struct VerifyOptions {
     /// `engine.reorder` set directly still takes effect — setting either
     /// knob enables sifting.
     pub reorder: ReorderMode,
+    /// Resource limits; defaults to unlimited. Excluded from the result
+    /// cache key (see [`BudgetSpec`]).
+    pub budget: BudgetSpec,
 }
 
 /// Wall-clock seconds per verification phase — the CPU columns of Table 1.
@@ -185,6 +230,21 @@ pub enum VerifyError {
     InitialCode(SgError),
     /// The persistent result store could not be opened or written.
     Store(String),
+    /// The net has weighted arcs — the safe-net boolean encoding does not
+    /// apply (the paper's construction targets safe, hence ordinary,
+    /// nets).
+    NotOrdinary,
+    /// The net needs more boolean variables than the manager supports.
+    TooManyVariables {
+        /// Places plus signals of the input net.
+        required: usize,
+        /// The manager's ceiling ([`stgcheck_bdd::MAX_VARS`]).
+        max: usize,
+    },
+    /// A resource limit tripped before [`verify`] could finish. The
+    /// checkpoint-aware sibling [`verify_persistent`] reports this as
+    /// [`Outcome::Exhausted`] instead, with a resumable snapshot.
+    Exhausted(ResourceError),
 }
 
 impl std::fmt::Display for VerifyError {
@@ -192,11 +252,32 @@ impl std::fmt::Display for VerifyError {
         match self {
             VerifyError::InitialCode(e) => write!(f, "cannot determine initial code: {e}"),
             VerifyError::Store(e) => write!(f, "result store: {e}"),
+            VerifyError::NotOrdinary => {
+                write!(f, "the net has weighted arcs; the symbolic encoding requires an ordinary (unit-weight) net")
+            }
+            VerifyError::TooManyVariables { required, max } => {
+                write!(f, "the net needs {required} boolean variables (places + signals); the BDD manager supports at most {max}")
+            }
+            VerifyError::Exhausted(e) => write!(f, "resource limit hit: {e}"),
         }
     }
 }
 
 impl std::error::Error for VerifyError {}
+
+/// Input-dimension gates run before any BDD work: every condition here
+/// would otherwise surface as a panic deep inside the encoder, and both
+/// are reachable from CLI-supplied `.g` files.
+fn check_dimensions(stg: &Stg) -> Result<(), VerifyError> {
+    if !stg.net().is_ordinary() {
+        return Err(VerifyError::NotOrdinary);
+    }
+    let required = stg.net().num_places() + stg.num_signals();
+    if required > stgcheck_bdd::MAX_VARS {
+        return Err(VerifyError::TooManyVariables { required, max: stgcheck_bdd::MAX_VARS });
+    }
+    Ok(())
+}
 
 /// Runs the full symbolic verification of `stg` and classifies it.
 ///
@@ -204,18 +285,49 @@ impl std::error::Error for VerifyError {}
 ///
 /// [`VerifyError::InitialCode`] when the STG carries no initial code and
 /// the Section 5.1 inference is ambiguous (which already implies an
-/// inconsistent specification).
+/// inconsistent specification); [`VerifyError::NotOrdinary`] /
+/// [`VerifyError::TooManyVariables`] when the net does not fit the
+/// boolean encoding; [`VerifyError::Exhausted`] when a configured
+/// [`BudgetSpec`] limit tripped (use [`verify_persistent`] to get a
+/// resumable checkpoint instead of a bare error).
 pub fn verify(stg: &Stg, opts: VerifyOptions) -> Result<SymbolicReport, VerifyError> {
     let total_start = Instant::now();
+    check_dimensions(stg)?;
     let mut sym = SymbolicStg::new(stg, opts.order);
     let engine = effective_engine(&opts);
     sym.set_engine(engine);
+    let budget = opts.budget.build(None);
+    sym.manager_mut().set_budget(budget.clone());
 
     // Phase 1: traversal + consistency (+ safeness).
     let t0 = Instant::now();
-    let initial_code = sym.effective_initial_code().map_err(VerifyError::InitialCode)?;
-    let traversal = sym.traverse_engine(initial_code);
-    Ok(finish_verification(&mut sym, &opts, &engine, initial_code, traversal, total_start, t0))
+    let initial_code = match sym.effective_initial_code() {
+        Ok(c) => c,
+        // A trip during inference can surface as a spurious inference
+        // failure (the frozen traversals converge on garbage): report the
+        // resource cause, not the bogus ambiguity.
+        Err(e) => {
+            return Err(match budget.tripped() {
+                Some(r) => VerifyError::Exhausted(r),
+                None => VerifyError::InitialCode(e),
+            });
+        }
+    };
+    let mut ctl = FixpointCtl { budget: budget.clone(), ..FixpointCtl::default() };
+    let (traversal, stop) = sym.traverse_with_engine_ctl(initial_code, &engine, &mut ctl);
+    match stop {
+        FixpointStop::Converged => {}
+        FixpointStop::Interrupted => return Err(VerifyError::Exhausted(ResourceError::Cancelled)),
+        FixpointStop::Exhausted(r) => return Err(VerifyError::Exhausted(r)),
+    }
+    let report =
+        finish_verification(&mut sym, &opts, &engine, initial_code, traversal, total_start, t0);
+    // The post-traversal phases run fixpoints of their own on the same
+    // budgeted manager; a trip there leaves inert garbage in the report.
+    if let Some(r) = budget.tripped() {
+        return Err(VerifyError::Exhausted(r));
+    }
+    Ok(report)
 }
 
 /// The engine options [`verify`] actually runs: [`VerifyOptions::reorder`]
@@ -348,24 +460,112 @@ pub struct PersistOptions {
     pub incremental: bool,
     /// Interrupt the traversal (writing a final checkpoint) after this
     /// many outer iterations; `0` runs to convergence. Test hook behind
-    /// `--abort-after`.
+    /// `--abort-after`, routed through the budget's cancellation latch.
     pub abort_after: usize,
+    /// External cancellation flag: raise it from any thread (a signal
+    /// handler, a supervisor) and the run stops at its next poll point
+    /// with [`Outcome::Interrupted`] and a final checkpoint.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+/// How a [`verify_persistent`] run ended.
+// One `Outcome` exists per run and lives on the stack briefly — the
+// size gap between the report-carrying and checkpoint-path variants
+// costs nothing, and boxing would tax every completed-run access.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Verification ran to completion; the verdict is authoritative.
+    Completed(SymbolicReport),
+    /// Stopped cooperatively (cancel flag or `--abort-after`). When
+    /// `checkpoint` names a file, a `--resume` run continues from it.
+    Interrupted {
+        /// The configured checkpoint path, if any (notes flag write
+        /// failures).
+        checkpoint: Option<PathBuf>,
+    },
+    /// A resource limit tripped. The partial traversal is sound —
+    /// everything committed before the trip — and `checkpoint` (when
+    /// configured) lets a `--resume` run with a larger budget finish the
+    /// job with a bit-identical verdict.
+    Exhausted {
+        /// The first limit that tripped.
+        reason: ResourceError,
+        /// The configured checkpoint path, if any.
+        checkpoint: Option<PathBuf>,
+    },
+}
+
+impl Outcome {
+    /// The completed report, if the run finished.
+    pub fn report(&self) -> Option<&SymbolicReport> {
+        match self {
+            Outcome::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome, yielding the completed report if any.
+    pub fn into_report(self) -> Option<SymbolicReport> {
+        match self {
+            Outcome::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
 }
 
 /// Outcome of [`verify_persistent`].
 #[derive(Clone, Debug)]
 pub struct VerifyRun {
-    /// The verification report; `None` when the run was interrupted by
-    /// [`PersistOptions::abort_after`] before the fixpoint converged.
-    pub report: Option<SymbolicReport>,
+    /// How the run ended: a completed report, a cooperative interrupt or
+    /// a budget exhaustion (the latter two with a resumable checkpoint
+    /// when one is configured).
+    pub outcome: Outcome,
     /// Where the result came from.
     pub cache: CacheStatus,
-    /// `true` when the traversal stopped early; a checkpoint (if
-    /// configured) was written and a later `--resume` run continues it.
-    pub interrupted: bool,
+    /// `true` when the `--fallback` degradation ladder re-ran the
+    /// remaining fixpoint after an exhaustion (whatever the final
+    /// outcome).
+    pub fell_back: bool,
     /// Human-readable notes: resume/fallback decisions and non-fatal I/O
     /// problems.
     pub notes: Vec<String>,
+}
+
+impl VerifyRun {
+    /// The completed report, if the run finished.
+    pub fn report(&self) -> Option<&SymbolicReport> {
+        self.outcome.report()
+    }
+
+    /// Consumes the run, yielding the completed report if any.
+    pub fn into_report(self) -> Option<SymbolicReport> {
+        self.outcome.into_report()
+    }
+
+    /// `true` when the run was stopped cooperatively (cancel flag or
+    /// `--abort-after`).
+    pub fn interrupted(&self) -> bool {
+        matches!(self.outcome, Outcome::Interrupted { .. })
+    }
+
+    /// The tripped resource limit, when the run exhausted its budget.
+    pub fn exhausted(&self) -> Option<ResourceError> {
+        match &self.outcome {
+            Outcome::Exhausted { reason, .. } => Some(*reason),
+            _ => None,
+        }
+    }
+}
+
+/// Maps a latched trip reason to the outcome it represents: an external
+/// cancellation is a cooperative interrupt, everything else a resource
+/// exhaustion.
+fn stop_outcome(reason: ResourceError, checkpoint: Option<PathBuf>) -> Outcome {
+    match reason {
+        ResourceError::Cancelled => Outcome::Interrupted { checkpoint },
+        other => Outcome::Exhausted { reason: other, checkpoint },
+    }
 }
 
 /// [`verify`] with a persistence layer around the traversal: a warm
@@ -377,16 +577,20 @@ pub struct VerifyRun {
 ///
 /// # Errors
 ///
-/// [`VerifyError::InitialCode`] as for [`verify`];
+/// [`VerifyError::InitialCode`], [`VerifyError::NotOrdinary`] and
+/// [`VerifyError::TooManyVariables`] as for [`verify`];
 /// [`VerifyError::Store`] when the cache directory cannot be created.
 /// Unusable checkpoints or non-monotone edits are *not* errors — they
-/// degrade to a scratch run with a note in [`VerifyRun::notes`].
+/// degrade to a scratch run with a note in [`VerifyRun::notes`]. Budget
+/// exhaustion is not an error either: it returns [`Outcome::Exhausted`]
+/// with a resumable checkpoint.
 pub fn verify_persistent(
     stg: &Stg,
     opts: VerifyOptions,
     persist: &PersistOptions,
 ) -> Result<VerifyRun, VerifyError> {
     let total_start = Instant::now();
+    check_dimensions(stg)?;
     let store = match &persist.cache_dir {
         Some(dir) => Some(
             ResultStore::open(dir)
@@ -403,27 +607,56 @@ pub fn verify_persistent(
             // the caller used, not the one cached under.
             report.name = stg.name().to_string();
             return Ok(VerifyRun {
-                report: Some(report),
+                outcome: Outcome::Completed(report),
                 cache: CacheStatus::Warm,
-                interrupted: false,
+                fell_back: false,
                 notes,
             });
         }
     }
 
     let mut sym = SymbolicStg::new(stg, opts.order);
-    let engine = effective_engine(&opts);
+    let mut engine = effective_engine(&opts);
     sym.set_engine(engine);
+    let mut budget = opts.budget.build(persist.cancel.clone());
+    sym.manager_mut().set_budget(budget.clone());
     let phase1_start = Instant::now();
-    let initial_code = sym.effective_initial_code().map_err(VerifyError::InitialCode)?;
+    let initial_code = match sym.effective_initial_code() {
+        Ok(c) => c,
+        Err(e) => {
+            // As in `verify`: a trip during inference can masquerade as
+            // an inference failure.
+            if let Some(reason) = budget.tripped() {
+                let cache = if store.is_some() { CacheStatus::Cold } else { CacheStatus::Off };
+                return Ok(VerifyRun {
+                    outcome: stop_outcome(reason, None),
+                    cache,
+                    fell_back: false,
+                    notes,
+                });
+            }
+            return Err(VerifyError::InitialCode(e));
+        }
+    };
     let mut ctl = FixpointCtl {
         every: persist.checkpoint_every,
         path: persist.checkpoint.clone(),
         net_hash: hash,
         abort_after: persist.abort_after,
+        budget: budget.clone(),
         ..FixpointCtl::default()
     };
     let mut cache = if store.is_some() { CacheStatus::Cold } else { CacheStatus::Off };
+    // Inference converged on garbage? Don't start the main traversal.
+    if let Some(reason) = budget.tripped() {
+        return Ok(VerifyRun {
+            outcome: stop_outcome(reason, None),
+            cache,
+            fell_back: false,
+            notes,
+        });
+    }
+    let mut fell_back = false;
 
     if persist.resume {
         if let Some(path) = &persist.checkpoint {
@@ -458,12 +691,100 @@ pub fn verify_persistent(
         }
     }
 
-    let (traversal, interrupted) = sym.traverse_with_engine_ctl(initial_code, &engine, &mut ctl);
+    let (mut traversal, mut stop) = sym.traverse_with_engine_ctl(initial_code, &engine, &mut ctl);
     if let Some(err) = ctl.io_error.take() {
         notes.push(format!("checkpoint write failed: {err}"));
     }
-    if interrupted {
-        return Ok(VerifyRun { report: None, cache, interrupted: true, notes });
+
+    // The --fallback degradation ladder: on node/arena exhaustion the
+    // partial reached set is exported, a fresh manager is built, and the
+    // *remaining* fixpoint reruns once under the thriftiest configuration
+    // we have — saturation (cluster-local fixpoints keep the working set
+    // small) with forced sifting — against a re-armed budget with the
+    // same absolute deadline.
+    if opts.budget.fallback {
+        if let FixpointStop::Exhausted(reason) = &stop {
+            if reason.fallback_eligible() {
+                let partial = sym.export_checkpoint(
+                    hash,
+                    &[("reached", traversal.reached), ("frontier", traversal.reached)],
+                    &[("iterations".to_string(), traversal.stats.iterations as u64)],
+                );
+                let fb_engine = EngineOptions {
+                    kind: EngineKind::Saturation,
+                    reorder: ReorderMode::Sift,
+                    ..engine
+                };
+                let fb_budget = budget.rearm();
+                let mut fresh = SymbolicStg::new(stg, opts.order);
+                fresh.set_engine(fb_engine);
+                fresh.manager_mut().set_budget(fb_budget.clone());
+                match fresh.import_checkpoint(&partial) {
+                    Ok(roots) => {
+                        let reached = roots
+                            .iter()
+                            .find(|(n, _)| n == "reached")
+                            .map(|(_, b)| *b)
+                            .expect("the root exported two statements above");
+                        notes.push(format!(
+                            "{reason}; --fallback: retrying the remaining fixpoint with the \
+                             saturation engine and forced sifting"
+                        ));
+                        let mut fb_ctl = FixpointCtl {
+                            every: persist.checkpoint_every,
+                            path: persist.checkpoint.clone(),
+                            net_hash: hash,
+                            budget: fb_budget.clone(),
+                            resume: Some(ResumeState {
+                                reached,
+                                frontier: reached,
+                                iterations: traversal.stats.iterations,
+                            }),
+                            ..FixpointCtl::default()
+                        };
+                        let (t2, s2) =
+                            fresh.traverse_with_engine_ctl(initial_code, &fb_engine, &mut fb_ctl);
+                        if let Some(err) = fb_ctl.io_error.take() {
+                            notes.push(format!("checkpoint write failed: {err}"));
+                        }
+                        sym = fresh;
+                        traversal = t2;
+                        stop = s2;
+                        budget = fb_budget;
+                        engine = fb_engine;
+                        fell_back = true;
+                    }
+                    Err(e) => notes.push(format!(
+                        "--fallback could not seed the retry ({e}); keeping the exhausted outcome"
+                    )),
+                }
+            }
+        }
+    }
+
+    // Report the checkpoint path only when a file is really there: a
+    // budget that trips before the loop commits anything leaves no
+    // snapshot (and a snapshot write can fail), and claiming one would
+    // mislead the "rerun with --resume" guidance.
+    let written = || persist.checkpoint.clone().filter(|p| p.exists());
+    match stop {
+        FixpointStop::Converged => {}
+        FixpointStop::Interrupted => {
+            return Ok(VerifyRun {
+                outcome: Outcome::Interrupted { checkpoint: written() },
+                cache,
+                fell_back,
+                notes,
+            });
+        }
+        FixpointStop::Exhausted(reason) => {
+            return Ok(VerifyRun {
+                outcome: Outcome::Exhausted { reason, checkpoint: written() },
+                cache,
+                fell_back,
+                notes,
+            });
+        }
     }
 
     let reached = traversal.reached;
@@ -476,6 +797,33 @@ pub fn verify_persistent(
         total_start,
         phase1_start,
     );
+    // The post-traversal phases (consistency, persistency, CSC) run
+    // fixpoints of their own on the same budgeted manager; a trip there
+    // leaves inert garbage in the report. The traversal itself completed,
+    // so checkpoint the full reached set — a --resume run with a larger
+    // budget converges in one iteration and goes straight to the checks.
+    if let Some(reason) = budget.tripped() {
+        let mut checkpoint = None;
+        if let Some(path) = &persist.checkpoint {
+            let ck = sym.export_checkpoint(
+                hash,
+                &[("reached", reached), ("frontier", reached)],
+                &[("iterations".to_string(), report.traversal.iterations as u64)],
+            );
+            match write_atomically(path, &ck.to_bytes()) {
+                Ok(()) => checkpoint = Some(path.clone()),
+                Err(e) => {
+                    notes.push(format!("checkpoint write to {}: {e}", path.display()));
+                }
+            }
+        }
+        return Ok(VerifyRun {
+            outcome: stop_outcome(reason, checkpoint),
+            cache,
+            fell_back,
+            notes,
+        });
+    }
     if let Some(store) = &store {
         let iterations = report.traversal.iterations as u64;
         let ck = sym.export_checkpoint(
@@ -493,7 +841,7 @@ pub fn verify_persistent(
         // net into a stale-but-matching state).
         let _ = std::fs::remove_file(path);
     }
-    Ok(VerifyRun { report: Some(report), cache, interrupted: false, notes })
+    Ok(VerifyRun { outcome: Outcome::Completed(report), cache, fell_back, notes })
 }
 
 /// Loads a traversal checkpoint for `--resume`. A missing file is

@@ -19,6 +19,20 @@
 //!                        (in-place sifting; see docs/reordering.md)
 //!   --bfs                strict breadth-first traversal (default: chained)
 //!   --quiet              only print the verdict line per file
+//!   --timeout <secs>     wall-clock deadline for the whole verification;
+//!                        on expiry the run stops at the next poll point,
+//!                        writes a final checkpoint (with --checkpoint)
+//!                        and exits 4 (see docs/robustness.md)
+//!   --max-nodes <n>      live-BDD-node budget; exceeding it stops the run
+//!                        like --timeout
+//!   --max-steps <n>      budget on BDD node allocations (a deterministic
+//!                        proxy for work); exceeding it stops the run
+//!   --fallback           on node/arena exhaustion, checkpoint and retry
+//!                        the remaining fixpoint with the saturation
+//!                        engine plus forced sifting before giving up
+//!   --failpoints <spec>  arm deterministic fault injection, e.g.
+//!                        `store-rename` or `arena-alloc=3;store-write`
+//!                        (testing hook; also via STGCHECK_FAILPOINTS)
 //!   --cache-dir <dir>    content-addressed result cache: a rerun of an
 //!                        unchanged net (same options) returns the stored
 //!                        verdict without any fixpoint (see
@@ -34,16 +48,40 @@
 //!                        final checkpoint (testing/interrupt hook)
 //! ```
 //!
-//! Exit status: 0 when every file is I/O-implementable or better, 1 when
-//! any file fails, 2 on usage or parse errors, 3 when a traversal was
-//! interrupted by `--abort-after` (a checkpoint was written).
+//! Exit status (see `docs/robustness.md` and [`ProcessExit`]): 0 when
+//! every file is I/O-implementable or better, 1 when any file fails, 2 on
+//! usage or parse errors, 3 when a traversal was interrupted cooperatively
+//! (`--abort-after`; a checkpoint was written), 4 when a resource budget
+//! (`--timeout`, `--max-nodes`, `--max-steps`, or the node arena) was
+//! exhausted, 5 on internal errors.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use stgcheck::core::{
-    verify_persistent, PersistOptions, SymbolicReport, TraversalStrategy, VarOrder, VerifyOptions,
+    failpoint, verify_persistent, Outcome, PersistOptions, ProcessExit, SymbolicReport,
+    TraversalStrategy, VarOrder, VerifyOptions,
 };
 use stgcheck::stg::{parse_g, Implementability, PersistencyPolicy};
+
+/// `println!`, minus the abort on a closed pipe: `stgcheck big.g | head`
+/// must not panic when the reader stops early (std's `println!` panics
+/// on `EPIPE`). Write errors are ignored — nobody is listening — and
+/// the exit code stays verdict-driven.
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+/// [`out!`] for stderr.
+macro_rules! err {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stderr(), $($arg)*);
+    }};
+}
 
 struct Cli {
     files: Vec<String>,
@@ -57,6 +95,8 @@ fn usage() -> &'static str {
      [--engine per-transition|clustered|parallel|saturation] [--jobs N] \
      [--sharing shared|private] \
      [--reorder none|sift|auto] [--bfs] [--quiet] \
+     [--timeout SECS] [--max-nodes N] [--max-steps N] [--fallback] \
+     [--failpoints SPEC] \
      [--cache-dir DIR] [--incremental] \
      [--checkpoint FILE] [--checkpoint-every N] [--resume] [--abort-after N] \
      file.g [file2.g ...]"
@@ -105,6 +145,31 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
                 let v = it.next().ok_or("--sharing needs a value")?;
                 cli.options.engine.sharing = v.parse()?;
             }
+            "--timeout" => {
+                let v = it.next().ok_or("--timeout needs a value in seconds")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--timeout needs a number of seconds, got `{v}`"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--timeout needs a positive number of seconds, got `{v}`"));
+                }
+                cli.options.budget.timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-nodes" => {
+                let v = it.next().ok_or("--max-nodes needs a value")?;
+                cli.options.budget.max_nodes =
+                    v.parse().map_err(|_| format!("--max-nodes needs a number, got `{v}`"))?;
+            }
+            "--max-steps" => {
+                let v = it.next().ok_or("--max-steps needs a value")?;
+                cli.options.budget.max_steps =
+                    v.parse().map_err(|_| format!("--max-steps needs a number, got `{v}`"))?;
+            }
+            "--fallback" => cli.options.budget.fallback = true,
+            "--failpoints" => {
+                let v = it.next().ok_or("--failpoints needs a spec")?;
+                failpoint::arm(&v)?;
+            }
             "--cache-dir" => {
                 let v = it.next().ok_or("--cache-dir needs a directory")?;
                 cli.persist.cache_dir = Some(v.into());
@@ -144,115 +209,145 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
 }
 
 fn print_full(report: &SymbolicReport, stg: &stgcheck::stg::Stg) {
-    println!("{}", SymbolicReport::table1_header());
-    println!("{}", report.table1_row());
-    println!("  safe:        {}", report.safe());
+    out!("{}", SymbolicReport::table1_header());
+    out!("{}", report.table1_row());
+    out!("  safe:        {}", report.safe());
     for v in &report.safety {
-        println!("    unsafe firing of `{}` at {}", stg.net().trans_name(v.transition), v.witness);
+        out!("    unsafe firing of `{}` at {}", stg.net().trans_name(v.transition), v.witness);
     }
-    println!("  consistent:  {}", report.consistent());
+    out!("  consistent:  {}", report.consistent());
     for v in &report.consistency {
-        println!(
+        out!(
             "    `{}{}` enabled at the wrong value: {}",
             stg.signal_name(v.signal),
             v.polarity,
             v.witness
         );
     }
-    println!("  persistent:  {}", report.persistent());
+    out!("  persistent:  {}", report.persistent());
     for v in &report.persistency {
-        println!(
+        out!(
             "    `{}` disabled by `{}` at {}",
             stg.signal_name(v.disabled),
             stg.net().trans_name(v.fired),
             v.witness
         );
     }
-    println!("  fake-free:   {}", report.fake_free());
+    out!("  fake-free:   {}", report.fake_free());
     for fc in &report.fake_violations {
-        println!(
+        out!(
             "    fake conflict between `{}` and `{}`",
             stg.net().trans_name(fc.t1),
             stg.net().trans_name(fc.t2)
         );
     }
     if let Some(dead) = &report.deadlock {
-        println!("  deadlock:    reachable dead state at {dead}");
+        out!("  deadlock:    reachable dead state at {dead}");
     }
-    println!("  CSC:         {}", report.csc_holds());
+    out!("  CSC:         {}", report.csc_holds());
     for a in report.csc.iter().filter(|a| !a.holds) {
         let kind = if report.irreducible_signals.contains(&a.signal) {
             "irreducible"
         } else {
             "reducible"
         };
-        println!("    conflict on `{}` ({kind})", stg.signal_name(a.signal));
+        out!("    conflict on `{}` ({kind})", stg.signal_name(a.signal));
     }
 }
 
 fn main() -> ExitCode {
+    if let Err(e) = failpoint::arm_from_env() {
+        err!("STGCHECK_FAILPOINTS: {e}");
+        return ExitCode::from(ProcessExit::Usage.code() as u8);
+    }
     let cli = match parse_cli(std::env::args().skip(1).collect()) {
         Ok(cli) => cli,
         Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
+            err!("{msg}");
+            return ExitCode::from(ProcessExit::Usage.code() as u8);
         }
     };
-    let mut all_ok = true;
-    let mut any_interrupted = false;
+    let mut exit = ProcessExit::Success;
     for file in &cli.files {
         let source = match std::fs::read_to_string(file) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("{file}: {e}");
-                return ExitCode::from(2);
+                err!("{file}: {e}");
+                return ExitCode::from(ProcessExit::Usage.code() as u8);
             }
         };
         let stg = match parse_g(&source) {
             Ok(stg) => stg,
             Err(e) => {
-                eprintln!("{file}: {e}");
-                return ExitCode::from(2);
+                err!("{file}: {e}");
+                return ExitCode::from(ProcessExit::Usage.code() as u8);
             }
         };
         let run = match verify_persistent(&stg, cli.options, &cli.persist) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("{file}: {e}");
-                all_ok = false;
+                err!("{file}: {e}");
+                exit = exit.worst(ProcessExit::Violation);
                 continue;
             }
         };
         if !cli.quiet {
             for note in &run.notes {
-                println!("{file}: note: {note}");
+                out!("{file}: note: {note}");
             }
         }
-        if run.interrupted {
-            any_interrupted = true;
-            println!("{file}: interrupted (checkpoint written; rerun with --resume)");
-            continue;
-        }
-        let report = run.report.expect("non-interrupted run carries a report");
-        let implementable =
-            matches!(report.verdict, Implementability::Gate | Implementability::InputOutput);
-        all_ok &= implementable;
-        if cli.quiet {
-            println!("{file}: {}", report.verdict);
-        } else {
-            println!("== {file} ==");
-            if cli.persist.cache_dir.is_some() {
-                println!("  cache:       {}", run.cache);
+        match run.outcome {
+            Outcome::Interrupted { checkpoint } => {
+                exit = exit.worst(ProcessExit::Interrupted);
+                match checkpoint {
+                    Some(path) => out!(
+                        "{file}: interrupted (checkpoint written to {}; rerun with --resume)",
+                        path.display()
+                    ),
+                    None => out!("{file}: interrupted (no checkpoint written)"),
+                }
             }
-            print_full(&report, &stg);
-            println!("  verdict:     {}\n", report.verdict);
+            Outcome::Exhausted { reason, checkpoint } => {
+                exit = exit.worst(ProcessExit::Exhausted);
+                match checkpoint {
+                    Some(path) => out!(
+                        "{file}: budget exhausted: {reason} (checkpoint written to {}; \
+                         rerun with --resume and a larger budget)",
+                        path.display()
+                    ),
+                    None if cli.persist.checkpoint.is_some() => out!(
+                        "{file}: budget exhausted: {reason} (no checkpoint written: \
+                         the budget tripped before any state was committed)"
+                    ),
+                    None => out!(
+                        "{file}: budget exhausted: {reason} (no checkpoint written; \
+                         run with --checkpoint to make such runs resumable)"
+                    ),
+                }
+            }
+            Outcome::Completed(report) => {
+                let implementable = matches!(
+                    report.verdict,
+                    Implementability::Gate | Implementability::InputOutput
+                );
+                if !implementable {
+                    exit = exit.worst(ProcessExit::Violation);
+                }
+                if cli.quiet {
+                    out!("{file}: {}", report.verdict);
+                } else {
+                    out!("== {file} ==");
+                    if cli.persist.cache_dir.is_some() {
+                        out!("  cache:       {}", run.cache);
+                    }
+                    if run.fell_back {
+                        out!("  fallback:    saturation + sift (node budget was exhausted)");
+                    }
+                    print_full(&report, &stg);
+                    out!("  verdict:     {}\n", report.verdict);
+                }
+            }
         }
     }
-    if any_interrupted {
-        ExitCode::from(3)
-    } else if all_ok {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    ExitCode::from(exit.code() as u8)
 }

@@ -130,6 +130,130 @@ fn order_flag_accepted() {
     }
 }
 
+fn bench(file: &str) -> String {
+    format!("{}/benchmarks/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// A fresh scratch directory for checkpoint files.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stgcheck-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The exit-code contract for budget exhaustion: a run that overruns
+/// `--max-steps` exits 4 (never 1, never a panic), and rerunning with
+/// the budget lifted — resuming any checkpoint the first run left —
+/// completes with exit 0 and the true verdict.
+#[test]
+fn budget_exhaustion_exits_4_and_resume_completes() {
+    let ck = scratch("exhaust").join("ck.bin");
+    let exhausted = Command::new(bin())
+        .args(["--quiet", "--max-steps", "400", "--checkpoint"])
+        .arg(&ck)
+        .args(["--checkpoint-every", "1", &bench("master_read_2.g")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(exhausted.status.code(), Some(4), "{}", String::from_utf8_lossy(&exhausted.stdout));
+    assert!(
+        String::from_utf8_lossy(&exhausted.stdout).contains("budget exhausted"),
+        "{}",
+        String::from_utf8_lossy(&exhausted.stdout)
+    );
+
+    let resumed = Command::new(bin())
+        .args(["--quiet", "--resume", "--checkpoint"])
+        .arg(&ck)
+        .arg(bench("master_read_2.g"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(resumed.status.code(), Some(0), "{}", String::from_utf8_lossy(&resumed.stdout));
+    assert!(String::from_utf8_lossy(&resumed.stdout).contains("gate-implementable"));
+}
+
+/// `--abort-after` routes through the cancellation latch: exit 3 with a
+/// resumable checkpoint, and the resume finishes the job with exit 0.
+#[test]
+fn abort_after_exits_3_with_resumable_checkpoint() {
+    let ck = scratch("abort").join("ck.bin");
+    let aborted = Command::new(bin())
+        .args(["--quiet", "--abort-after", "1", "--checkpoint"])
+        .arg(&ck)
+        .arg(bench("master_read_2.g"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(aborted.status.code(), Some(3), "{}", String::from_utf8_lossy(&aborted.stdout));
+    assert!(String::from_utf8_lossy(&aborted.stdout).contains("interrupted"));
+    assert!(ck.exists(), "an abort must leave a checkpoint behind");
+
+    let resumed = Command::new(bin())
+        .args(["--quiet", "--resume", "--checkpoint"])
+        .arg(&ck)
+        .arg(bench("master_read_2.g"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(resumed.status.code(), Some(0), "{}", String::from_utf8_lossy(&resumed.stdout));
+    assert!(String::from_utf8_lossy(&resumed.stdout).contains("gate-implementable"));
+}
+
+/// Budget and fault-injection flags validate their arguments: garbage
+/// is a usage error (exit 2), never a silently ignored knob.
+#[test]
+fn bad_budget_and_failpoint_specs_exit_2() {
+    for args in [
+        vec!["--timeout", "bogus"],
+        vec!["--timeout", "-1"],
+        vec!["--max-nodes", "many"],
+        vec!["--max-steps", "few"],
+        vec!["--failpoints", "no-such-point"],
+        vec!["--failpoints", "store-rename=0"],
+    ] {
+        let out =
+            Command::new(bin()).args(&args).arg(fixture("smoke.g")).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+    // The environment variable goes through the same validation.
+    let out = Command::new(bin())
+        .env("STGCHECK_FAILPOINTS", "no-such-point")
+        .arg(fixture("smoke.g"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// An armed store-write failpoint degrades the run — the result cannot
+/// be cached, which becomes a note — but the verdict and exit code are
+/// untouched.
+#[test]
+fn armed_store_fault_degrades_without_changing_the_verdict() {
+    let dir = scratch("store-fault");
+    let out = Command::new(bin())
+        .args(["--failpoints", "store-write", "--cache-dir"])
+        .arg(&dir)
+        .arg(fixture("smoke.g"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("gate-implementable"), "{stdout}");
+    assert!(stdout.contains("could not store result"), "{stdout}");
+}
+
+/// A reader that closes early (`stgcheck … | head`) must not panic the
+/// CLI: broken-pipe write errors are swallowed and the exit code stays
+/// verdict-driven.
+#[test]
+fn closed_stdout_pipe_does_not_panic() {
+    let out = Command::new("sh")
+        .arg("-c")
+        .arg(format!("{} {} | head -n 1", bin().display(), fixture("smoke.g")))
+        .output()
+        .expect("shell runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
 /// Every `--reorder` mode yields the same verdict, even when paired with
 /// a deliberately bad static order; an unknown mode exits with usage.
 #[test]

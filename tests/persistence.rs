@@ -67,7 +67,7 @@ fn bulk_checkpoint_load_matches_recursive_import_on_corpus() {
 
         // Bulk into the exporting manager: the exact same handle.
         let ser = sym.manager().export_bdd(reached);
-        assert_eq!(sym.manager_mut().bulk_import_bdd(&ser), reached, "{}", stg.name());
+        assert_eq!(sym.manager_mut().bulk_import_bdd(&ser).unwrap(), reached, "{}", stg.name());
 
         // Bulk into a twin encoding equals the recursive import there.
         let mut twin = SymbolicStg::new(&stg, VarOrder::Interleaved);
@@ -118,8 +118,8 @@ fn interrupted_runs_resume_to_the_scratch_fixpoint() {
                 ..PersistOptions::default()
             };
             let run1 = verify_persistent(&stg, opts, &interrupt).unwrap();
-            assert!(run1.interrupted, "{tag}: abort-after must interrupt");
-            assert!(run1.report.is_none(), "{tag}");
+            assert!(run1.interrupted(), "{tag}: abort-after must interrupt");
+            assert!(run1.report().is_none(), "{tag}");
             assert!(ck_path.exists(), "{tag}: interrupt must leave a checkpoint");
 
             let resume = PersistOptions {
@@ -129,13 +129,13 @@ fn interrupted_runs_resume_to_the_scratch_fixpoint() {
                 ..PersistOptions::default()
             };
             let run2 = verify_persistent(&stg, opts, &resume).unwrap();
-            assert!(!run2.interrupted, "{tag}");
+            assert!(!run2.interrupted(), "{tag}");
             assert!(
                 run2.notes.iter().any(|n| n.contains("resumed from checkpoint")),
                 "{tag}: notes = {:?}",
                 run2.notes
             );
-            let resumed = run2.report.expect("completed");
+            let resumed = run2.into_report().expect("completed");
             assert_eq!(resumed.verdict, scratch.verdict, "{tag}");
             assert_eq!(resumed.num_states, scratch.num_states, "{tag}");
             assert!(!ck_path.exists(), "{tag}: converged run must delete its checkpoint");
@@ -170,7 +170,7 @@ fn warm_cache_hits_reproduce_cold_results() {
         assert_eq!(cold.cache, CacheStatus::Cold, "{}", stg.name());
         let warm = verify_persistent(&stg, opts, &persist).unwrap();
         assert_eq!(warm.cache, CacheStatus::Warm, "{}", stg.name());
-        let (c, w) = (cold.report.unwrap(), warm.report.unwrap());
+        let (c, w) = (cold.into_report().unwrap(), warm.into_report().unwrap());
         assert_eq!(c.verdict, w.verdict, "{}", stg.name());
         assert_eq!(c.num_states, w.num_states, "{}", stg.name());
         assert_eq!(c.initial_code, w.initial_code, "{}", stg.name());
@@ -185,7 +185,7 @@ fn warm_cache_hits_reproduce_cold_results() {
         other.engine.kind = EngineKind::Saturation;
         let run = verify_persistent(&stg, other, &persist).unwrap();
         assert_eq!(run.cache, CacheStatus::Cold, "{}: distinct key per engine", stg.name());
-        assert_eq!(run.report.unwrap().verdict, c.verdict, "{}", stg.name());
+        assert_eq!(run.into_report().unwrap().verdict, c.verdict, "{}", stg.name());
     }
 }
 
@@ -208,7 +208,7 @@ fn cache_key_survives_source_reformatting() {
     assert_eq!(reparsed.content_hash(), stg.content_hash());
     let warm = verify_persistent(&reparsed, VerifyOptions::default(), &persist).unwrap();
     assert_eq!(warm.cache, CacheStatus::Warm);
-    assert_eq!(warm.report.unwrap().verdict, cold.report.unwrap().verdict);
+    assert_eq!(warm.into_report().unwrap().verdict, cold.into_report().unwrap().verdict);
 }
 
 /// Version A: a plain four-phase handshake.
@@ -279,11 +279,11 @@ fn incremental_reverification_of_monotone_edits() {
     let run_b = verify_persistent(&b, opts, &persist).unwrap();
     assert_eq!(run_b.cache, CacheStatus::Incremental, "notes: {:?}", run_b.notes);
     let scratch_b = verify(&b, opts).unwrap();
-    let report_b = run_b.report.unwrap();
+    let report_b = run_b.into_report().unwrap();
     assert_eq!(report_b.verdict, scratch_b.verdict);
     assert_eq!(report_b.num_states, scratch_b.num_states);
     // The dummy cycle doubles the marking space relative to A.
-    assert_eq!(report_b.num_states, 2 * run_a.report.unwrap().num_states);
+    assert_eq!(report_b.num_states, 2 * run_a.into_report().unwrap().num_states);
 
     // Unchanged B now hits warm, not incremental.
     assert_eq!(verify_persistent(&b, opts, &persist).unwrap().cache, CacheStatus::Warm);
@@ -299,5 +299,5 @@ fn incremental_reverification_of_monotone_edits() {
         run_c.notes
     );
     let scratch_c = verify(&c, opts).unwrap();
-    assert_eq!(run_c.report.unwrap().num_states, scratch_c.num_states);
+    assert_eq!(run_c.into_report().unwrap().num_states, scratch_c.num_states);
 }

@@ -1,0 +1,272 @@
+//! Resource governance and graceful degradation (see
+//! `docs/robustness.md`): budget exhaustion at arbitrary points resumes
+//! to the scratch-identical verdict on every engine × reorder mode, the
+//! `--fallback` ladder completes runs the plain budget rejects, external
+//! cancellation interrupts promptly, and every armed failpoint yields a
+//! typed error or a clean cold-path recompute — never a panic, a wrong
+//! verdict, or an accepted partial artifact.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use stgcheck::core::{
+    failpoint, verify, verify_persistent, BudgetSpec, CacheStatus, EngineKind, PersistOptions,
+    ReorderMode, ResourceError, VerifyError, VerifyOptions,
+};
+use stgcheck::stg::{parse_g, Stg};
+
+/// A fresh per-test scratch directory (tests share one process).
+fn tmp(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("stgcheck-robustness-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bench_net(file: &str) -> Stg {
+    let source = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("benchmarks").join(file),
+    )
+    .unwrap();
+    parse_g(&source).unwrap()
+}
+
+/// The tentpole acceptance test: interrupt *anywhere* — a ladder of
+/// deterministic allocation-step budgets trips the run at a different
+/// point each rung — then resume with the budget lifted and require the
+/// verdict and state count to be identical to an unbudgeted scratch run.
+/// All four engines under all three reorder modes.
+#[test]
+fn budget_trips_anywhere_resume_to_the_scratch_verdict() {
+    let stg = bench_net("master_read_2.g");
+    let base = tmp("interrupt-anywhere");
+    for kind in [
+        EngineKind::PerTransition,
+        EngineKind::Clustered,
+        EngineKind::ParallelSharded,
+        EngineKind::Saturation,
+    ] {
+        for reorder in [ReorderMode::None, ReorderMode::Sift, ReorderMode::Auto] {
+            let tag = format!("{kind}-{reorder}");
+            let mut opts = VerifyOptions::default();
+            opts.engine.kind = kind;
+            opts.engine.jobs = 2;
+            opts.reorder = reorder;
+            let scratch = verify(&stg, opts).unwrap();
+
+            let mut exhausted_rungs = 0;
+            for max_steps in [150u64, 400, 1000, 2500, 6000, 20000] {
+                let ck_path = base.join(format!("ck-{tag}-{max_steps}.bin"));
+                let mut budgeted = opts;
+                budgeted.budget = BudgetSpec { max_steps, ..BudgetSpec::default() };
+                let persist = PersistOptions {
+                    checkpoint: Some(ck_path.clone()),
+                    checkpoint_every: 1,
+                    ..PersistOptions::default()
+                };
+                let run = verify_persistent(&stg, budgeted, &persist).unwrap();
+                match run.exhausted() {
+                    Some(reason) => {
+                        assert_eq!(
+                            reason,
+                            ResourceError::StepBudget { limit: max_steps },
+                            "{tag}/{max_steps}"
+                        );
+                        exhausted_rungs += 1;
+                        // Resume with the budget lifted: bit-identical
+                        // verdict and state count, whether or not the trip
+                        // happened early enough to leave no checkpoint.
+                        let resume = PersistOptions {
+                            checkpoint: Some(ck_path.clone()),
+                            resume: true,
+                            ..PersistOptions::default()
+                        };
+                        let resumed = verify_persistent(&stg, opts, &resume).unwrap();
+                        let report = resumed.into_report().unwrap_or_else(|| {
+                            panic!("{tag}/{max_steps}: unbudgeted resume must complete")
+                        });
+                        assert_eq!(report.verdict, scratch.verdict, "{tag}/{max_steps}");
+                        assert_eq!(report.num_states, scratch.num_states, "{tag}/{max_steps}");
+                    }
+                    None => {
+                        let report = run.into_report().unwrap();
+                        assert_eq!(report.verdict, scratch.verdict, "{tag}/{max_steps}");
+                        assert_eq!(report.num_states, scratch.num_states, "{tag}/{max_steps}");
+                    }
+                }
+            }
+            assert!(
+                exhausted_rungs > 0,
+                "{tag}: the ladder never tripped — budgets too generous to test anything"
+            );
+        }
+    }
+}
+
+/// A tight live-node budget is a typed exhaustion, and `--fallback`
+/// rescues the same budget by re-running the remaining fixpoint with the
+/// saturation engine plus forced sifting.
+#[test]
+fn fallback_ladder_completes_where_the_plain_budget_exhausts() {
+    let stg = bench_net("master_read_3.g");
+    let scratch = verify(&stg, VerifyOptions::default()).unwrap();
+
+    let mut opts = VerifyOptions {
+        budget: BudgetSpec { max_nodes: 2000, ..BudgetSpec::default() },
+        ..VerifyOptions::default()
+    };
+    let run = verify_persistent(&stg, opts, &PersistOptions::default()).unwrap();
+    assert_eq!(
+        run.exhausted(),
+        Some(ResourceError::NodeBudget { limit: 2000 }),
+        "notes: {:?}",
+        run.notes
+    );
+
+    opts.budget.fallback = true;
+    let run = verify_persistent(&stg, opts, &PersistOptions::default()).unwrap();
+    assert!(run.fell_back, "notes: {:?}", run.notes);
+    let report = run.into_report().expect("fallback must complete this budget");
+    assert_eq!(report.verdict, scratch.verdict);
+    assert_eq!(report.num_states, scratch.num_states);
+}
+
+/// Raising the external cancel flag interrupts the run with
+/// `Outcome::Interrupted` — the same cooperative path as `--abort-after`
+/// — instead of completing or erroring.
+#[test]
+fn external_cancel_flag_interrupts_the_run() {
+    let stg = bench_net("master_read_3.g");
+    let flag = Arc::new(AtomicBool::new(true)); // pre-raised: trip at the first poll
+    let persist = PersistOptions { cancel: Some(flag.clone()), ..PersistOptions::default() };
+    let run = verify_persistent(&stg, VerifyOptions::default(), &persist).unwrap();
+    assert!(run.interrupted(), "notes: {:?}", run.notes);
+    assert!(run.report().is_none());
+
+    // Lowered flag: same options complete normally.
+    flag.store(false, Ordering::Relaxed);
+    let run = verify_persistent(&stg, VerifyOptions::default(), &persist).unwrap();
+    assert!(run.report().is_some(), "notes: {:?}", run.notes);
+}
+
+/// Injected arena-allocation failures surface as typed
+/// `VerifyError::Exhausted(ArenaExhausted)` — never a panic — whether
+/// they hit the very first allocation or one deep inside the traversal.
+#[test]
+fn arena_allocation_faults_are_typed_errors_not_panics() {
+    let _guard = failpoint::exclusive();
+    failpoint::disarm_all();
+    let stg = bench_net("master_read_2.g");
+
+    for spec in ["arena-alloc", "arena-alloc=1", "arena-alloc=500"] {
+        failpoint::arm(spec).unwrap();
+        let err = verify(&stg, VerifyOptions::default())
+            .expect_err(&format!("{spec}: an injected alloc failure cannot complete"));
+        assert!(
+            matches!(err, VerifyError::Exhausted(ResourceError::ArenaExhausted)),
+            "{spec}: got {err}"
+        );
+        failpoint::disarm_all();
+    }
+
+    // Disarmed again: the same net verifies cleanly in this process.
+    assert!(verify(&stg, VerifyOptions::default()).is_ok());
+}
+
+/// Store write/rename faults never leave an artifact a later run
+/// accepts: the faulted run still completes (with a note), and the next
+/// disarmed run is a clean *cold* recompute with the identical verdict.
+/// A mid-set rename fault leaves crash debris (`.tmp`) plus a complete
+/// first artifact — the loaders must serve the complete artifact and
+/// ignore the debris.
+#[test]
+fn store_faults_never_yield_an_accepted_partial_artifact() {
+    let _guard = failpoint::exclusive();
+    failpoint::disarm_all();
+    let stg = bench_net("celement.g");
+    let scratch = verify(&stg, VerifyOptions::default()).unwrap();
+
+    for spec in ["store-write", "store-rename"] {
+        let dir = tmp(&format!("store-fault-{spec}"));
+        let persist = PersistOptions { cache_dir: Some(dir.clone()), ..PersistOptions::default() };
+        failpoint::arm(spec).unwrap();
+        let run = verify_persistent(&stg, VerifyOptions::default(), &persist).unwrap();
+        let report = run.into_report().expect("a store fault must not sink the verification");
+        assert_eq!(report.verdict, scratch.verdict, "{spec}");
+        failpoint::disarm_all();
+
+        // Nothing usable was stored: the next run is cold, not warm.
+        let run = verify_persistent(&stg, VerifyOptions::default(), &persist).unwrap();
+        assert_eq!(run.cache, CacheStatus::Cold, "{spec}: partial artifact accepted");
+        assert_eq!(run.into_report().unwrap().verdict, scratch.verdict, "{spec}");
+        // ... and that cold run repaired the cache.
+        let run = verify_persistent(&stg, VerifyOptions::default(), &persist).unwrap();
+        assert_eq!(run.cache, CacheStatus::Warm, "{spec}");
+    }
+
+    // Failing the *second* rename of the artifact set leaves a valid
+    // report plus `.tmp` debris for the reached set. The report is a
+    // complete artifact — serving it warm is correct — and the debris is
+    // never parsed under a valid name.
+    let dir = tmp("store-fault-second-rename");
+    let persist = PersistOptions { cache_dir: Some(dir.clone()), ..PersistOptions::default() };
+    failpoint::arm("store-rename=2").unwrap();
+    let run = verify_persistent(&stg, VerifyOptions::default(), &persist).unwrap();
+    assert_eq!(run.into_report().unwrap().verdict, scratch.verdict);
+    failpoint::disarm_all();
+    let debris: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
+        .collect();
+    assert!(!debris.is_empty(), "rename fault must leave simulated crash debris");
+    let run = verify_persistent(&stg, VerifyOptions::default(), &persist).unwrap();
+    assert_eq!(run.into_report().unwrap().verdict, scratch.verdict);
+}
+
+/// An unreadable store (injected via `store-read`) silently degrades a
+/// would-be warm hit to a cold recompute with the identical verdict.
+#[test]
+fn store_read_faults_degrade_to_a_clean_cold_recompute() {
+    let _guard = failpoint::exclusive();
+    failpoint::disarm_all();
+    let stg = bench_net("celement.g");
+    let dir = tmp("store-read-fault");
+    let persist = PersistOptions { cache_dir: Some(dir), ..PersistOptions::default() };
+
+    let cold = verify_persistent(&stg, VerifyOptions::default(), &persist).unwrap();
+    assert_eq!(cold.cache, CacheStatus::Cold);
+    let warm = verify_persistent(&stg, VerifyOptions::default(), &persist).unwrap();
+    assert_eq!(warm.cache, CacheStatus::Warm);
+
+    failpoint::arm("store-read").unwrap();
+    let faulted = verify_persistent(&stg, VerifyOptions::default(), &persist).unwrap();
+    assert_eq!(faulted.cache, CacheStatus::Cold, "unreadable store must recompute");
+    assert_eq!(faulted.into_report().unwrap().verdict, cold.into_report().unwrap().verdict);
+    failpoint::disarm_all();
+
+    let again = verify_persistent(&stg, VerifyOptions::default(), &persist).unwrap();
+    assert_eq!(again.cache, CacheStatus::Warm, "store must be intact after the fault");
+}
+
+/// Oversized and non-ordinary nets are typed errors at the front door,
+/// not downstream panics: the 510-variable packed-cell cap turns into
+/// `VerifyError::TooManyVariables` before anything is encoded.
+#[test]
+fn oversized_nets_are_rejected_with_a_typed_error() {
+    // A linear dummy chain of ~600 places: places + signals > MAX_VARS.
+    let mut g = String::from(".model huge\n.inputs a\n.outputs b\n.dummy");
+    for i in 0..600 {
+        g.push_str(&format!(" d{i}"));
+    }
+    g.push_str("\n.graph\na+ d0\n");
+    for i in 0..599 {
+        g.push_str(&format!("d{i} d{}\n", i + 1));
+    }
+    g.push_str("d599 b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n");
+    let stg = parse_g(&g).unwrap();
+    let err = verify(&stg, VerifyOptions::default()).expect_err("600-var net must be rejected");
+    assert!(matches!(err, VerifyError::TooManyVariables { .. }), "got {err}");
+}
