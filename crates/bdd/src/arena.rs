@@ -168,6 +168,18 @@ impl NodeArena {
         self.cell(i).store(encode(n), Ordering::Release);
     }
 
+    /// Exclusive-mode [`NodeArena::set`]: a plain store through `&mut
+    /// self`. No release fence is needed — the `&mut` borrow proves no
+    /// other thread can observe the cell until the borrow ends, and the
+    /// end of the borrow is itself a synchronization point for whoever
+    /// acquires access next.
+    #[inline]
+    pub(crate) fn set_mut(&mut self, i: usize, n: Node) {
+        let (s, off) = locate(i);
+        let seg = self.segs[s].get_mut().expect("arena segment written before allocation");
+        *seg[off].get_mut() = encode(n);
+    }
+
     /// Overwrites only the level of slot `i` (GC's dead-marking and the
     /// level relabelling of in-place swaps) — a masked bit splice, not a
     /// decode/encode round trip: sifting calls this for every rising and
@@ -205,6 +217,26 @@ impl NodeArena {
         }
     }
 
+    /// Visits every allocated slot with index `>= start`, in index order
+    /// — the generational sweep: a minor collection only walks the slots
+    /// allocated since the last collection's watermark instead of the
+    /// whole arena.
+    pub(crate) fn for_each_from(&self, start: usize, mut f: impl FnMut(usize, Node)) {
+        let len = self.len();
+        let (first_seg, _) = locate(start);
+        for s in first_seg..NUM_SEGS {
+            let base = s << SEG_BITS;
+            if base >= len {
+                break;
+            }
+            let seg = self.segs[s].get().expect("allocated segment missing");
+            let skip = start.saturating_sub(base);
+            for (off, cell) in seg.iter().enumerate().take(len - base).skip(skip) {
+                f(base + off, decode(cell.load(Ordering::Relaxed)));
+            }
+        }
+    }
+
     /// Claims a fresh slot, allocating its segment on first touch.
     /// Callable from any thread; two callers never receive the same slot.
     ///
@@ -217,6 +249,25 @@ impl NodeArena {
             return None;
         }
         self.alloc_raw()
+    }
+
+    /// Exclusive-mode [`NodeArena::alloc`]: a plain bump through `&mut
+    /// self` — no `fetch_add` RMW, no cap-parking dance (a failed bump
+    /// never moves the mark). Same failpoint, same `None`-on-exhaustion
+    /// contract.
+    pub(crate) fn alloc_mut(&mut self) -> Option<u32> {
+        if crate::failpoint::hit("arena-alloc") {
+            return None;
+        }
+        let i = *self.hwm.get_mut();
+        if i >= MAX_SLOTS {
+            return None;
+        }
+        *self.hwm.get_mut() = i + 1;
+        let (s, off) = locate(i);
+        debug_assert!(off < SEG_SIZE);
+        self.segs[s].get_or_init(|| (0..SEG_SIZE).map(|_| AtomicU64::new(0)).collect());
+        Some(i as u32)
     }
 
     /// [`NodeArena::alloc`] minus the failpoint: the terminal slot claimed
@@ -321,6 +372,44 @@ mod tests {
         // Every thread's writes are visible after the join.
         for &s in &all {
             assert_eq!(arena.get(s as usize).lo, Bdd(2 * s));
+        }
+    }
+
+    #[test]
+    fn exclusive_paths_match_shared_paths() {
+        let mut a = NodeArena::new(Node::terminal());
+        let b = NodeArena::new(Node::terminal());
+        for k in 0..(3 * SEG_SIZE / 2) {
+            let n = Node { level: (k % MAX_VARS) as Level, lo: Bdd(2 * k as u32), hi: Bdd(1) };
+            let sa = a.alloc_mut().unwrap();
+            a.set_mut(sa as usize, n);
+            let sb = b.alloc().unwrap();
+            b.set(sb as usize, n);
+            assert_eq!(sa, sb);
+        }
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.get(i), b.get(i), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn for_each_from_visits_exactly_the_tail() {
+        let arena = NodeArena::new(Node::terminal());
+        let total = 2 * SEG_SIZE + 100;
+        for k in 1..total {
+            let s = arena.alloc().unwrap();
+            arena.set(s as usize, Node { level: 0, lo: Bdd(0), hi: Bdd((k % 7) as u32 * 2) });
+        }
+        // Starts inside a segment, at a segment boundary, at 0 and at len.
+        for start in [0, 1, 17, SEG_SIZE - 1, SEG_SIZE, SEG_SIZE + 3, total - 1, total] {
+            let mut seen = Vec::new();
+            arena.for_each_from(start, |i, n| {
+                assert_eq!(n, arena.get(i));
+                seen.push(i);
+            });
+            let expect: Vec<usize> = (start..total).collect();
+            assert_eq!(seen, expect, "start {start}");
         }
     }
 }

@@ -207,6 +207,27 @@ impl PackedCache {
         s.w2.store(rest << PACKED_BITS | (r.0 as u64 >> PACKED_BITS), Ordering::Release);
     }
 
+    /// Exclusive-mode [`PackedCache::insert`]: plain stores through
+    /// `&mut self`, no release fences. The entry layout is identical, so
+    /// shared-mode probes after the borrow ends validate it exactly as
+    /// if a concurrent writer had published it.
+    #[inline]
+    fn insert_mut(&mut self, key: u64, r: Bdd) {
+        if self.slots.get().is_none() {
+            self.slots
+                .get_or_init(|| (0..1usize << PACKED_BITS).map(|_| PackedSlot::empty()).collect());
+        }
+        let slots = self.slots.get_mut().expect("initialized above");
+        let (idx, rest) = Self::permute(key);
+        if rest == Self::EMPTY_REST {
+            return; // reserved for the empty sentinel
+        }
+        let s = &mut slots[idx];
+        let mask = (1u64 << PACKED_BITS) - 1;
+        *s.w1.get_mut() = rest << PACKED_BITS | (r.0 as u64 & mask);
+        *s.w2.get_mut() = rest << PACKED_BITS | (r.0 as u64 >> PACKED_BITS);
+    }
+
     fn clear(&mut self) {
         if let Some(slots) = self.slots.get_mut() {
             for s in slots.iter_mut() {
@@ -320,6 +341,23 @@ impl DirectCache {
         s.seq.store(v.wrapping_add(2), Ordering::Release);
     }
 
+    /// Exclusive-mode [`DirectCache::insert`]: plain stores through
+    /// `&mut self` — no CAS claim (there is nobody to race) and the
+    /// version word stays even, so the entry reads as stable to any
+    /// later shared-mode probe.
+    #[inline]
+    fn insert_mut(&mut self, a: u32, b: u32, c: u32, r: Bdd) {
+        debug_assert!(a != EMPTY, "cache key collides with the empty sentinel");
+        if self.slots.get().is_none() {
+            self.slots.get_or_init(|| (0..1usize << self.bits).map(|_| Slot::empty()).collect());
+        }
+        let idx = self.index(a, b, c);
+        let s = &mut self.slots.get_mut().expect("initialized above")[idx];
+        debug_assert!(*s.seq.get_mut() & 1 == 0, "entry left claimed across a quiesce point");
+        *s.ab.get_mut() = (a as u64) << 32 | b as u64;
+        *s.cr.get_mut() = (c as u64) << 32 | r.0 as u64;
+    }
+
     /// Quiesce-time wipe; see [`OpCaches::clear`].
     fn clear(&mut self) {
         if let Some(slots) = self.slots.get_mut() {
@@ -374,6 +412,11 @@ impl OpCaches {
     }
 
     #[inline]
+    pub(crate) fn bin_insert_mut(&mut self, op: BinOp, f: Bdd, g: Bdd, r: Bdd) {
+        self.bin.insert_mut(bin_key(op, f, g), r);
+    }
+
+    #[inline]
     pub(crate) fn ite_get(&self, f: Bdd, g: Bdd, h: Bdd) -> Option<Bdd> {
         self.ite.get(f.0, g.0, h.0)
     }
@@ -384,6 +427,11 @@ impl OpCaches {
     }
 
     #[inline]
+    pub(crate) fn ite_insert_mut(&mut self, f: Bdd, g: Bdd, h: Bdd, r: Bdd) {
+        self.ite.insert_mut(f.0, g.0, h.0, r);
+    }
+
+    #[inline]
     pub(crate) fn and_exists_get(&self, f: Bdd, g: Bdd, c: Bdd) -> Option<Bdd> {
         self.and_exists.get(f.0, g.0, c.0)
     }
@@ -391,6 +439,11 @@ impl OpCaches {
     #[inline]
     pub(crate) fn and_exists_insert(&self, f: Bdd, g: Bdd, c: Bdd, r: Bdd) {
         self.and_exists.insert(f.0, g.0, c.0, r);
+    }
+
+    #[inline]
+    pub(crate) fn and_exists_insert_mut(&mut self, f: Bdd, g: Bdd, c: Bdd, r: Bdd) {
+        self.and_exists.insert_mut(f.0, g.0, c.0, r);
     }
 
     /// Forgets every entry. Must run whenever node slots may be recycled
@@ -427,6 +480,29 @@ mod tests {
         for k in 0..64u32 {
             assert_eq!(c.get(k, k + 1, k + 2), None);
         }
+    }
+
+    #[test]
+    fn exclusive_inserts_are_visible_to_shared_probes() {
+        // The mode split promises bit-identical entry layout: whatever
+        // the `&mut` path writes, the shared probe must read back.
+        let mut d = DirectCache::new(6);
+        let mut p = PackedCache::new();
+        for k in 0..200u32 {
+            d.insert_mut(k, k + 1, k + 2, Bdd(k ^ 5));
+            p.insert_mut((k as u64) << 30 | (k + 1) as u64, Bdd(k ^ 9));
+        }
+        for k in 0..200u32 {
+            let got = d.get(k, k + 1, k + 2);
+            assert!(got.is_none() || got == Some(Bdd(k ^ 5)));
+            let got = p.get((k as u64) << 30 | (k + 1) as u64);
+            assert!(got.is_none() || got == Some(Bdd(k ^ 9)));
+        }
+        // And the last write per slot definitely sticks.
+        d.insert_mut(7, 8, 9, Bdd(42));
+        assert_eq!(d.get(7, 8, 9), Some(Bdd(42)));
+        d.insert(7, 8, 9, Bdd(43)); // shared overwrite of a mut entry
+        assert_eq!(d.get(7, 8, 9), Some(Bdd(43)));
     }
 
     #[test]

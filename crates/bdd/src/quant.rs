@@ -364,6 +364,222 @@ impl BddManager {
         r
     }
 
+    /// Exclusive-mode [`BddManager::cofactor_cube`] — same recursion,
+    /// results and memo keys, but nodes and cache entries are written
+    /// through the `&mut`-proven plain-store path (see
+    /// [`BddManager::and_x`] for the mode contract).
+    pub fn cofactor_cube_x(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        debug_assert!(self.inert() || self.is_cube(c), "cofactor requires a cube");
+        let tag = f.is_complemented();
+        self.cofactor_rec_x(f.regular(), c).complement_if(tag)
+    }
+
+    fn cofactor_rec_x(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        debug_assert!(!f.is_complemented());
+        if c.is_true() || f.is_terminal() {
+            return f;
+        }
+        if let Some(r) = self.caches.bin_get(BinOp::CofactorCube, f, c) {
+            return r;
+        }
+        if self.inert() {
+            return Bdd::FALSE;
+        }
+        let (fl, flo, fhi) = self.peek(f);
+        let (cl, clo, chi) = self.peek(c);
+        let next = if clo.is_false() { chi } else { clo };
+        let r = if cl < fl {
+            self.cofactor_rec_x(f, next)
+        } else if cl == fl {
+            let branch = if clo.is_false() { fhi } else { flo };
+            let tag = branch.is_complemented();
+            self.cofactor_rec_x(branch.regular(), next).complement_if(tag)
+        } else {
+            let hi_tag = fhi.is_complemented();
+            let lo = self.cofactor_rec_x(flo, c);
+            let hi = self.cofactor_rec_x(fhi.regular(), c).complement_if(hi_tag);
+            self.mk_x(fl, lo, hi)
+        };
+        if self.inert() {
+            return Bdd::FALSE;
+        }
+        self.caches.bin_insert_mut(BinOp::CofactorCube, f, c, r);
+        r
+    }
+
+    /// Exclusive-mode [`BddManager::exists`] — see [`BddManager::and_x`]
+    /// for the mode contract.
+    pub fn exists_x(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        debug_assert!(self.inert() || self.is_cube(c), "quantification prefix must be a cube");
+        self.exists_rec_x(f, c)
+    }
+
+    fn exists_rec_x(&mut self, f: Bdd, mut c: Bdd) -> Bdd {
+        if f.is_terminal() {
+            return f;
+        }
+        let (fl, flo, fhi) = self.peek(f);
+        let (cl, ctail) = loop {
+            let (cl, tail) = self.cube_peek(c);
+            if cl >= fl {
+                break (cl, tail);
+            }
+            c = tail;
+        };
+        if c.is_true() {
+            return f;
+        }
+        if let Some(r) = self.caches.bin_get(BinOp::Exists, f, c) {
+            return r;
+        }
+        if self.inert() {
+            return Bdd::FALSE;
+        }
+        let r = if cl == fl {
+            let lo = self.exists_rec_x(flo, ctail);
+            if lo.is_true() {
+                Bdd::TRUE
+            } else {
+                let hi = self.exists_rec_x(fhi, ctail);
+                self.or_x(lo, hi)
+            }
+        } else {
+            let lo = self.exists_rec_x(flo, c);
+            let hi = self.exists_rec_x(fhi, c);
+            self.mk_x(fl, lo, hi)
+        };
+        if self.inert() {
+            return Bdd::FALSE;
+        }
+        self.caches.bin_insert_mut(BinOp::Exists, f, c, r);
+        r
+    }
+
+    /// Exclusive-mode [`BddManager::forall`].
+    pub fn forall_x(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        debug_assert!(self.inert() || self.is_cube(c), "quantification prefix must be a cube");
+        self.exists_rec_x(f.complement(), c).complement()
+    }
+
+    /// Exclusive-mode [`BddManager::and_exists`] — see
+    /// [`BddManager::and_x`] for the mode contract.
+    pub fn and_exists_x(&mut self, f: Bdd, g: Bdd, c: Bdd) -> Bdd {
+        debug_assert!(self.inert() || self.is_cube(c), "quantification prefix must be a cube");
+        self.and_exists_rec_x(f, g, c)
+    }
+
+    fn and_exists_rec_x(&mut self, f: Bdd, g: Bdd, c: Bdd) -> Bdd {
+        if f.is_false() || g.is_false() || f == g.complement() {
+            return Bdd::FALSE;
+        }
+        if f.is_true() || f == g {
+            return self.exists_rec_x(g, c);
+        }
+        if g.is_true() {
+            return self.exists_rec_x(f, c);
+        }
+        if c.is_true() {
+            return self.and_x(f, g);
+        }
+        let (a, b) = (f.min(g), f.max(g));
+        if let Some(r) = self.caches.and_exists_get(a, b, c) {
+            return r;
+        }
+        if self.inert() {
+            return Bdd::FALSE;
+        }
+        let (lf, fe0, fe1) = self.peek(f);
+        let (lg, ge0, ge1) = self.peek(g);
+        let top = lf.min(lg);
+        let mut c2 = c;
+        let (cl, ctail) = loop {
+            let (cl, tail) = self.cube_peek(c2);
+            if cl >= top {
+                break (cl, tail);
+            }
+            c2 = tail;
+        };
+        if c2.is_true() {
+            let r = self.and_x(f, g);
+            self.caches.and_exists_insert_mut(a, b, c, r);
+            return r;
+        }
+        let (f0, f1) = if lf == top { (fe0, fe1) } else { (f, f) };
+        let (g0, g1) = if lg == top { (ge0, ge1) } else { (g, g) };
+        let r = if cl == top {
+            let lo = self.and_exists_rec_x(f0, g0, ctail);
+            if lo.is_true() {
+                Bdd::TRUE
+            } else {
+                let hi = self.and_exists_rec_x(f1, g1, ctail);
+                self.or_x(lo, hi)
+            }
+        } else {
+            let lo = self.and_exists_rec_x(f0, g0, c2);
+            let hi = self.and_exists_rec_x(f1, g1, c2);
+            self.mk_x(top, lo, hi)
+        };
+        if self.inert() {
+            return Bdd::FALSE;
+        }
+        self.caches.and_exists_insert_mut(a, b, c, r);
+        r
+    }
+
+    /// Exclusive-mode [`BddManager::and_exists_below`] — same bounded
+    /// recursion, same shared memo table as the unbounded product.
+    pub fn and_exists_below_x(&mut self, f: Bdd, g: Bdd, c: Bdd, bound: usize) -> Bdd {
+        debug_assert!(self.inert() || self.is_cube(c), "quantification prefix must be a cube");
+        debug_assert!(
+            self.support(g)
+                .iter()
+                .chain(self.support(c).iter())
+                .all(|&v| self.level_of(v) >= bound),
+            "and_exists_below: operand support reaches above the bound"
+        );
+        self.and_exists_below_rec_x(f, g, c, bound as crate::node::Level)
+    }
+
+    fn and_exists_below_rec_x(&mut self, f: Bdd, g: Bdd, c: Bdd, bound: crate::node::Level) -> Bdd {
+        if self.level(f) >= bound {
+            return self.and_exists_rec_x(f, g, c);
+        }
+        let (a, b) = (f.min(g), f.max(g));
+        if let Some(r) = self.caches.and_exists_get(a, b, c) {
+            return r;
+        }
+        if self.inert() {
+            return Bdd::FALSE;
+        }
+        let (fl, f0, f1) = self.peek(f);
+        let lo = self.and_exists_below_rec_x(f0, g, c, bound);
+        let hi = self.and_exists_below_rec_x(f1, g, c, bound);
+        let r = self.mk_x(fl, lo, hi);
+        if self.inert() {
+            return Bdd::FALSE;
+        }
+        self.caches.and_exists_insert_mut(a, b, c, r);
+        r
+    }
+
+    /// Exclusive-mode [`BddManager::and_exists_many`].
+    pub fn and_exists_many_x(&mut self, fs: &[Bdd], c: Bdd) -> Bdd {
+        match fs {
+            [] => Bdd::TRUE,
+            [f] => self.exists_x(*f, c),
+            [init @ .., last] => {
+                let mut acc = init[0];
+                for &f in &init[1..] {
+                    acc = self.and_x(acc, f);
+                    if acc.is_false() {
+                        return Bdd::FALSE;
+                    }
+                }
+                self.and_exists_x(acc, *last, c)
+            }
+        }
+    }
+
     /// N-ary generalisation of [`BddManager::and_exists`]:
     /// `∃ vars(c) . (f₀ ∧ f₁ ∧ … ∧ fₙ)`.
     ///
@@ -555,6 +771,37 @@ mod tests {
         let cz = m.vars_cube(&[z]);
         assert_eq!(m.exists(f, cz), f);
         assert_eq!(m.forall(f, cz), f);
+    }
+
+    #[test]
+    fn exclusive_quantifiers_return_the_shared_canonical_handles() {
+        let mut m = BddManager::new();
+        let vars: Vec<Var> = (0..8).map(|i| m.new_var(format!("x{i}"))).collect();
+        let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+        let t0 = m.and(lits[0], lits[3]);
+        let t1 = m.xor(lits[1], lits[5]);
+        let f = m.or(t0, t1);
+        let t2 = m.and(lits[2], lits[5]);
+        let g = m.xor(t2, lits[6]);
+        let c = m.vars_cube(&[vars[1], vars[3], vars[5]]);
+        let shared_ex = m.exists(f, c);
+        assert_eq!(m.exists_x(f, c), shared_ex);
+        let excl_fa = m.forall_x(g, c);
+        assert_eq!(m.forall(g, c), excl_fa);
+        let shared_ae = m.and_exists(f, g, c);
+        assert_eq!(m.and_exists_x(f, g, c), shared_ae);
+        let excl_cof = m.cofactor_cube_x(f, c);
+        assert_eq!(m.cofactor_cube(f, c), excl_cof);
+        // The bounded product agrees with the unbounded one in both
+        // modes (g/c sit at level 2 and deeper).
+        let deep_c = m.vars_cube(&[vars[5]]);
+        let bound = 2;
+        let shared_below = m.and_exists_below(f, t2, deep_c, bound);
+        assert_eq!(m.and_exists_below_x(f, t2, deep_c, bound), shared_below);
+        let many = [f, g, t2];
+        let shared_many = m.and_exists_many(&many, c);
+        assert_eq!(m.and_exists_many_x(&many, c), shared_many);
+        m.check_invariants();
     }
 
     #[test]

@@ -58,6 +58,14 @@ impl BddManager {
         fresh.sift_swaps = self.sift_swaps;
         fresh.sift_baseline = fresh.live_nodes();
         fresh.gc_baseline = fresh.live_nodes();
+        // GC accounting accumulates across the rebuild like the sifting
+        // counters do; the fresh manager's zero watermark already forces
+        // the next collection to be a full mark.
+        fresh.gc_runs = self.gc_runs;
+        fresh.gc_full_runs = self.gc_full_runs;
+        fresh.gc_reclaimed = self.gc_reclaimed;
+        fresh.gc_pause_ns = self.gc_pause_ns;
+        fresh.gc_growth = self.gc_growth;
         *self = fresh;
         mapped
     }

@@ -238,8 +238,10 @@ impl BddManager {
     fn sift_pass(&mut self, roots: &[Bdd], groups: &[Vec<Var>]) -> SiftStats {
         let swaps_at_entry = self.sift_swaps;
         // Exact live set: reclaim garbage so the size signal is truthful,
-        // and so the reference counts below are complete.
-        self.gc(roots);
+        // and so the reference counts below are complete. Must be the
+        // *full* collector — a minor would retain old-space garbage,
+        // which would enter the parent counts as phantom structure.
+        self.gc_full(roots);
         let before = self.live_nodes();
         let mut stats =
             SiftStats { nodes_before: before, nodes_after: before, swaps: 0, blocks_sifted: 0 };
@@ -308,6 +310,10 @@ impl BddManager {
         // Reclaimed slots may be recycled by the next operation; stale
         // memo entries must not resurrect them.
         self.caches.clear();
+        // Swaps rewired old-space slots and recycled orphans without
+        // young-tracking, so the survivor watermark no longer describes
+        // the arena: the next collection must be a full mark.
+        self.invalidate_generation();
         self.sift_baseline = self.live_nodes();
         self.sift_runs += 1;
     }

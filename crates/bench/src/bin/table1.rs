@@ -9,6 +9,7 @@
 //! ```text
 //! cargo run --release -p stgcheck-bench --bin table1 [--explicit] \
 //!     [--order <strategy>] [--engine <engine>|all] [--jobs <n>] \
+//!     [--jobs-matrix <n,n,…>] [--repeat <n>] [--gc-growth <f>] \
 //!     [--sharing shared|private] [--reorder <mode>|all] [--from-dir <dir>] \
 //!     [--json <path>] [--small]
 //! ```
@@ -23,6 +24,18 @@
 //!   engine so the engines can be compared line by line;
 //! * `--jobs <n>` sets the worker count for the parallel engine — with the
 //!   default shared manager this now scales work against one BDD arena;
+//!   `0` (the default) auto-detects the machine's available parallelism,
+//!   and every row records the detected value as `jobs_detected`;
+//! * `--jobs-matrix <n,n,…>` (e.g. `1,2,4,8`) prints one row per jobs
+//!   value so single-thread exclusive-mode walls sit next to the
+//!   multi-worker scaling curve in one table; overrides `--jobs`;
+//! * `--repeat <n>` verifies every row `n` times and reports the median
+//!   wall time (min/max land in the JSON as `wall_min_s`/`wall_max_s`) —
+//!   the checked-in `BENCH_table1.json` uses `--repeat 3`; note that with
+//!   `--cache-dir` every repeat after the first is served warm;
+//! * `--gc-growth <f>` tunes the generational-GC trigger (collect when
+//!   live nodes exceed `f`× the post-collection baseline; default 1.5,
+//!   must be > 1.0);
 //! * `--sharing shared|private` selects whether parallel workers share the
 //!   one concurrent manager or keep private ones (default: shared);
 //! * `--reorder none|sift|auto|all` selects the dynamic variable
@@ -106,13 +119,28 @@ struct JsonRow {
     /// Requested worker count (0 = auto) — meaningful for the parallel
     /// engine, recorded on every row so perf diffs can tell runs apart.
     jobs: usize,
+    /// What `jobs` resolved to (`available_parallelism` when 0), so rows
+    /// benchmarked on different machines stay comparable.
+    jobs_detected: usize,
     states: String,
     peak_live_nodes: usize,
     final_nodes: usize,
     sift_passes: usize,
     /// Measured wall seconds around the whole verification call — for a
-    /// warm row this is the cache-lookup time, which is the point.
+    /// warm row this is the cache-lookup time, which is the point. With
+    /// `--repeat` this is the median over all repeats.
     wall_s: f64,
+    /// Fastest and slowest repeat (equal to `wall_s` without `--repeat`).
+    wall_min_s: f64,
+    wall_max_s: f64,
+    /// Garbage collections the row ran (minor + full) and the total
+    /// stop-the-world pause they cost, in milliseconds.
+    gc_collections: usize,
+    gc_pause_ms: f64,
+    /// Process peak resident set (`VmHWM`) in kB after the row, read from
+    /// `/proc/self/status`; 0 off Linux. Monotone across rows — only the
+    /// first row to touch a new high is attributable.
+    peak_rss_kb: u64,
     /// Result-cache status of this row: off, cold, warm or incremental.
     cache: String,
     verdict: &'static str,
@@ -136,9 +164,11 @@ fn write_json(path: &PathBuf, rows: &[JsonRow]) -> std::io::Result<()> {
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"engine\": \"{}\", \"reorder\": \"{}\", \
-             \"order\": \"{}\", \"jobs\": {}, \"states\": \"{}\", \
+             \"order\": \"{}\", \"jobs\": {}, \"jobs_detected\": {}, \"states\": \"{}\", \
              \"peak_live_nodes\": {}, \"final_nodes\": {}, \"sift_passes\": {}, \
-             \"wall_s\": {:.6}, \"cache\": \"{}\", \"verdict\": \"{}\", \
+             \"wall_s\": {:.6}, \"wall_min_s\": {:.6}, \"wall_max_s\": {:.6}, \
+             \"gc_collections\": {}, \"gc_pause_ms\": {:.3}, \"peak_rss_kb\": {}, \
+             \"cache\": \"{}\", \"verdict\": \"{}\", \
              \"outcome\": \"{}\", \"timeout_s\": {}, \"max_nodes\": {}, \
              \"max_steps\": {}}}{}\n",
             json_escape(&r.name),
@@ -146,11 +176,17 @@ fn write_json(path: &PathBuf, rows: &[JsonRow]) -> std::io::Result<()> {
             r.reorder,
             order_name(r.order),
             r.jobs,
+            r.jobs_detected,
             r.states,
             r.peak_live_nodes,
             r.final_nodes,
             r.sift_passes,
             r.wall_s,
+            r.wall_min_s,
+            r.wall_max_s,
+            r.gc_collections,
+            r.gc_pause_ms,
+            r.peak_rss_kb,
             r.cache,
             r.verdict,
             r.outcome,
@@ -162,6 +198,27 @@ fn write_json(path: &PathBuf, rows: &[JsonRow]) -> std::io::Result<()> {
     }
     out.push_str("  ]\n}\n");
     std::fs::write(path, out)
+}
+
+/// Process peak resident set (`VmHWM`) in kB from `/proc/self/status`;
+/// 0 where the file or the field is unavailable (non-Linux).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")
+                    .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Median of `walls` (upper median for even lengths); callers guarantee
+/// at least one sample.
+fn median(walls: &mut [f64]) -> f64 {
+    walls.sort_by(f64::total_cmp);
+    walls[walls.len() / 2]
 }
 
 fn main() {
@@ -187,6 +244,42 @@ fn main() {
             eprintln!("--jobs needs a number, got `{v}`");
             std::process::exit(2);
         })
+    });
+    // One row per jobs value; a bare `--jobs N` is the 1-element matrix.
+    let jobs_matrix: Vec<usize> = value_of("--jobs-matrix").map_or_else(
+        || vec![jobs],
+        |v| {
+            v.split(',')
+                .map(|p| {
+                    p.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("--jobs-matrix needs comma-separated numbers, got `{v}`");
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        },
+    );
+    let repeat: usize = value_of("--repeat").map_or(1, |v| {
+        let n = v.parse().unwrap_or_else(|_| {
+            eprintln!("--repeat needs a number, got `{v}`");
+            std::process::exit(2);
+        });
+        if n == 0 {
+            eprintln!("--repeat needs at least 1, got `{v}`");
+            std::process::exit(2);
+        }
+        n
+    });
+    let gc_growth: f64 = value_of("--gc-growth").map_or(1.5, |v| {
+        let g: f64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("--gc-growth needs a number, got `{v}`");
+            std::process::exit(2);
+        });
+        if !g.is_finite() || g <= 1.0 {
+            eprintln!("--gc-growth must be > 1.0 (collection must amortize), got `{v}`");
+            std::process::exit(2);
+        }
+        g
     });
     let sharing: ShardSharing = value_of("--sharing").map_or_else(ShardSharing::default, |v| {
         v.parse().unwrap_or_else(|e| {
@@ -264,6 +357,7 @@ fn main() {
         header.push_str(&format!(" {:>10}", "explicit"));
     }
     header.push_str(&format!(" {:>7}", "reorder"));
+    header.push_str(&format!(" {:>7}", "jobs"));
     header.push_str(&format!(" {:>10}", "verdict"));
     println!("{header}");
     println!("{}", "-".repeat(header.len()));
@@ -278,6 +372,16 @@ fn main() {
     };
     let mut json_rows: Vec<JsonRow> = Vec::new();
     let persist = PersistOptions { cache_dir: cache_dir.clone(), ..PersistOptions::default() };
+    // One row per (engine, reorder, jobs) combination, jobs innermost so
+    // the scaling curve of one configuration reads as consecutive lines.
+    let mut combos: Vec<(EngineKind, ReorderMode, usize)> = Vec::new();
+    for &kind in &engines {
+        for &reorder in &reorders {
+            for &j in &jobs_matrix {
+                combos.push((kind, reorder, j));
+            }
+        }
+    }
     let passes = if warm_rerun { 2 } else { 1 };
     // Cold-pass verdict + state count per (net, engine, reorder), checked
     // against the warm pass: a cache hit must be byte-identical on the
@@ -302,30 +406,56 @@ fn main() {
                     let secs = start.elapsed().as_secs_f64();
                     sg.map(|sg| (secs, sg.len())).map_err(|e| e.to_string())
                 });
-            for &kind in &engines {
-                for &reorder in &reorders {
+            for &(kind, reorder, j) in &combos {
+                {
                     let opts = VerifyOptions {
                         order,
                         policy: PersistencyPolicy { allow_arbitration: w.arbitration },
                         engine: stgcheck_core::EngineOptions {
                             kind,
-                            jobs,
+                            jobs: j,
                             sharing,
+                            gc_growth,
                             ..Default::default()
                         },
                         reorder,
                         budget,
                     };
-                    let start = Instant::now();
-                    let run = match verify_persistent(&w.stg, opts, &persist) {
-                        Ok(r) => r,
-                        Err(e) => {
-                            println!("{:<16} verification aborted: {e}", w.name);
-                            exit = exit.worst(ProcessExit::Violation);
-                            continue;
+                    let jobs_detected = opts.engine.effective_jobs();
+                    // `--repeat`: the reported wall is the median over all
+                    // repeats; stats and verdict come from the first run
+                    // (repeats are result-deterministic).
+                    let mut walls: Vec<f64> = Vec::with_capacity(repeat);
+                    let mut first = None;
+                    let mut aborted = false;
+                    for _ in 0..repeat {
+                        let start = Instant::now();
+                        match verify_persistent(&w.stg, opts, &persist) {
+                            Ok(r) => {
+                                walls.push(start.elapsed().as_secs_f64());
+                                let done = matches!(r.outcome, Outcome::Completed(_));
+                                if first.is_none() {
+                                    first = Some(r);
+                                }
+                                if !done {
+                                    break; // repeating an exhausted row is pure waste
+                                }
+                            }
+                            Err(e) => {
+                                println!("{:<16} verification aborted: {e}", w.name);
+                                exit = exit.worst(ProcessExit::Violation);
+                                aborted = true;
+                                break;
+                            }
                         }
-                    };
-                    let wall_s = start.elapsed().as_secs_f64();
+                    }
+                    if aborted || first.is_none() {
+                        continue;
+                    }
+                    let run = first.expect("row ran at least once");
+                    let wall_s = median(&mut walls);
+                    let wall_min_s = walls.first().copied().unwrap_or(wall_s);
+                    let wall_max_s = walls.last().copied().unwrap_or(wall_s);
                     *pass_wall_slot += wall_s;
                     let report = match run.outcome {
                         Outcome::Completed(report) => report,
@@ -337,12 +467,18 @@ fn main() {
                                 engine: kind.to_string(),
                                 reorder,
                                 order,
-                                jobs,
+                                jobs: j,
+                                jobs_detected,
                                 states: "?".to_string(),
                                 peak_live_nodes: 0,
                                 final_nodes: 0,
                                 sift_passes: 0,
                                 wall_s,
+                                wall_min_s,
+                                wall_max_s,
+                                gc_collections: 0,
+                                gc_pause_ms: 0.0,
+                                peak_rss_kb: peak_rss_kb(),
                                 cache: run.cache.to_string(),
                                 verdict: "?",
                                 outcome: "exhausted",
@@ -360,12 +496,18 @@ fn main() {
                                 engine: kind.to_string(),
                                 reorder,
                                 order,
-                                jobs,
+                                jobs: j,
+                                jobs_detected,
                                 states: "?".to_string(),
                                 peak_live_nodes: 0,
                                 final_nodes: 0,
                                 sift_passes: 0,
                                 wall_s,
+                                wall_min_s,
+                                wall_max_s,
+                                gc_collections: 0,
+                                gc_pause_ms: 0.0,
+                                peak_rss_kb: peak_rss_kb(),
                                 cache: run.cache.to_string(),
                                 verdict: "?",
                                 outcome: "interrupted",
@@ -392,6 +534,7 @@ fn main() {
                         }
                     }
                     row.push_str(&format!(" {reorder:>7}"));
+                    row.push_str(&format!(" {:>7}", format!("{j}/{jobs_detected}")));
                     let verdict = match report.verdict {
                         stgcheck_stg::Implementability::Gate => "gate",
                         stgcheck_stg::Implementability::InputOutput => "i/o",
@@ -402,7 +545,8 @@ fn main() {
                     println!("{row}");
                     let states = stgcheck_core::format_states(report.num_states);
                     if warm_rerun {
-                        let key = (w.name.clone(), report.engine.clone(), reorder.to_string());
+                        let key =
+                            (w.name.clone(), report.engine.clone(), format!("{reorder}-j{j}"));
                         if pass == 0 {
                             cold_results.insert(key, (verdict, states.clone()));
                         } else {
@@ -427,12 +571,18 @@ fn main() {
                         engine: report.engine.clone(),
                         reorder,
                         order,
-                        jobs,
+                        jobs: j,
+                        jobs_detected,
                         states,
                         peak_live_nodes: report.bdd_peak,
                         final_nodes: report.bdd_final,
                         sift_passes: report.sift_passes,
                         wall_s,
+                        wall_min_s,
+                        wall_max_s,
+                        gc_collections: report.gc_collections,
+                        gc_pause_ms: report.gc_pause_ms,
+                        peak_rss_kb: peak_rss_kb(),
                         cache: run.cache.to_string(),
                         verdict,
                         outcome: if run.fell_back { "fallback" } else { "ok" },

@@ -190,18 +190,70 @@ impl std::str::FromStr for ReorderMode {
     }
 }
 
+/// Which BDD-manager entry points an engine run uses.
+///
+/// Since PR 5 the manager is `Sync`: every operation publishes nodes and
+/// memo entries with release/acquire atomics so concurrent workers can
+/// share it. That protocol is pure overhead when only one thread touches
+/// the manager — which is every `jobs == 1` run and every sequential
+/// segment of a parallel run. The exclusive mode routes those segments
+/// through `&mut self` twins (`and_x`, `exists_x`, …) that use plain
+/// stores and `Mutex::get_mut`, with borrowck (not a fence) as the
+/// safety argument. Results are bit-identical either way; this knob only
+/// changes *how* they are computed.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum ExecMode {
+    /// Pick automatically: exclusive whenever the engine's effective
+    /// worker count is 1, shared otherwise. The default.
+    #[default]
+    Auto,
+    /// Force the `&mut self` fast paths (only honoured where the engine
+    /// actually holds exclusive access; shared-manager parallel sections
+    /// always use the atomic paths regardless).
+    Exclusive,
+    /// Force the atomic shared paths even single-threaded — the PR 5
+    /// baseline, kept reachable for A/B benchmarking.
+    Shared,
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExecMode::Auto => "auto",
+            ExecMode::Exclusive => "exclusive",
+            ExecMode::Shared => "shared",
+        })
+    }
+}
+
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ExecMode, String> {
+        match s {
+            "auto" => Ok(ExecMode::Auto),
+            "exclusive" | "excl" => Ok(ExecMode::Exclusive),
+            "shared" => Ok(ExecMode::Shared),
+            other => {
+                Err(format!("unknown exec mode `{other}` (expected auto, exclusive or shared)"))
+            }
+        }
+    }
+}
+
 /// Engine configuration, [`stgcheck_stg::SgOptions`]-style: a plain
 /// options struct with a sensible [`Default`], threaded through
 /// [`crate::VerifyOptions`] and the CLI.
-#[derive(Copy, Clone, Debug, Default)]
+#[derive(Copy, Clone, Debug)]
 pub struct EngineOptions {
     /// Which engine computes the frontier step.
     pub kind: EngineKind,
     /// Frontier strategy for [`EngineKind::PerTransition`] (the clustered
     /// and sharded engines always chain).
     pub strategy: TraversalStrategy,
-    /// Worker threads for [`EngineKind::ParallelSharded`]; `0` means the
-    /// machine's available parallelism.
+    /// Worker threads for [`EngineKind::ParallelSharded`]; `0` (the
+    /// default) means the machine's available parallelism, clamped by
+    /// the work available (see `MIN_SHARD_TRANSITIONS`).
     pub jobs: usize,
     /// Maximum transitions per cluster for [`EngineKind::Clustered`];
     /// `0` means the default of 8.
@@ -212,6 +264,31 @@ pub struct EngineOptions {
     /// Whether [`EngineKind::ParallelSharded`] workers share the one
     /// concurrent manager (default) or own private managers.
     pub sharing: ShardSharing,
+    /// Exclusive-vs-shared manager entry points (see [`ExecMode`]).
+    /// Never part of a result-cache key: it changes how results are
+    /// computed, not what they are.
+    pub exec: ExecMode,
+    /// Growth factor of the amortized GC trigger
+    /// ([`stgcheck_bdd::BddManager::gc_due`]): collect only once the
+    /// live count has grown this many times past the previous
+    /// collection's survivor count. Must be > 1.0; default 1.5. Like
+    /// `exec`, never part of a result-cache key.
+    pub gc_growth: f64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            kind: EngineKind::default(),
+            strategy: TraversalStrategy::default(),
+            jobs: 0,
+            max_cluster: 0,
+            reorder: ReorderMode::default(),
+            sharing: ShardSharing::default(),
+            exec: ExecMode::default(),
+            gc_growth: 1.5,
+        }
+    }
 }
 
 impl EngineOptions {
@@ -231,6 +308,20 @@ impl EngineOptions {
             self.max_cluster
         } else {
             8
+        }
+    }
+
+    /// `true` when a sequential engine segment should take the
+    /// exclusive-mode (`&mut self`) manager entry points: forced by
+    /// [`ExecMode::Exclusive`], forbidden by [`ExecMode::Shared`], and
+    /// under [`ExecMode::Auto`] taken exactly when the run is
+    /// single-threaded — a non-parallel engine, or a parallel engine
+    /// resolved to one worker.
+    pub fn exclusive(&self) -> bool {
+        match self.exec {
+            ExecMode::Exclusive => true,
+            ExecMode::Shared => false,
+            ExecMode::Auto => self.kind != EngineKind::ParallelSharded || self.effective_jobs() < 2,
         }
     }
 }
@@ -507,6 +598,7 @@ pub(crate) fn run_fixpoint(
             },
         };
     }
+    sym.manager_mut().set_gc_growth(opts.gc_growth);
     match opts.kind {
         EngineKind::PerTransition => run_per_transition(sym, opts, spec, transitions, init, ctl),
         EngineKind::Clustered => run_clustered(sym, opts, spec, transitions, init, ctl),
@@ -530,6 +622,56 @@ fn apply_one(sym: &SymbolicStg<'_>, spec: &FixpointSpec, set: Bdd, t: TransId) -
     match spec.within {
         Some(w) => sym.manager().and(img, w),
         None => img,
+    }
+}
+
+// Mode-dispatch helpers: one branch per step, routing to either the
+// shared (atomic-publication) or the exclusive (`&mut`, plain-store)
+// manager entry points. The exclusive side is only reachable from
+// contexts that hold `&mut SymbolicStg` — which every sequential engine
+// loop and every private-manager worker does — so the dispatch is a
+// plain bool, decided once per run by [`EngineOptions::exclusive`].
+
+/// [`apply_one`] with mode dispatch.
+fn apply_one_m(
+    sym: &mut SymbolicStg<'_>,
+    spec: &FixpointSpec,
+    set: Bdd,
+    t: TransId,
+    x: bool,
+) -> Bdd {
+    if !x {
+        return apply_one(sym, spec, set, t);
+    }
+    let img = match (spec.direction, spec.marking_only) {
+        (StepDirection::Forward, false) => sym.image_x(set, t),
+        (StepDirection::Forward, true) => sym.image_marking_x(set, t),
+        (StepDirection::Backward, false) => sym.preimage_x(set, t),
+        (StepDirection::Backward, true) => sym.preimage_marking_x(set, t),
+    };
+    match spec.within {
+        Some(w) => sym.manager_mut().and_x(img, w),
+        None => img,
+    }
+}
+
+/// Mode-dispatched disjunction on the main manager.
+fn or_m(sym: &mut SymbolicStg<'_>, a: Bdd, b: Bdd, x: bool) -> Bdd {
+    let mgr = sym.manager_mut();
+    if x {
+        mgr.or_x(a, b)
+    } else {
+        mgr.or(a, b)
+    }
+}
+
+/// Mode-dispatched set difference on the main manager.
+fn diff_m(sym: &mut SymbolicStg<'_>, a: Bdd, b: Bdd, x: bool) -> Bdd {
+    let mgr = sym.manager_mut();
+    if x {
+        mgr.diff_x(a, b)
+    } else {
+        mgr.diff(a, b)
     }
 }
 
@@ -606,6 +748,7 @@ fn run_per_transition(
     init: Bdd,
     ctl: &mut FixpointCtl,
 ) -> FixpointOutcome {
+    let x = opts.exclusive();
     let (mut reached, mut from, mut iterations) = ctl.seed(sym, init);
     let mut rings = if spec.record_rings { vec![init] } else { Vec::new() };
     loop {
@@ -614,8 +757,8 @@ fn run_per_transition(
             TraversalStrategy::Chained => {
                 let mut acc = from;
                 for &t in transitions {
-                    let img = apply_one(sym, spec, acc, t);
-                    acc = sym.manager_mut().or(acc, img);
+                    let img = apply_one_m(sym, spec, acc, t, x);
+                    acc = or_m(sym, acc, img, x);
                     // Intermediate sets inside one chained sweep are the
                     // memory peak on deep pipelines: collect eagerly,
                     // keeping only the running accumulator.
@@ -626,8 +769,8 @@ fn run_per_transition(
             TraversalStrategy::Bfs => {
                 let mut acc = from;
                 for &t in transitions {
-                    let img = apply_one(sym, spec, from, t);
-                    acc = sym.manager_mut().or(acc, img);
+                    let img = apply_one_m(sym, spec, from, t, x);
+                    acc = or_m(sym, acc, img, x);
                     maybe_gc(sym, spec, &[reached, from, acc], &rings, &[]);
                 }
                 acc
@@ -645,11 +788,11 @@ fn run_per_transition(
                 stop,
             };
         }
-        let new = sym.manager_mut().diff(to, reached);
+        let new = diff_m(sym, to, reached, x);
         if new.is_false() {
             break;
         }
-        reached = sym.manager_mut().or(reached, new);
+        reached = or_m(sym, reached, new, x);
         if spec.record_rings {
             rings.push(new);
         }
@@ -762,6 +905,30 @@ pub(crate) fn fused_apply(
     }
 }
 
+/// [`fused_apply`] with mode dispatch.
+fn fused_apply_m(
+    sym: &mut SymbolicStg<'_>,
+    spec: &FixpointSpec,
+    cubes: &FusedCubes,
+    set: Bdd,
+    x: bool,
+) -> Bdd {
+    if !x {
+        return fused_apply(sym, spec, cubes, set);
+    }
+    let (select, reimpose) = match spec.direction {
+        StepDirection::Forward => (cubes.before, cubes.after),
+        StepDirection::Backward => (cubes.after, cubes.before),
+    };
+    let mgr = sym.manager_mut();
+    let moved = mgr.and_exists_many_x(&[set, select], cubes.quant);
+    let img = mgr.and_x(moved, reimpose);
+    match spec.within {
+        Some(w) => sym.manager_mut().and_x(img, w),
+        None => img,
+    }
+}
+
 /// Greedy support-overlap clustering: seed a cluster with the first
 /// unassigned transition, then repeatedly absorb the unassigned
 /// transition sharing the most variables with the cluster's accumulated
@@ -811,6 +978,7 @@ fn run_clustered(
         fused.iter().map(|f| sym.manager().support(f.quant).into_iter().collect()).collect();
     let clusters = cluster_by_support(&supports, opts.effective_max_cluster());
     let engine_roots: Vec<Bdd> = fused.iter().flat_map(|f| [f.before, f.after, f.quant]).collect();
+    let x = opts.exclusive();
     let (mut reached, mut from, mut iterations) = ctl.seed(sym, init);
     loop {
         iterations += 1;
@@ -821,10 +989,10 @@ fn run_clustered(
         for cluster in &clusters {
             let mut delta = Bdd::FALSE;
             for &i in cluster {
-                let img = fused_apply(sym, spec, &fused[i], acc);
-                delta = sym.manager_mut().or(delta, img);
+                let img = fused_apply_m(sym, spec, &fused[i], acc, x);
+                delta = or_m(sym, delta, img, x);
             }
-            acc = sym.manager_mut().or(acc, delta);
+            acc = or_m(sym, acc, delta, x);
             maybe_gc(sym, spec, &[reached, acc], &[], &engine_roots);
         }
         // Pre-commit budget check — see `run_per_transition`.
@@ -837,11 +1005,11 @@ fn run_clustered(
                 stop,
             };
         }
-        let new = sym.manager_mut().diff(acc, reached);
+        let new = diff_m(sym, acc, reached, x);
         if new.is_false() {
             break;
         }
-        reached = sym.manager_mut().or(reached, new);
+        reached = or_m(sym, reached, new, x);
         from = new;
         maybe_gc(sym, spec, &[reached, from], &[], &engine_roots);
         // The fused cubes are ordinary protected roots: in-place sifting
@@ -929,6 +1097,31 @@ fn fused_apply_below(
     }
 }
 
+/// [`fused_apply_below`] with mode dispatch.
+fn fused_apply_below_m(
+    sym: &mut SymbolicStg<'_>,
+    spec: &FixpointSpec,
+    cubes: &FusedCubes,
+    set: Bdd,
+    home: usize,
+    x: bool,
+) -> Bdd {
+    if !x {
+        return fused_apply_below(sym, spec, cubes, set, home);
+    }
+    let (select, reimpose) = match spec.direction {
+        StepDirection::Forward => (cubes.before, cubes.after),
+        StepDirection::Backward => (cubes.after, cubes.before),
+    };
+    let mgr = sym.manager_mut();
+    let moved = mgr.and_exists_below_x(set, select, cubes.quant, home);
+    let img = mgr.and_x(moved, reimpose);
+    match spec.within {
+        Some(w) => sym.manager_mut().and_x(img, w),
+        None => img,
+    }
+}
+
 /// Ciardo-style saturation over the clustered engine's grouping.
 ///
 /// The sweep walks the schedule (deepest homes first) and fires each
@@ -979,6 +1172,7 @@ fn run_saturation(
     // Saturation has no global frontier; a resumed snapshot seeds the
     // reached set and the sweep simply re-saturates every cluster against
     // it (already-saturated clusters converge in one pass).
+    let x = opts.exclusive();
     let (mut reached, _, mut iterations) = ctl.seed(sym, init);
     let mut pos = 0;
     while pos < schedule.len() {
@@ -990,8 +1184,8 @@ fn run_saturation(
             iterations += 1;
             let mut acc = reached;
             for &i in &clusters[c] {
-                let img = fused_apply_below(sym, spec, &fused[i], acc, homes[c]);
-                acc = sym.manager_mut().or(acc, img);
+                let img = fused_apply_below_m(sym, spec, &fused[i], acc, homes[c], x);
+                acc = or_m(sym, acc, img, x);
                 maybe_gc(sym, spec, &[reached, acc], &[], &engine_roots);
             }
             // A trip inside the sweep makes `acc` inert garbage (an OR of
@@ -1077,21 +1271,22 @@ fn shard_closure(
     spec: &FixpointSpec,
     shard: &[TransId],
     from: Bdd,
+    x: bool,
 ) -> Bdd {
     let mut reached = from;
     let mut front = from;
     loop {
         let mut acc = front;
         for &t in shard {
-            let img = apply_one(w, spec, acc, t);
-            acc = w.manager_mut().or(acc, img);
+            let img = apply_one_m(w, spec, acc, t, x);
+            acc = or_m(w, acc, img, x);
             maybe_gc(w, spec, &[reached, acc], &[], &[]);
         }
-        let new = w.manager_mut().diff(acc, reached);
+        let new = diff_m(w, acc, reached, x);
         if new.is_false() {
             return reached;
         }
-        reached = w.manager_mut().or(reached, new);
+        reached = or_m(w, reached, new, x);
         front = new;
         maybe_gc(w, spec, &[reached, front], &[], &[]);
     }
@@ -1254,15 +1449,19 @@ fn run_parallel_shared(
                 stop,
             };
         }
+        // Workers are joined: the coordinator holds `&mut` again, so the
+        // join/commit arithmetic of this sequential segment takes the
+        // exclusive fast path (unless A/B-pinned to the shared one).
+        let xq = opts.exec != ExecMode::Shared;
         let mut to = from;
         for part in parts {
-            to = sym.manager().or(to, part);
+            to = or_m(sym, to, part, xq);
         }
-        let new = sym.manager().diff(to, reached);
+        let new = diff_m(sym, to, reached, xq);
         if new.is_false() {
             break;
         }
-        reached = sym.manager().or(reached, new);
+        reached = or_m(sym, reached, new, xq);
         from = new;
         // Stop-the-world quiesce point: workers are joined, the `&mut`
         // borrow is exclusive again.
@@ -1316,6 +1515,11 @@ fn run_parallel_private(
     // the node ceiling, the coordinator passing the deadline) reaches
     // every private manager at its next allocation poll.
     let budget = ctl.budget.clone();
+    // A private worker owns its manager outright, so it always qualifies
+    // for the exclusive fast path — unless the run is pinned to the shared
+    // one for A/B comparison.
+    let worker_excl = opts.exec != ExecMode::Shared;
+    let gc_growth = opts.gc_growth;
     std::thread::scope(|scope| {
         let (res_tx, res_rx) = mpsc::channel::<(SerializedBdd, usize)>();
         let mut cmd_txs: Vec<mpsc::Sender<ShardCmd>> = Vec::new();
@@ -1334,6 +1538,7 @@ fn run_parallel_private(
                 // serialised interchange sound.
                 let mut w = SymbolicStg::new(stg, order);
                 w.manager_mut().set_budget(budget);
+                w.manager_mut().set_gc_growth(gc_growth);
                 if w.manager().order() != start_order {
                     w.apply_var_order(&start_order, &mut []);
                 }
@@ -1355,7 +1560,7 @@ fn run_parallel_private(
                         gc: true,
                     };
                     let from = w.manager_mut().import_bdd(&cmd.frontier);
-                    let local = shard_closure(&mut w, &wspec, &shard, from);
+                    let local = shard_closure(&mut w, &wspec, &shard, from, worker_excl);
                     let out = w.manager().export_bdd(local);
                     if res_tx.send((out, w.manager().peak_live_nodes())).is_err() {
                         return;
@@ -1385,7 +1590,7 @@ fn run_parallel_private(
             for _ in 0..cmd_txs.len() {
                 let (ser, peak) = res_rx.recv().expect("worker result");
                 let part = sym.manager_mut().import_bdd(&ser);
-                to = sym.manager_mut().or(to, part);
+                to = or_m(sym, to, part, worker_excl);
                 shard_peak = shard_peak.max(peak);
             }
             // Pre-commit budget check (all worker results drained above,
@@ -1400,11 +1605,11 @@ fn run_parallel_private(
                     stop,
                 };
             }
-            let new = sym.manager_mut().diff(to, reached);
+            let new = diff_m(sym, to, reached, worker_excl);
             if new.is_false() {
                 break;
             }
-            reached = sym.manager_mut().or(reached, new);
+            reached = or_m(sym, reached, new, worker_excl);
             from = new;
             maybe_gc(sym, spec, &[reached, from], &[], &[]);
             // Sift the *main* manager only; the workers pick up the new

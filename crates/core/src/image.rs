@@ -66,6 +66,41 @@ impl SymbolicStg<'_> {
         }
     }
 
+    /// Exclusive-mode [`SymbolicStg::image_marking`]: the same cofactor/
+    /// product pipeline routed through the `&mut BddManager` fast paths —
+    /// plain stores instead of atomic publication, `get_mut` instead of
+    /// lock acquisition. Identical results and memo entries.
+    pub fn image_marking_x(&mut self, m: Bdd, t: TransId) -> Bdd {
+        let c = self.cubes(t).clone();
+        let mgr = self.manager_mut();
+        let r = mgr.cofactor_cube_x(m, c.enabled);
+        let r = mgr.and_x(r, c.no_pred);
+        let r = mgr.cofactor_cube_x(r, c.no_succ);
+        mgr.and_x(r, c.all_succ)
+    }
+
+    /// Exclusive-mode [`SymbolicStg::image`].
+    pub fn image_x(&mut self, m: Bdd, t: TransId) -> Bdd {
+        let moved = self.image_marking_x(m, t);
+        let Some(label) = self.stg().label(t) else { return moved };
+        let v = self.signal_var(label.signal);
+        let mgr = self.manager_mut();
+        match label.polarity {
+            Polarity::Rise => {
+                let sel = mgr.nvar(v);
+                let r = mgr.cofactor_cube_x(moved, sel);
+                let lit = mgr.var(v);
+                mgr.and_x(r, lit)
+            }
+            Polarity::Fall => {
+                let sel = mgr.var(v);
+                let r = mgr.cofactor_cube_x(moved, sel);
+                let lit = mgr.nvar(v);
+                mgr.and_x(r, lit)
+            }
+        }
+    }
+
     /// Backward image on the marking variables only: all markings from
     /// which firing `t` lands in `M`.
     pub fn preimage_marking(&self, m: Bdd, t: TransId) -> Bdd {
@@ -97,6 +132,37 @@ impl SymbolicStg<'_> {
                 let r = mgr.cofactor_cube(moved, sel);
                 let lit = mgr.var(v);
                 mgr.and(r, lit)
+            }
+        }
+    }
+    /// Exclusive-mode [`SymbolicStg::preimage_marking`].
+    pub fn preimage_marking_x(&mut self, m: Bdd, t: TransId) -> Bdd {
+        let c = self.cubes(t).clone();
+        let mgr = self.manager_mut();
+        let r = mgr.cofactor_cube_x(m, c.all_succ);
+        let r = mgr.and_x(r, c.no_succ);
+        let r = mgr.cofactor_cube_x(r, c.no_pred);
+        mgr.and_x(r, c.enabled)
+    }
+
+    /// Exclusive-mode [`SymbolicStg::preimage`].
+    pub fn preimage_x(&mut self, m: Bdd, t: TransId) -> Bdd {
+        let moved = self.preimage_marking_x(m, t);
+        let Some(label) = self.stg().label(t) else { return moved };
+        let v = self.signal_var(label.signal);
+        let mgr = self.manager_mut();
+        match label.polarity {
+            Polarity::Rise => {
+                let sel = mgr.var(v);
+                let r = mgr.cofactor_cube_x(moved, sel);
+                let lit = mgr.nvar(v);
+                mgr.and_x(r, lit)
+            }
+            Polarity::Fall => {
+                let sel = mgr.nvar(v);
+                let r = mgr.cofactor_cube_x(moved, sel);
+                let lit = mgr.var(v);
+                mgr.and_x(r, lit)
             }
         }
     }

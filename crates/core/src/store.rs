@@ -165,7 +165,9 @@ impl ResultStore {
 /// of the key: a budget changes whether a run finishes, never what a
 /// finished run computes, so a verdict cached by a generous run must
 /// serve a tightly-budgeted rerun (and only completed runs are ever
-/// stored).
+/// stored). [`crate::ExecMode`] and the GC growth factor are excluded for
+/// the same reason: they pick between result-identical execution paths
+/// and collection schedules.
 pub(crate) fn cache_key(hash: u128, opts: &VerifyOptions) -> String {
     format!("{hash:032x}-{}", opts_tag(opts))
 }
@@ -408,6 +410,7 @@ pub(crate) fn report_to_text(r: &SymbolicReport) -> String {
     let _ = writeln!(out, "dims {} {}", r.places, r.signals);
     let _ = writeln!(out, "states {}", r.num_states);
     let _ = writeln!(out, "bdd {} {} {}", r.bdd_peak, r.sift_passes, r.bdd_final);
+    let _ = writeln!(out, "gc {} {} {}", r.gc_collections, r.gc_full_collections, r.gc_pause_ms);
     let t = &r.traversal;
     let _ = writeln!(
         out,
@@ -505,6 +508,9 @@ pub(crate) fn report_from_text(text: &str) -> Option<SymbolicReport> {
     let mut dims = None;
     let mut states = None;
     let mut bdd = None;
+    // Optional line (absent from pre-generational-GC reports): collection
+    // counters default to zero rather than invalidating the cache entry.
+    let mut gc = (0, 0, 0.0);
     let mut trav = None;
     let mut code = None;
     let mut deadlock = None;
@@ -533,6 +539,9 @@ pub(crate) fn report_from_text(text: &str) -> Option<SymbolicReport> {
             ("states", [n]) => states = Some(n.parse::<u128>().ok()?),
             ("bdd", [a, b, c]) => {
                 bdd = Some((a.parse().ok()?, b.parse().ok()?, c.parse().ok()?));
+            }
+            ("gc", [a, b, c]) => {
+                gc = (a.parse().ok()?, b.parse().ok()?, c.parse().ok()?);
             }
             ("trav", [a, b, c, d, e, f, g]) => {
                 trav = Some(TraversalStats {
@@ -618,6 +627,9 @@ pub(crate) fn report_from_text(text: &str) -> Option<SymbolicReport> {
         num_states: states?,
         bdd_peak,
         sift_passes,
+        gc_collections: gc.0,
+        gc_full_collections: gc.1,
+        gc_pause_ms: gc.2,
         bdd_final,
         traversal: trav?,
         initial_code: code?,

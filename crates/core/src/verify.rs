@@ -123,6 +123,14 @@ pub struct SymbolicReport {
     /// In-place sifting passes run across all phases (0 unless a
     /// [`ReorderMode`] other than `None` was selected).
     pub sift_passes: usize,
+    /// Garbage collections run across all phases (minor + full).
+    pub gc_collections: usize,
+    /// Full (whole-arena) collections among [`Self::gc_collections`]; the
+    /// rest were generational minor collections.
+    pub gc_full_collections: usize,
+    /// Total stop-the-world GC pause across all collections, in
+    /// milliseconds.
+    pub gc_pause_ms: f64,
     /// Final `Reached` BDD size (Table 1 "BDD size final").
     pub bdd_final: usize,
     /// Traversal details.
@@ -406,6 +414,7 @@ fn finish_verification(
     };
 
     let total = total_start.elapsed().as_secs_f64();
+    let bdd_stats = sym.manager().stats();
     SymbolicReport {
         name: stg.name().to_string(),
         engine: engine.kind.to_string(),
@@ -413,7 +422,10 @@ fn finish_verification(
         signals: stg.num_signals(),
         num_states: traversal.stats.num_states,
         bdd_peak: sym.manager().peak_live_nodes(),
-        sift_passes: sym.manager().stats().sift_runs,
+        sift_passes: bdd_stats.sift_runs,
+        gc_collections: bdd_stats.gc_runs,
+        gc_full_collections: bdd_stats.gc_full_runs,
+        gc_pause_ms: bdd_stats.gc_pause_ns as f64 / 1e6,
         bdd_final: traversal.stats.final_nodes,
         traversal: traversal.stats,
         initial_code,

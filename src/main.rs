@@ -17,6 +17,14 @@
 //!                        see docs/concurrent-table.md)
 //!   --reorder <m>        none|sift|auto — dynamic variable reordering
 //!                        (in-place sifting; see docs/reordering.md)
+//!   --exec <m>           auto|exclusive|shared — BDD-manager execution
+//!                        mode: auto picks the exclusive (`&mut`, plain
+//!                        store) fast path whenever a single thread owns
+//!                        the manager (default: auto; see
+//!                        docs/concurrent-table.md)
+//!   --gc-growth <f>      garbage-collect when live nodes exceed f times
+//!                        the post-collection baseline; must be > 1.0
+//!                        (default: 1.5)
 //!   --bfs                strict breadth-first traversal (default: chained)
 //!   --quiet              only print the verdict line per file
 //!   --timeout <secs>     wall-clock deadline for the whole verification;
@@ -94,6 +102,7 @@ fn usage() -> &'static str {
     "usage: stgcheck [--arbitration] [--order interleaved|places|signals|declaration] \
      [--engine per-transition|clustered|parallel|saturation] [--jobs N] \
      [--sharing shared|private] \
+     [--exec auto|exclusive|shared] [--gc-growth F] \
      [--reorder none|sift|auto] [--bfs] [--quiet] \
      [--timeout SECS] [--max-nodes N] [--max-steps N] [--fallback] \
      [--failpoints SPEC] \
@@ -144,6 +153,21 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
             "--sharing" => {
                 let v = it.next().ok_or("--sharing needs a value")?;
                 cli.options.engine.sharing = v.parse()?;
+            }
+            "--exec" => {
+                let v = it.next().ok_or("--exec needs a value")?;
+                cli.options.engine.exec = v.parse()?;
+            }
+            "--gc-growth" => {
+                let v = it.next().ok_or("--gc-growth needs a value")?;
+                let growth: f64 =
+                    v.parse().map_err(|_| format!("--gc-growth needs a number, got `{v}`"))?;
+                if !growth.is_finite() || growth <= 1.0 {
+                    return Err(format!(
+                        "--gc-growth must be > 1.0 (collection must amortize), got `{v}`"
+                    ));
+                }
+                cli.options.engine.gc_growth = growth;
             }
             "--timeout" => {
                 let v = it.next().ok_or("--timeout needs a value in seconds")?;
@@ -243,6 +267,14 @@ fn print_full(report: &SymbolicReport, stg: &stgcheck::stg::Stg) {
     }
     if let Some(dead) = &report.deadlock {
         out!("  deadlock:    reachable dead state at {dead}");
+    }
+    if report.gc_collections > 0 {
+        out!(
+            "  gc:          {} collections ({} full), {:.3} ms paused",
+            report.gc_collections,
+            report.gc_full_collections,
+            report.gc_pause_ms
+        );
     }
     out!("  CSC:         {}", report.csc_holds());
     for a in report.csc.iter().filter(|a| !a.holds) {

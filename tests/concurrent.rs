@@ -13,6 +13,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use stgcheck::bdd::{Bdd, BddManager, SerializedBdd, Var};
+use stgcheck::core::{
+    verify, EngineKind, EngineOptions, ExecMode, ReorderMode, SymbolicStg, VarOrder, VerifyOptions,
+};
+use stgcheck::stg::{gen, Stg};
 
 /// One scripted operation; operands index the thread's result history
 /// (literals are pre-seeded at indices `0..2 * nvars`).
@@ -262,4 +266,177 @@ fn quiesce_gc_between_concurrent_phases_preserves_functions() {
             assert_eq!(shared.sat_count(f), replay.sat_count(g), "sift changed a function");
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Exclusive-mode fast path vs shared-mode atomic path.
+// ---------------------------------------------------------------------
+
+fn mode_corpus() -> Vec<Stg> {
+    vec![
+        gen::mutex_element(),
+        gen::muller_pipeline(4),
+        gen::vme_read(),
+        gen::ring(4),
+        gen::csc_violation_stg(),
+        gen::nonpersistent_stg(),
+    ]
+}
+
+const ALL_KINDS: [EngineKind; 4] = [
+    EngineKind::PerTransition,
+    EngineKind::Clustered,
+    EngineKind::ParallelSharded,
+    EngineKind::Saturation,
+];
+
+/// `--exec` is pure execution strategy: for every engine × reorder mode,
+/// a `jobs == 1` run on the exclusive (`&mut`, plain-store) fast path, a
+/// `jobs == 1` run pinned to the shared (atomic-publication) path, and a
+/// `jobs == 2` run must agree on every verdict and state count — and the
+/// two single-job runs, which execute the *identical* recursion sequence,
+/// must match on every BDD size column as well.
+#[test]
+fn exclusive_and_shared_modes_agree_across_engines_and_reorders() {
+    for stg in mode_corpus() {
+        for kind in ALL_KINDS {
+            for reorder in [ReorderMode::None, ReorderMode::Sift, ReorderMode::Auto] {
+                let with = |jobs: usize, exec: ExecMode| VerifyOptions {
+                    engine: EngineOptions { kind, jobs, exec, ..Default::default() },
+                    reorder,
+                    ..VerifyOptions::default()
+                };
+                let ctx = format!("{}: {kind} + reorder {reorder}", stg.name());
+                // jobs == 1 resolves ExecMode::Auto to the exclusive path.
+                let excl = verify(&stg, with(1, ExecMode::Auto)).unwrap();
+                let shared = verify(&stg, with(1, ExecMode::Shared)).unwrap();
+                let multi = verify(&stg, with(2, ExecMode::Auto)).unwrap();
+                for (label, other) in [("shared", &shared), ("jobs=2", &multi)] {
+                    assert_eq!(excl.verdict, other.verdict, "{ctx}: {label} verdict");
+                    assert_eq!(excl.num_states, other.num_states, "{ctx}: {label} states");
+                    assert_eq!(excl.safe(), other.safe(), "{ctx}: {label} safety");
+                    assert_eq!(excl.consistent(), other.consistent(), "{ctx}: {label}");
+                    assert_eq!(excl.persistent(), other.persistent(), "{ctx}: {label}");
+                    assert_eq!(excl.csc_holds(), other.csc_holds(), "{ctx}: {label} CSC");
+                }
+                // Same engine, same jobs, same recursion order: the two
+                // paths must walk byte-identical manager trajectories.
+                assert_eq!(excl.bdd_peak, shared.bdd_peak, "{ctx}: peak diverged");
+                assert_eq!(excl.bdd_final, shared.bdd_final, "{ctx}: final size diverged");
+                assert_eq!(excl.sift_passes, shared.sift_passes, "{ctx}: sift passes diverged");
+            }
+        }
+    }
+}
+
+/// Canonicity across execution modes in ONE manager: running the same
+/// traversal once through the exclusive entry points and once through the
+/// shared ones must return the *identical* `Reached` handle — both paths
+/// feed the same unique table, so a single node difference would be a
+/// canonicity bug, not a perf quirk.
+#[test]
+fn exclusive_mode_reaches_identical_handles() {
+    for stg in mode_corpus() {
+        let mut sym = SymbolicStg::new(&stg, VarOrder::Interleaved);
+        let code = sym.effective_initial_code().unwrap();
+        for kind in ALL_KINDS {
+            for jobs in [1usize, 2] {
+                let with =
+                    |exec: ExecMode| EngineOptions { kind, jobs, exec, ..EngineOptions::default() };
+                let e = sym.traverse_with_engine(code, &with(ExecMode::Exclusive));
+                let s = sym.traverse_with_engine(code, &with(ExecMode::Shared));
+                assert_eq!(
+                    e.reached,
+                    s.reached,
+                    "{}: {kind} jobs={jobs} exec modes returned different handles",
+                    stg.name()
+                );
+                assert_eq!(e.stats.num_states, s.stats.num_states);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generational GC vs the whole-graph full-mark reference.
+// ---------------------------------------------------------------------
+
+/// Generational stress: threaded phases allocate, a random subset of each
+/// phase's results is dropped, and the shared manager collects with the
+/// generational `gc` dispatch (full first, then minors). A sequential
+/// reference replay collects with `gc_full` — the whole-graph mark — at
+/// every quiesce point. Minor collections may conservatively retain dead
+/// *old* nodes between full collections, but a closing full collection on
+/// both managers must converge to the exact same live count, and every
+/// kept function must match the reference node-for-node.
+#[test]
+fn generational_gc_tracks_the_full_mark_reference() {
+    const THREADS: usize = 3;
+    const PHASES: usize = 6;
+    let all_scripts: Vec<Vec<Vec<Op>>> = (0..PHASES)
+        .map(|p| (0..THREADS).map(|t| gen_script((p * 97 + t) as u64 + 11, 120)).collect())
+        .collect();
+
+    let (mut m1, vars1, seeds1) = fresh_manager();
+    let (m2, vars2, seeds2) = fresh_manager();
+    let mut rng = StdRng::seed_from_u64(0xD00D);
+    // The surviving root set after each phase, index-aligned between the
+    // managers (same scripts, same drops ⇒ same functions).
+    let mut from1 = seeds1.clone();
+    let mut from2 = seeds2.clone();
+    for phase_scripts in &all_scripts {
+        let results1: Vec<Vec<Bdd>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = phase_scripts
+                .iter()
+                .map(|script| {
+                    let (m, vars, from) = (&m1, &vars1, &from1);
+                    scope.spawn(move || run_script(m, vars, script, from))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("gc stress worker panicked")).collect()
+        });
+        let results2: Vec<Vec<Bdd>> =
+            phase_scripts.iter().map(|s| run_script(&m2, &vars2, s, &from2)).collect();
+
+        // Drop ~half of each thread's results; the literal seeds always
+        // survive so later phases can keep indexing them.
+        let keep: Vec<Vec<usize>> = results1
+            .iter()
+            .map(|pool| (seeds1.len()..pool.len()).filter(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        from1 = seeds1.clone();
+        from2 = seeds2.clone();
+        for (t, kept) in keep.iter().enumerate() {
+            from1.extend(kept.iter().map(|&i| results1[t][i]));
+            from2.extend(kept.iter().map(|&i| results2[t][i]));
+        }
+
+        // m1: generational dispatch at the quiesce point (one full, then
+        // minors). m2, the reference, collects nothing until the end.
+        m1.gc(&from1);
+        m1.check_invariants();
+    }
+    let mut m2 = m2;
+    // m2 never collected above, so one closing full mark brings it to the
+    // minimal live set; the same full mark on m1 must land on the
+    // identical count — generational collection may only *defer*
+    // reclamation, never change it.
+    m1.gc_full(&from1);
+    m2.gc_full(&from2);
+    assert_eq!(
+        m1.live_nodes(),
+        m2.live_nodes(),
+        "generational GC and the full-mark reference disagree on the surviving set"
+    );
+    let stats = m1.stats();
+    assert!(
+        stats.gc_runs > stats.gc_full_runs,
+        "dispatch never took a minor collection (runs {}, full {})",
+        stats.gc_runs,
+        stats.gc_full_runs
+    );
+    m1.check_invariants();
+    m2.check_invariants();
+    // Node-for-node: every surviving function matches the reference.
+    assert_eq!(snapshots(&m1, &from1), snapshots(&m2, &from2), "a kept root diverged");
 }
