@@ -29,7 +29,21 @@ static ARMED: AtomicBool = AtomicBool::new(false);
 /// Every failpoint compiled into the codebase. [`arm`] validates specs
 /// against this list so a typo'd `--failpoints` flag fails loudly instead
 /// of silently injecting nothing.
-pub const KNOWN: &[&str] = &["arena-alloc", "store-write", "store-rename", "store-read"];
+///
+/// The `journal-*`/`serve-*`/`worker-panic` names fault the `stgcheck
+/// serve` daemon seams: journal record writes and recovery reads, the
+/// admission path, and the worker job body (an injected panic that the
+/// pool must isolate to one `internal_error` response).
+pub const KNOWN: &[&str] = &[
+    "arena-alloc",
+    "store-write",
+    "store-rename",
+    "store-read",
+    "journal-write",
+    "journal-read",
+    "serve-accept",
+    "worker-panic",
+];
 
 /// When to fire an armed failpoint.
 #[derive(Debug, Clone, Copy)]

@@ -65,6 +65,13 @@
 //!   row retries the remaining fixpoint with the saturation engine plus
 //!   forced sifting and, when that completes, is recorded with
 //!   `outcome: "fallback"`;
+//! * `--batch` drives every row through the `stgcheck serve` scheduler
+//!   ([`stgcheck_core::Scheduler`]) instead of calling the verifier
+//!   inline: rows are submitted up front and run on a fixed worker pool
+//!   (`--workers <n>`, default 2) with the same coalescing path the
+//!   daemon uses, and every row records its `queue_wait_ms`. Rows still
+//!   print in table order. Incompatible with `--explicit`,
+//!   `--warm-rerun` and `--repeat` (the pool owns the timing);
 //! * `--small` runs the quick workload set across **all** engines — the
 //!   CI smoke configuration that keeps the engine column honest.
 
@@ -133,6 +140,9 @@ struct JsonRow {
     /// Fastest and slowest repeat (equal to `wall_s` without `--repeat`).
     wall_min_s: f64,
     wall_max_s: f64,
+    /// Milliseconds the row waited in the scheduler queue before a
+    /// worker picked it up (`--batch` only; 0 for inline rows).
+    queue_wait_ms: f64,
     /// Garbage collections the row ran (minor + full) and the total
     /// stop-the-world pause they cost, in milliseconds.
     gc_collections: usize,
@@ -167,6 +177,7 @@ fn write_json(path: &PathBuf, rows: &[JsonRow]) -> std::io::Result<()> {
              \"order\": \"{}\", \"jobs\": {}, \"jobs_detected\": {}, \"states\": \"{}\", \
              \"peak_live_nodes\": {}, \"final_nodes\": {}, \"sift_passes\": {}, \
              \"wall_s\": {:.6}, \"wall_min_s\": {:.6}, \"wall_max_s\": {:.6}, \
+             \"queue_wait_ms\": {:.3}, \
              \"gc_collections\": {}, \"gc_pause_ms\": {:.3}, \"peak_rss_kb\": {}, \
              \"cache\": \"{}\", \"verdict\": \"{}\", \
              \"outcome\": \"{}\", \"timeout_s\": {}, \"max_nodes\": {}, \
@@ -184,6 +195,7 @@ fn write_json(path: &PathBuf, rows: &[JsonRow]) -> std::io::Result<()> {
             r.wall_s,
             r.wall_min_s,
             r.wall_max_s,
+            r.queue_wait_ms,
             r.gc_collections,
             r.gc_pause_ms,
             r.peak_rss_kb,
@@ -295,6 +307,18 @@ fn main() {
         eprintln!("--warm-rerun requires --cache-dir");
         std::process::exit(2);
     }
+    let batch = args.iter().any(|a| a == "--batch");
+    let batch_workers: usize = value_of("--workers").map_or(2, |v| {
+        let n = v.parse().unwrap_or_else(|_| {
+            eprintln!("--workers needs a number, got `{v}`");
+            std::process::exit(2);
+        });
+        if n == 0 {
+            eprintln!("--workers needs at least 1, got `{v}`");
+            std::process::exit(2);
+        }
+        n
+    });
     let engines: Vec<EngineKind> = match value_of("--engine").map(String::as_str) {
         None if small => ALL_ENGINES.to_vec(),
         None => vec![EngineKind::PerTransition],
@@ -344,6 +368,10 @@ fn main() {
     }
     budget.fallback = args.iter().any(|a| a == "--fallback");
     let timeout_s = budget.timeout.map_or(0.0, |d| d.as_secs_f64());
+    if batch && (explicit || warm_rerun || repeat > 1) {
+        eprintln!("--batch is incompatible with --explicit, --warm-rerun and --repeat");
+        std::process::exit(2);
+    }
 
     println!("stgcheck — Table 1 reproduction (order: {order:?})");
     println!("columns: example, engine, places, signals, reachable states, BDD peak/final");
@@ -359,6 +387,9 @@ fn main() {
     header.push_str(&format!(" {:>7}", "reorder"));
     header.push_str(&format!(" {:>7}", "jobs"));
     header.push_str(&format!(" {:>10}", "verdict"));
+    if batch {
+        header.push_str(&format!(" {:>8}", "q-wait"));
+    }
     println!("{header}");
     println!("{}", "-".repeat(header.len()));
 
@@ -382,6 +413,54 @@ fn main() {
             }
         }
     }
+    let make_opts =
+        |arbitration: bool, kind: EngineKind, reorder: ReorderMode, j: usize| VerifyOptions {
+            order,
+            policy: PersistencyPolicy { allow_arbitration: arbitration },
+            engine: stgcheck_core::EngineOptions {
+                kind,
+                jobs: j,
+                sharing,
+                gc_growth,
+                ..Default::default()
+            },
+            reorder,
+            budget,
+        };
+    // `--batch`: submit every (net, combo) row to the serve scheduler up
+    // front, then consume the results from this map in table order — the
+    // same worker pool + coalescing path `stgcheck serve` uses.
+    let mut batch_results: HashMap<(usize, usize), stgcheck_core::JobResult> = HashMap::new();
+    if batch {
+        let scheduler =
+            stgcheck_core::Scheduler::new(batch_workers, workloads.len() * combos.len() + 1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut submitted = 0;
+        for (wi, w) in workloads.iter().enumerate() {
+            for (ci, &(kind, reorder, j)) in combos.iter().enumerate() {
+                let spec = stgcheck_core::JobSpec {
+                    stg: w.stg.clone(),
+                    options: make_opts(w.arbitration, kind, reorder, j),
+                    persist: persist.clone(),
+                };
+                let tx = tx.clone();
+                scheduler
+                    .submit(
+                        spec,
+                        Box::new(move |r| {
+                            let _ = tx.send(((wi, ci), r));
+                        }),
+                    )
+                    .expect("batch queue is sized to fit every row");
+                submitted += 1;
+            }
+        }
+        for _ in 0..submitted {
+            let (key, result) = rx.recv().expect("batch row result");
+            batch_results.insert(key, result);
+        }
+        scheduler.drain();
+    }
     let passes = if warm_rerun { 2 } else { 1 };
     // Cold-pass verdict + state count per (net, engine, reorder), checked
     // against the warm pass: a cache hit must be byte-identical on the
@@ -395,7 +474,7 @@ fn main() {
             println!();
             println!("-- pass {}: {} --", pass + 1, if pass == 0 { "cold" } else { "warm" });
         }
-        for w in &workloads {
+        for (wi, w) in workloads.iter().enumerate() {
             // The explicit baseline is engine- and reorder-independent:
             // time it once per workload (cold pass only), outside the row
             // loops.
@@ -406,21 +485,9 @@ fn main() {
                     let secs = start.elapsed().as_secs_f64();
                     sg.map(|sg| (secs, sg.len())).map_err(|e| e.to_string())
                 });
-            for &(kind, reorder, j) in &combos {
+            for (ci, &(kind, reorder, j)) in combos.iter().enumerate() {
                 {
-                    let opts = VerifyOptions {
-                        order,
-                        policy: PersistencyPolicy { allow_arbitration: w.arbitration },
-                        engine: stgcheck_core::EngineOptions {
-                            kind,
-                            jobs: j,
-                            sharing,
-                            gc_growth,
-                            ..Default::default()
-                        },
-                        reorder,
-                        budget,
-                    };
+                    let opts = make_opts(w.arbitration, kind, reorder, j);
                     let jobs_detected = opts.engine.effective_jobs();
                     // `--repeat`: the reported wall is the median over all
                     // repeats; stats and verdict come from the first run
@@ -428,11 +495,34 @@ fn main() {
                     let mut walls: Vec<f64> = Vec::with_capacity(repeat);
                     let mut first = None;
                     let mut aborted = false;
+                    let mut queue_wait_ms = 0.0;
                     for _ in 0..repeat {
                         let start = Instant::now();
-                        match verify_persistent(&w.stg, opts, &persist) {
-                            Ok(r) => {
+                        // `--batch`: the row already ran on the scheduler's
+                        // worker pool; consume its result instead of
+                        // verifying inline.
+                        let row_run = if batch {
+                            let jr = batch_results
+                                .remove(&(wi, ci))
+                                .expect("each batch row is consumed exactly once");
+                            queue_wait_ms = jr.queue_wait.as_secs_f64() * 1e3;
+                            walls.push(jr.wall.as_secs_f64());
+                            jr.run.map_err(|e| match e {
+                                stgcheck_core::JobError::Verify(msg) => msg,
+                                stgcheck_core::JobError::Panic(msg) => {
+                                    format!("worker panic: {msg}")
+                                }
+                            })
+                        } else {
+                            let r = verify_persistent(&w.stg, opts, &persist)
+                                .map_err(|e| e.to_string());
+                            if r.is_ok() {
                                 walls.push(start.elapsed().as_secs_f64());
+                            }
+                            r
+                        };
+                        match row_run {
+                            Ok(r) => {
                                 let done = matches!(r.outcome, Outcome::Completed(_));
                                 if first.is_none() {
                                     first = Some(r);
@@ -476,6 +566,7 @@ fn main() {
                                 wall_s,
                                 wall_min_s,
                                 wall_max_s,
+                                queue_wait_ms,
                                 gc_collections: 0,
                                 gc_pause_ms: 0.0,
                                 peak_rss_kb: peak_rss_kb(),
@@ -505,6 +596,7 @@ fn main() {
                                 wall_s,
                                 wall_min_s,
                                 wall_max_s,
+                                queue_wait_ms,
                                 gc_collections: 0,
                                 gc_pause_ms: 0.0,
                                 peak_rss_kb: peak_rss_kb(),
@@ -542,6 +634,9 @@ fn main() {
                         stgcheck_stg::Implementability::NotImplementable => "reject",
                     };
                     row.push_str(&format!(" {verdict:>10}"));
+                    if batch {
+                        row.push_str(&format!(" {queue_wait_ms:>8.1}"));
+                    }
                     println!("{row}");
                     let states = stgcheck_core::format_states(report.num_states);
                     if warm_rerun {
@@ -580,6 +675,7 @@ fn main() {
                         wall_s,
                         wall_min_s,
                         wall_max_s,
+                        queue_wait_ms,
                         gc_collections: report.gc_collections,
                         gc_pause_ms: report.gc_pause_ms,
                         peak_rss_kb: peak_rss_kb(),

@@ -51,9 +51,12 @@ mod engine;
 mod exit;
 mod fake;
 mod image;
+pub mod journal;
 mod logic;
 mod persistency;
+pub mod protocol;
 mod safety;
+pub mod serve;
 mod store;
 mod trace;
 mod traverse;
@@ -67,6 +70,9 @@ pub use exit::ProcessExit;
 pub use logic::{LogicError, SignalFunction};
 pub use persistency::{SymSignalViolation, SymTransViolation};
 pub use safety::SafetyViolation;
+pub use serve::{
+    outcome_exit, run_daemon, JobError, JobResult, JobSpec, Scheduler, ServeOptions, Shed,
+};
 pub use store::{CacheStatus, ResultStore};
 pub use trace::RingTraversal;
 pub use traverse::{

@@ -156,6 +156,99 @@ impl ResultStore {
         let stg = parse_snapshot(&text)?;
         (stg.content_hash() == hash).then_some((stg, hash))
     }
+
+    /// Bounds the store to `cap_bytes` (`--cache-max-mb`): while over
+    /// the cap, the oldest `latest-*` pointer is evicted together with
+    /// every artifact of the hash it points to; any bytes still over
+    /// after all pointers are gone (orphaned artifacts) go oldest-file
+    /// first. A long-running daemon calls this after every store, so the
+    /// cache stays LRU-ish by verification recency without an index
+    /// file.
+    ///
+    /// Returns one human-readable note per evicted entry. A dangling
+    /// `latest-*` pointer left by evicting a hash shared across option
+    /// tags is harmless: every loader treats a missing artifact as a
+    /// cache miss.
+    ///
+    /// # Errors
+    ///
+    /// Directory listing failures; unlink errors on individual files are
+    /// reported in the notes instead (eviction must degrade, not abort
+    /// a verification that already succeeded).
+    pub fn evict_to_cap(&self, cap_bytes: u64) -> io::Result<Vec<String>> {
+        let mut notes = Vec::new();
+        let mut files: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let meta = match entry.metadata() {
+                Ok(m) if m.is_file() => m,
+                _ => continue,
+            };
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            files.push((entry.path(), meta.len(), mtime));
+        }
+        let mut total: u64 = files.iter().map(|(_, len, _)| *len).sum();
+        if total <= cap_bytes {
+            return Ok(notes);
+        }
+
+        type Tracked = Vec<(PathBuf, u64, std::time::SystemTime)>;
+        fn remove(path: &Path, total: &mut u64, files: &mut Tracked, notes: &mut Vec<String>) {
+            if let Some(pos) = files.iter().position(|(p, _, _)| p == path) {
+                let (p, len, _) = files.swap_remove(pos);
+                match std::fs::remove_file(&p) {
+                    Ok(()) => *total -= len,
+                    Err(e) => notes.push(format!("cache eviction: {}: {e}", p.display())),
+                }
+            }
+        }
+
+        // Oldest pointer first: eviction order is verification recency.
+        let mut pointers: Vec<(PathBuf, std::time::SystemTime)> = files
+            .iter()
+            .filter(|(p, _, _)| {
+                p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("latest-"))
+            })
+            .map(|(p, _, t)| (p.clone(), *t))
+            .collect();
+        pointers.sort_by_key(|(_, t)| *t);
+        for (pointer, _) in pointers {
+            if total <= cap_bytes {
+                break;
+            }
+            let hash_prefix = std::fs::read_to_string(&pointer)
+                .ok()
+                .and_then(|hex| u128::from_str_radix(hex.trim(), 16).ok())
+                .map(|hash| format!("{hash:032x}"));
+            if let Some(prefix) = hash_prefix {
+                let victims: Vec<PathBuf> = files
+                    .iter()
+                    .filter(|(p, _, _)| {
+                        p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n.starts_with(&prefix))
+                    })
+                    .map(|(p, _, _)| p.clone())
+                    .collect();
+                for victim in victims {
+                    remove(&victim, &mut total, &mut files, &mut notes);
+                }
+            }
+            let name = pointer.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+            remove(&pointer, &mut total, &mut files, &mut notes);
+            notes.push(format!("cache eviction: dropped `{name}` and its artifacts"));
+        }
+
+        // Orphans (artifacts no pointer references) oldest first.
+        files.sort_by_key(|(_, _, t)| *t);
+        while total > cap_bytes {
+            let Some((path, _, _)) = files.first().cloned() else { break };
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+            remove(&path, &mut total, &mut files, &mut notes);
+            notes.push(format!("cache eviction: dropped orphan `{name}`"));
+        }
+        Ok(notes)
+    }
 }
 
 /// The store key: 32 hex digits of the content hash, then a short tag of
@@ -743,5 +836,47 @@ mod tests {
         let p = latest_pointer("weird net/name", &k0);
         assert!(p.starts_with("latest-weird_net_name-"));
         assert!(!p.contains('/'));
+    }
+
+    /// `--cache-max-mb` eviction drops the oldest `latest-*` pointer
+    /// together with every artifact of its hash, then orphans, and stops
+    /// as soon as the store fits the cap.
+    #[test]
+    fn evict_to_cap_drops_oldest_entries_first() {
+        let dir = std::env::temp_dir().join(format!("stgcheck-evict-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let old_hash = format!("{:032x}", 1u128);
+        let new_hash = format!("{:032x}", 2u128);
+        let kb = vec![b'x'; 1024];
+        for (hash, pointer) in [(&old_hash, "latest-old-k"), (&new_hash, "latest-new-k")] {
+            std::fs::write(dir.join(format!("{hash}.report")), &kb).unwrap();
+            std::fs::write(dir.join(format!("{hash}.reached")), &kb).unwrap();
+            std::fs::write(dir.join(format!("{hash}.g")), &kb).unwrap();
+            std::fs::write(dir.join(pointer), hash).unwrap();
+            // Distinct mtimes order the pointers (filesystem clocks can
+            // be coarse, so a real gap, not a yield).
+            std::thread::sleep(std::time::Duration::from_millis(30));
+        }
+        std::fs::write(dir.join("orphan.bin"), &kb).unwrap();
+
+        // Both entries fit: nothing happens.
+        let notes = store.evict_to_cap(1 << 20).unwrap();
+        assert!(notes.is_empty(), "{notes:?}");
+
+        // 4 KiB cap: the old entry (3 KiB + pointer) must go, the new
+        // one (plus the orphan) fits and stays.
+        let notes = store.evict_to_cap(4 * 1024 + 128).unwrap();
+        assert!(notes.iter().any(|n| n.contains("latest-old-k")), "{notes:?}");
+        assert!(!dir.join(format!("{old_hash}.report")).exists());
+        assert!(!dir.join("latest-old-k").exists());
+        assert!(dir.join(format!("{new_hash}.report")).exists());
+        assert!(dir.join("orphan.bin").exists());
+
+        // 1 KiB cap: the new entry goes too, then orphans oldest-first.
+        let notes = store.evict_to_cap(1024).unwrap();
+        assert!(notes.iter().any(|n| n.contains("latest-new-k")), "{notes:?}");
+        assert!(!dir.join(format!("{new_hash}.g")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -457,6 +457,11 @@ fn finish_verification(
 pub struct PersistOptions {
     /// Content-addressed result cache directory (`--cache-dir`).
     pub cache_dir: Option<PathBuf>,
+    /// Size cap for the cache directory in bytes (`--cache-max-mb`).
+    /// After each store the oldest `latest-*` entries and their
+    /// artifacts are evicted until the directory fits
+    /// ([`crate::ResultStore::evict_to_cap`]); `None` means unbounded.
+    pub cache_max_bytes: Option<u64>,
     /// Traversal checkpoint file (`--checkpoint`).
     pub checkpoint: Option<PathBuf>,
     /// Snapshot cadence in outer iterations; `0` snapshots only when the
@@ -845,6 +850,12 @@ pub fn verify_persistent(
         );
         if let Err(e) = store.store_result(&key, hash, stg, &report, &ck) {
             notes.push(format!("could not store result: {e}"));
+        }
+        if let Some(cap) = persist.cache_max_bytes {
+            match store.evict_to_cap(cap) {
+                Ok(evictions) => notes.extend(evictions),
+                Err(e) => notes.push(format!("cache eviction failed: {e}")),
+            }
         }
     }
     if let Some(path) = &persist.checkpoint {

@@ -1,7 +1,9 @@
-//! `stgcheck` command-line interface: verify `.g` files from the shell.
+//! `stgcheck` command-line interface: verify `.g` files from the shell,
+//! or serve a stream of verification requests as a daemon.
 //!
 //! ```text
 //! stgcheck [options] file.g [file2.g …]
+//! stgcheck serve [serve options] [verification option defaults]
 //!
 //!   --arbitration        allow non-input/non-input disabling (arbiters)
 //!   --order <o>          interleaved|places|signals|declaration
@@ -45,6 +47,8 @@
 //!                        unchanged net (same options) returns the stored
 //!                        verdict without any fixpoint (see
 //!                        docs/persistent-store.md)
+//!   --cache-max-mb <n>   bound --cache-dir to n megabytes, evicting the
+//!                        oldest entries past the cap (n must be > 0)
 //!   --checkpoint <file>  snapshot the traversal state to <file> so an
 //!                        interrupted run can be resumed
 //!   --checkpoint-every <n>  snapshot cadence in iterations (default 16
@@ -56,21 +60,99 @@
 //!                        final checkpoint (testing/interrupt hook)
 //! ```
 //!
+//! `stgcheck serve` reads JSON-lines verification requests from stdin
+//! (or a unix socket with `--listen`) and answers one JSON response per
+//! request — see `docs/serve.md` for the protocol:
+//!
+//! ```text
+//!   --workers <n>        worker threads in the verification pool
+//!                        (default 2)
+//!   --queue-cap <n>      admission bound: beyond it requests are
+//!                        answered `queue_full` instead of buffered
+//!                        (default 64)
+//!   --journal <dir>      crash-safe request journal: accepted requests
+//!                        are journaled before running, marked answered
+//!                        after responding
+//!   --recover            replay accepted-but-unanswered journal records
+//!                        before serving new traffic
+//!   --listen <socket>    serve a unix socket instead of stdin/stdout
+//! ```
+//!
+//! plus `--cache-dir`, `--cache-max-mb`, `--failpoints` and every
+//! verification option above (which become the per-request defaults).
+//!
 //! Exit status (see `docs/robustness.md` and [`ProcessExit`]): 0 when
 //! every file is I/O-implementable or better, 1 when any file fails, 2 on
 //! usage or parse errors, 3 when a traversal was interrupted cooperatively
-//! (`--abort-after`; a checkpoint was written), 4 when a resource budget
-//! (`--timeout`, `--max-nodes`, `--max-steps`, or the node arena) was
-//! exhausted, 5 on internal errors.
+//! (`--abort-after`, SIGINT/SIGTERM; a checkpoint was written when
+//! `--checkpoint` is set), 4 when a resource budget (`--timeout`,
+//! `--max-nodes`, `--max-steps`, or the node arena) was exhausted, 5 on
+//! internal errors. `stgcheck serve` exits 0 after a clean stdin-EOF
+//! drain and 3 after a SIGTERM/SIGINT drain.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use stgcheck::core::{
-    failpoint, verify_persistent, Outcome, PersistOptions, ProcessExit, SymbolicReport,
-    TraversalStrategy, VarOrder, VerifyOptions,
+    failpoint, run_daemon, verify_persistent, Outcome, PersistOptions, ProcessExit, ServeOptions,
+    SymbolicReport, TraversalStrategy, VarOrder, VerifyOptions,
 };
 use stgcheck::stg::{parse_g, Implementability, PersistencyPolicy};
+
+/// SIGINT/SIGTERM handling. The handler itself only flips a static
+/// atomic (the only thing that is async-signal-safe here); a watcher
+/// thread forwards the flip to an `Arc` latch that the verification
+/// budget (one-shot mode) or the serve drain loop polls cooperatively.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handlers and returns a latch that flips shortly
+    /// after SIGINT or SIGTERM arrives. The one-shot CLI feeds it to
+    /// the run's cancellation slot (stop at the next poll point, write
+    /// the checkpoint, exit 3); serve mode drains on it.
+    pub fn term_latch() -> Arc<AtomicBool> {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+        let latch = Arc::new(AtomicBool::new(false));
+        let forwarded = Arc::clone(&latch);
+        let _ =
+            std::thread::Builder::new().name("stgcheck-signals".to_string()).spawn(move || loop {
+                if TERM.load(Ordering::SeqCst) {
+                    forwarded.store(true, Ordering::SeqCst);
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            });
+        latch
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// No signal plumbing off unix: an inert latch.
+    pub fn term_latch() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(false))
+    }
+}
 
 /// `println!`, minus the abort on a closed pipe: `stgcheck big.g | head`
 /// must not panic when the reader stops early (std's `println!` panics
@@ -106,9 +188,158 @@ fn usage() -> &'static str {
      [--reorder none|sift|auto] [--bfs] [--quiet] \
      [--timeout SECS] [--max-nodes N] [--max-steps N] [--fallback] \
      [--failpoints SPEC] \
-     [--cache-dir DIR] [--incremental] \
+     [--cache-dir DIR] [--cache-max-mb N] [--incremental] \
      [--checkpoint FILE] [--checkpoint-every N] [--resume] [--abort-after N] \
-     file.g [file2.g ...]"
+     file.g [file2.g ...]\n\
+     \n\
+     stgcheck serve [--workers N] [--queue-cap N] [--cache-dir DIR] \
+     [--cache-max-mb N] [--journal DIR] [--recover] [--listen SOCKET] \
+     [--failpoints SPEC] [verification option defaults]  (see docs/serve.md)"
+}
+
+fn parse_serve(args: Vec<String>) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if parse_verify_flag(&arg, &mut it, &mut opts.defaults)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                opts.workers =
+                    v.parse().map_err(|_| format!("--workers needs a number, got `{v}`"))?;
+                if opts.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a value")?;
+                opts.queue_cap =
+                    v.parse().map_err(|_| format!("--queue-cap needs a number, got `{v}`"))?;
+                if opts.queue_cap == 0 {
+                    return Err("--queue-cap must be at least 1".to_string());
+                }
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a directory")?;
+                opts.cache_dir = Some(v.into());
+            }
+            "--cache-max-mb" => {
+                let v = it.next().ok_or("--cache-max-mb needs a value in megabytes")?;
+                opts.cache_max_bytes = Some(parse_cache_cap(&v)?);
+            }
+            "--journal" => {
+                let v = it.next().ok_or("--journal needs a directory")?;
+                opts.journal_dir = Some(v.into());
+            }
+            "--recover" => opts.recover = true,
+            "--listen" => {
+                let v = it.next().ok_or("--listen needs a socket path")?;
+                opts.listen = Some(v.into());
+            }
+            "--failpoints" => {
+                let v = it.next().ok_or("--failpoints needs a spec")?;
+                failpoint::arm(&v)?;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("serve: unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    if opts.recover && opts.journal_dir.is_none() {
+        return Err("--recover needs --journal DIR".to_string());
+    }
+    Ok(opts)
+}
+
+/// Parses one verification-option flag shared between one-shot mode and
+/// the serve defaults. Returns `Ok(false)` when `arg` is not one of
+/// them (the caller's own flags come next).
+fn parse_verify_flag(
+    arg: &str,
+    it: &mut std::vec::IntoIter<String>,
+    options: &mut VerifyOptions,
+) -> Result<bool, String> {
+    match arg {
+        "--arbitration" => {
+            options.policy = PersistencyPolicy { allow_arbitration: true };
+        }
+        "--bfs" => options.engine.strategy = TraversalStrategy::Bfs,
+        "--order" => {
+            let v = it.next().ok_or("--order needs a value")?;
+            options.order = match v.as_str() {
+                "interleaved" => VarOrder::Interleaved,
+                "places" => VarOrder::PlacesThenSignals,
+                "signals" => VarOrder::SignalsThenPlaces,
+                "declaration" => VarOrder::Declaration,
+                other => return Err(format!("unknown order `{other}`")),
+            };
+        }
+        "--engine" => {
+            let v = it.next().ok_or("--engine needs a value")?;
+            options.engine.kind = v.parse()?;
+        }
+        "--reorder" => {
+            let v = it.next().ok_or("--reorder needs a value")?;
+            options.reorder = v.parse()?;
+        }
+        "--jobs" => {
+            let v = it.next().ok_or("--jobs needs a value")?;
+            options.engine.jobs =
+                v.parse().map_err(|_| format!("--jobs needs a number, got `{v}`"))?;
+        }
+        "--sharing" => {
+            let v = it.next().ok_or("--sharing needs a value")?;
+            options.engine.sharing = v.parse()?;
+        }
+        "--exec" => {
+            let v = it.next().ok_or("--exec needs a value")?;
+            options.engine.exec = v.parse()?;
+        }
+        "--gc-growth" => {
+            let v = it.next().ok_or("--gc-growth needs a value")?;
+            let growth: f64 =
+                v.parse().map_err(|_| format!("--gc-growth needs a number, got `{v}`"))?;
+            if !growth.is_finite() || growth <= 1.0 {
+                return Err(format!(
+                    "--gc-growth must be > 1.0 (collection must amortize), got `{v}`"
+                ));
+            }
+            options.engine.gc_growth = growth;
+        }
+        "--timeout" => {
+            let v = it.next().ok_or("--timeout needs a value in seconds")?;
+            let secs: f64 =
+                v.parse().map_err(|_| format!("--timeout needs a number of seconds, got `{v}`"))?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(format!("--timeout needs a positive number of seconds, got `{v}`"));
+            }
+            options.budget.timeout = Some(Duration::from_secs_f64(secs));
+        }
+        "--max-nodes" => {
+            let v = it.next().ok_or("--max-nodes needs a value")?;
+            options.budget.max_nodes =
+                v.parse().map_err(|_| format!("--max-nodes needs a number, got `{v}`"))?;
+        }
+        "--max-steps" => {
+            let v = it.next().ok_or("--max-steps needs a value")?;
+            options.budget.max_steps =
+                v.parse().map_err(|_| format!("--max-steps needs a number, got `{v}`"))?;
+        }
+        "--fallback" => options.budget.fallback = true,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Parses `--cache-max-mb`: megabytes, strictly positive (a zero-byte
+/// cache is a misconfiguration, not a request to evict everything).
+fn parse_cache_cap(v: &str) -> Result<u64, String> {
+    let mb: u64 = v.parse().map_err(|_| format!("--cache-max-mb needs a number, got `{v}`"))?;
+    if mb == 0 {
+        return Err("--cache-max-mb must be > 0 (0 would evict every result)".to_string());
+    }
+    Ok(mb * 1024 * 1024)
 }
 
 fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
@@ -121,75 +352,11 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
     let mut every_given = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
+        if parse_verify_flag(&arg, &mut it, &mut cli.options)? {
+            continue;
+        }
         match arg.as_str() {
-            "--arbitration" => {
-                cli.options.policy = PersistencyPolicy { allow_arbitration: true };
-            }
-            "--bfs" => cli.options.engine.strategy = TraversalStrategy::Bfs,
             "--quiet" => cli.quiet = true,
-            "--order" => {
-                let v = it.next().ok_or("--order needs a value")?;
-                cli.options.order = match v.as_str() {
-                    "interleaved" => VarOrder::Interleaved,
-                    "places" => VarOrder::PlacesThenSignals,
-                    "signals" => VarOrder::SignalsThenPlaces,
-                    "declaration" => VarOrder::Declaration,
-                    other => return Err(format!("unknown order `{other}`")),
-                };
-            }
-            "--engine" => {
-                let v = it.next().ok_or("--engine needs a value")?;
-                cli.options.engine.kind = v.parse()?;
-            }
-            "--reorder" => {
-                let v = it.next().ok_or("--reorder needs a value")?;
-                cli.options.reorder = v.parse()?;
-            }
-            "--jobs" => {
-                let v = it.next().ok_or("--jobs needs a value")?;
-                cli.options.engine.jobs =
-                    v.parse().map_err(|_| format!("--jobs needs a number, got `{v}`"))?;
-            }
-            "--sharing" => {
-                let v = it.next().ok_or("--sharing needs a value")?;
-                cli.options.engine.sharing = v.parse()?;
-            }
-            "--exec" => {
-                let v = it.next().ok_or("--exec needs a value")?;
-                cli.options.engine.exec = v.parse()?;
-            }
-            "--gc-growth" => {
-                let v = it.next().ok_or("--gc-growth needs a value")?;
-                let growth: f64 =
-                    v.parse().map_err(|_| format!("--gc-growth needs a number, got `{v}`"))?;
-                if !growth.is_finite() || growth <= 1.0 {
-                    return Err(format!(
-                        "--gc-growth must be > 1.0 (collection must amortize), got `{v}`"
-                    ));
-                }
-                cli.options.engine.gc_growth = growth;
-            }
-            "--timeout" => {
-                let v = it.next().ok_or("--timeout needs a value in seconds")?;
-                let secs: f64 = v
-                    .parse()
-                    .map_err(|_| format!("--timeout needs a number of seconds, got `{v}`"))?;
-                if !secs.is_finite() || secs <= 0.0 {
-                    return Err(format!("--timeout needs a positive number of seconds, got `{v}`"));
-                }
-                cli.options.budget.timeout = Some(Duration::from_secs_f64(secs));
-            }
-            "--max-nodes" => {
-                let v = it.next().ok_or("--max-nodes needs a value")?;
-                cli.options.budget.max_nodes =
-                    v.parse().map_err(|_| format!("--max-nodes needs a number, got `{v}`"))?;
-            }
-            "--max-steps" => {
-                let v = it.next().ok_or("--max-steps needs a value")?;
-                cli.options.budget.max_steps =
-                    v.parse().map_err(|_| format!("--max-steps needs a number, got `{v}`"))?;
-            }
-            "--fallback" => cli.options.budget.fallback = true,
             "--failpoints" => {
                 let v = it.next().ok_or("--failpoints needs a spec")?;
                 failpoint::arm(&v)?;
@@ -197,6 +364,10 @@ fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
             "--cache-dir" => {
                 let v = it.next().ok_or("--cache-dir needs a directory")?;
                 cli.persist.cache_dir = Some(v.into());
+            }
+            "--cache-max-mb" => {
+                let v = it.next().ok_or("--cache-max-mb needs a value in megabytes")?;
+                cli.persist.cache_max_bytes = Some(parse_cache_cap(&v)?);
             }
             "--checkpoint" => {
                 let v = it.next().ok_or("--checkpoint needs a file")?;
@@ -292,13 +463,33 @@ fn main() -> ExitCode {
         err!("STGCHECK_FAILPOINTS: {e}");
         return ExitCode::from(ProcessExit::Usage.code() as u8);
     }
-    let cli = match parse_cli(std::env::args().skip(1).collect()) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        args.remove(0);
+        let mut opts = match parse_serve(args) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                err!("{msg}");
+                return ExitCode::from(ProcessExit::Usage.code() as u8);
+            }
+        };
+        opts.term = Some(signals::term_latch());
+        return ExitCode::from(run_daemon(opts).code() as u8);
+    }
+    let mut cli = match parse_cli(args) {
         Ok(cli) => cli,
         Err(msg) => {
             err!("{msg}");
             return ExitCode::from(ProcessExit::Usage.code() as u8);
         }
     };
+    // SIGINT/SIGTERM stop the run cooperatively: the latch feeds the
+    // budget's cancellation slot, so the traversal halts at its next
+    // poll point, writes its checkpoint (with --checkpoint) and the
+    // process exits 3 — instead of dying mid-write.
+    if cli.persist.cancel.is_none() {
+        cli.persist.cancel = Some(signals::term_latch());
+    }
     let mut exit = ProcessExit::Success;
     for file in &cli.files {
         let source = match std::fs::read_to_string(file) {
